@@ -1,0 +1,312 @@
+// Command lazyetl is the interactive demonstration front-end — the
+// terminal equivalent of the paper's GUI (Figure 2). Every numbered
+// inspection point of the demo maps to a command:
+//
+//	(1) initial loading of only metadata   -> shown at startup and via \stats
+//	(2) browsing metadata                  -> \tables, \schema, plain SQL on mseed.files / mseed.records
+//	(3) comparing against eager ETL        -> \compare <sql>
+//	(4) observing query plans              -> \plan <sql> and the trace after each query
+//	(5) observing files lazily extracted   -> \touched
+//	(6) plans generated for lazy transform -> \plan (optimized plan shows LazyExtract + transforms)
+//	(7) cache contents and updates         -> \cache
+//	(8) the operation log                  -> \log [n]
+//
+// Usage:
+//
+//	lazyetl -repo DIR [-mode lazy|eager|external] [-gen] [-cache BYTES]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/etl"
+	"repro/internal/seisgen"
+	"repro/internal/warehouse"
+)
+
+func main() {
+	repoDir := flag.String("repo", "", "mSEED repository directory (required)")
+	modeStr := flag.String("mode", "lazy", "warehouse mode: lazy, eager or external")
+	gen := flag.Bool("gen", false, "generate a demo repository into -repo if it is empty or missing")
+	cache := flag.Int64("cache", 0, "recycler cache budget in bytes (0 = default 256MiB)")
+	flag.Parse()
+
+	if *repoDir == "" {
+		fmt.Fprintln(os.Stderr, "lazyetl: -repo is required (use -gen to create a demo repository)")
+		os.Exit(2)
+	}
+	if *gen {
+		if _, err := os.Stat(*repoDir); os.IsNotExist(err) {
+			fmt.Printf("generating demo repository under %s ...\n", *repoDir)
+			if _, err := seisgen.Generate(seisgen.RepoConfig{
+				Dir: *repoDir, SampleRate: 1, SamplesPerDay: 24 * 3600,
+				EventsPerDay: 2, Seed: 42,
+			}); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	var mode warehouse.Mode
+	switch *modeStr {
+	case "lazy":
+		mode = warehouse.Lazy
+	case "eager":
+		mode = warehouse.Eager
+	case "external":
+		mode = warehouse.External
+	default:
+		fmt.Fprintf(os.Stderr, "lazyetl: unknown mode %q\n", *modeStr)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	w, err := warehouse.Open(*repoDir, warehouse.Options{
+		Mode: mode, ETL: etl.Options{CacheBudget: *cache},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ist := w.InitStats()
+	fmt.Printf("lazy ETL demo — %s mode\n", mode)
+	fmt.Printf("initial load: %d files, %d records, %d samples in %v (%d bytes read of %d in repo)\n",
+		ist.Files, ist.Records, ist.Samples, time.Since(start).Round(time.Microsecond),
+		ist.BytesRead, ist.RepoBytes)
+	if mode != warehouse.Eager {
+		fmt.Println("the warehouse is ready: only metadata was loaded; waveform data stays in the files")
+	}
+	fmt.Println(`type SQL (end with ;), or \help for demo commands`)
+
+	repl(w, *repoDir)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lazyetl:", err)
+	os.Exit(1)
+}
+
+func repl(w *warehouse.Warehouse, repoDir string) {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lastTrace *warehouse.Trace
+	var pending strings.Builder
+
+	prompt := func() {
+		if pending.Len() > 0 {
+			fmt.Print("   ...> ")
+		} else {
+			fmt.Print("lazyetl> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, `\`) && pending.Len() == 0:
+			if quit := command(w, line, &lastTrace, repoDir); quit {
+				return
+			}
+		default:
+			pending.WriteString(line)
+			pending.WriteByte('\n')
+			if strings.HasSuffix(line, ";") {
+				q := strings.TrimSuffix(strings.TrimSpace(pending.String()), ";")
+				pending.Reset()
+				runQuery(w, q, &lastTrace)
+			}
+		}
+		prompt()
+	}
+}
+
+func runQuery(w *warehouse.Warehouse, q string, lastTrace **warehouse.Trace) {
+	res, err := w.Query(q)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(res.Batch)
+	fmt.Printf("(%d rows in %v; %d files touched)\n",
+		res.Batch.NumRows(), res.Elapsed.Round(time.Microsecond), len(res.Trace.TouchedFiles))
+	tr := res.Trace
+	*lastTrace = &tr
+}
+
+func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, repoDir string) (quit bool) {
+	fields := strings.Fields(line)
+	cmd, rest := fields[0], strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+	switch cmd {
+	case `\help`, `\h`:
+		fmt.Print(`commands:
+  <sql>;            run a query (multi-line; terminate with ;)
+  \tables           list tables and views with row counts          (demo point 2)
+  \schema [name]    show columns of a table or view                (demo point 2)
+  \plan <sql>       show naive and reorganized plans               (demo points 4, 6)
+  \trace            show plans + injected operators of last query  (demo points 4-6)
+  \touched          files the last query extracted from            (demo point 5)
+  \cache            recycler contents and statistics               (demo point 7)
+  \log [n]          last n operation log entries (default 20)      (demo point 8)
+  \stats            warehouse statistics                           (demo points 1, 3)
+  \compare <sql>    run against a fresh eager warehouse and compare (demo point 3)
+  \refresh          re-synchronize with the repository
+  \quit             exit
+`)
+	case `\quit`, `\q`:
+		return true
+	case `\tables`:
+		for _, t := range w.Catalog().Tables() {
+			fmt.Printf("table %-16s %8d rows\n", t.Name, w.Store().Rows(t.Name))
+		}
+		for _, v := range w.Catalog().Views() {
+			fmt.Printf("view  %-16s %s\n", v.Name, v.SQL)
+		}
+	case `\schema`:
+		name := rest
+		if name == "" {
+			name = "mseed.dataview"
+		}
+		if t, ok := w.Catalog().Table(name); ok {
+			for _, c := range t.Columns {
+				fmt.Printf("  %-16s %s\n", c.Name, c.Type)
+			}
+			if len(t.PrimaryKey) > 0 {
+				fmt.Printf("  primary key (%s)\n", strings.Join(t.PrimaryKey, ", "))
+			}
+			for _, fk := range t.ForeignKeys {
+				fmt.Printf("  foreign key (%s) references %s\n", strings.Join(fk.Columns, ", "), fk.RefTable)
+			}
+		} else if v, ok := w.Catalog().View(name); ok {
+			for _, c := range v.Columns {
+				fmt.Printf("  %-16s %s\n", c.Name, c.Type)
+			}
+		} else {
+			fmt.Printf("unknown table or view %q\n", name)
+		}
+	case `\plan`:
+		if rest == "" {
+			fmt.Println("usage: \\plan <sql>")
+			break
+		}
+		tr, err := w.Explain(strings.TrimSuffix(rest, ";"))
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println("-- plan as generated (before compile-time reorganization):")
+		fmt.Print(tr.Naive)
+		fmt.Println("-- plan after metadata-predicates-first reorganization:")
+		fmt.Print(tr.Optimized)
+	case `\trace`:
+		if *lastTrace == nil {
+			fmt.Println("no query has run yet")
+			break
+		}
+		tr := *lastTrace
+		fmt.Println("-- optimized plan:")
+		fmt.Print(tr.Optimized)
+		fmt.Printf("-- operators injected at run time (%d):\n", len(tr.RuntimeOps))
+		for _, op := range tr.RuntimeOps {
+			fmt.Println("   ", op)
+		}
+	case `\touched`:
+		if *lastTrace == nil {
+			fmt.Println("no query has run yet")
+			break
+		}
+		for _, f := range (*lastTrace).TouchedFiles {
+			fmt.Println(" ", f)
+		}
+		fmt.Printf("(%d files)\n", len((*lastTrace).TouchedFiles))
+	case `\cache`:
+		contents := w.Engine().Cache().Contents()
+		for i, e := range contents {
+			if i >= 20 {
+				fmt.Printf("  ... and %d more entries\n", len(contents)-20)
+				break
+			}
+			fmt.Printf("  %-40s seq=%-4d %6d samples  %8d bytes  admitted %s\n",
+				e.Key.URI, e.Key.SeqNo, e.Samples, e.Bytes, e.AdmittedAt.Format("15:04:05.000"))
+		}
+		st := w.Engine().Cache().Stats()
+		fmt.Printf("%d entries, %d bytes; hits=%d misses=%d evictions=%d invalidations=%d\n",
+			w.Engine().Cache().Len(), w.Engine().Cache().Used(),
+			st.Hits, st.Misses, st.Evictions, st.Invalidations)
+	case `\log`:
+		n := 20
+		if rest != "" {
+			if v, err := strconv.Atoi(rest); err == nil && v > 0 {
+				n = v
+			}
+		}
+		log := w.Log()
+		if len(log) > n {
+			log = log[len(log)-n:]
+		}
+		for _, e := range log {
+			fmt.Printf("  %s %-14s %s\n", e.At.Format("15:04:05.000"), e.Op, e.Detail)
+		}
+	case `\stats`:
+		st := w.Stats()
+		ist := w.InitStats()
+		fmt.Printf("mode: %v\ninitial load: %d files, %d records, %d samples, %v, %d bytes read\n",
+			st.Mode, ist.Files, ist.Records, ist.Samples, ist.Duration, ist.BytesRead)
+		fmt.Printf("store: files=%d records=%d data=%d rows, %d bytes\n",
+			st.FilesRows, st.RecordsRows, st.DataRows, st.StoreBytes)
+		fmt.Printf("cache: %d entries, %d bytes (%s)\n", st.CacheEntries, st.CacheBytes, st.CacheStats)
+		fmt.Printf("extraction: %d records extracted, %d cache reads, %d files opened, %d bytes read\n",
+			st.Extraction.Extractions, st.Extraction.CacheReads,
+			st.Extraction.FilesTouched, st.Extraction.BytesRead)
+		fmt.Printf("queries: %d\n", st.Queries)
+	case `\compare`:
+		if rest == "" {
+			fmt.Println("usage: \\compare <sql>")
+			break
+		}
+		q := strings.TrimSuffix(rest, ";")
+		t0 := time.Now()
+		ew, err := warehouse.Open(repoDir, warehouse.Options{Mode: warehouse.Eager})
+		if err != nil {
+			fmt.Println("error opening eager warehouse:", err)
+			break
+		}
+		eagerLoad := time.Since(t0)
+		eres, err := ew.Query(q)
+		if err != nil {
+			fmt.Println("eager error:", err)
+			break
+		}
+		lres, err := w.Query(q)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("%-9s load=%-12v query=%-12v total=%v\n", "eager:",
+			eagerLoad.Round(time.Microsecond), eres.Elapsed.Round(time.Microsecond),
+			(eagerLoad + eres.Elapsed).Round(time.Microsecond))
+		fmt.Printf("%-9s load=%-12s query=%-12v total=%v (this session's warehouse, cache state as-is)\n",
+			w.Mode().String()+":", "0 (done)", lres.Elapsed.Round(time.Microsecond),
+			lres.Elapsed.Round(time.Microsecond))
+		if eres.Batch.NumRows() == lres.Batch.NumRows() {
+			fmt.Println("row counts agree:", eres.Batch.NumRows())
+		} else {
+			fmt.Printf("ROW COUNTS DIFFER: eager=%d %s=%d\n", eres.Batch.NumRows(), w.Mode(), lres.Batch.NumRows())
+		}
+	case `\refresh`:
+		st, err := w.Refresh()
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("refreshed: %d files, %d records in %v\n", st.Files, st.Records, st.Duration)
+	default:
+		fmt.Printf("unknown command %s (try \\help)\n", cmd)
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+// Command mseedinfo inspects mSEED files: per-record headers from a
+// header-only scan, and optionally decoded sample statistics.
+//
+// Usage:
+//
+//	mseedinfo [-records] [-decode] FILE...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/mseed"
+	"repro/internal/seismic"
+)
+
+func main() {
+	showRecords := flag.Bool("records", false, "list every record header")
+	decode := flag.Bool("decode", false, "decode payloads and report amplitude statistics")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mseedinfo [-records] [-decode] FILE...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := describe(path, *showRecords, *decode); err != nil {
+			fmt.Fprintf(os.Stderr, "mseedinfo: %s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func describe(path string, showRecords, decode bool) error {
+	infos, err := mseed.ScanFile(path)
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		fmt.Printf("%s: empty\n", path)
+		return nil
+	}
+	first := infos[0].Header
+	var samples int
+	start, end := first.StartNanos(), first.EndNanos()
+	for _, ri := range infos {
+		samples += ri.Header.NumSamples
+		if s := ri.Header.StartNanos(); s < start {
+			start = s
+		}
+		if e := ri.Header.EndNanos(); e > end {
+			end = e
+		}
+	}
+	st, _ := os.Stat(path)
+	fmt.Printf("%s:\n", path)
+	fmt.Printf("  source      %s (quality %c)\n", first.SourceID(), first.Quality)
+	fmt.Printf("  encoding    %v, %d-byte records, big-endian=%v\n", first.Encoding, first.RecordLength, first.BigEndian)
+	fmt.Printf("  records     %d, samples %d @ %g Hz\n", len(infos), samples, first.SampleRate())
+	fmt.Printf("  time range  %s - %s\n",
+		time.Unix(0, start).UTC().Format(time.RFC3339Nano),
+		time.Unix(0, end).UTC().Format(time.RFC3339Nano))
+	if st != nil {
+		fmt.Printf("  file size   %d bytes (%.2f bytes/sample)\n", st.Size(), float64(st.Size())/float64(samples))
+	}
+
+	if showRecords {
+		for _, ri := range infos {
+			h := ri.Header
+			fmt.Printf("  seq %06d  offset %-8d %s  %4d samples  %s\n",
+				h.SeqNo, ri.Offset, h.Start, h.NumSamples, h.Encoding)
+		}
+	}
+	if decode {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var all []float64
+		for _, ri := range infos {
+			s, err := mseed.ReadRecordSamples(f, ri)
+			if err != nil {
+				return fmt.Errorf("record %d: %w", ri.Header.SeqNo, err)
+			}
+			for _, v := range s {
+				all = append(all, float64(v))
+			}
+		}
+		a := seismic.Amplitude(all)
+		fmt.Printf("  amplitude   min=%.0f max=%.0f mean=%.2f rms=%.2f\n", a.Min, a.Max, a.Mean, a.RMS)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Package catalog defines the warehouse schema: table definitions with
+// keys, non-materialized view definitions, and the in-memory store that
+// holds loaded table data.
+//
+// The schema is the one proposed in the paper (and detailed in its BIRTE
+// 2012 companion): two metadata tables — mseed.files (per-file, alias F)
+// and mseed.records (per-record, alias R) — one actual-data table
+// mseed.data (per-sample, alias D), and a non-materialized view
+// mseed.dataview joining all three into the de-normalized "universal
+// table" that analytical queries target.
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/column"
+)
+
+// ColumnDef describes one column of a table or view.
+type ColumnDef struct {
+	Name string
+	Type column.Type
+}
+
+// ForeignKey links columns of one table to the primary key of another.
+type ForeignKey struct {
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// TableDef describes a base table.
+type TableDef struct {
+	Name        string // fully qualified, e.g. "mseed.files"
+	Columns     []ColumnDef
+	PrimaryKey  []string
+	ForeignKeys []ForeignKey
+}
+
+// Col returns the definition of a named column.
+func (t *TableDef) Col(name string) (ColumnDef, bool) {
+	for _, c := range t.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ColumnDef{}, false
+}
+
+// ViewDef describes a non-materialized view. SQL is the definition shown to
+// users; the planner expands the view structurally (join of base tables)
+// rather than re-parsing the text.
+type ViewDef struct {
+	Name    string
+	SQL     string
+	Columns []ColumnDef
+}
+
+// Col returns the definition of a named view column.
+func (v *ViewDef) Col(name string) (ColumnDef, bool) {
+	for _, c := range v.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ColumnDef{}, false
+}
+
+// Catalog is the schema registry.
+type Catalog struct {
+	tables map[string]*TableDef
+	views  map[string]*ViewDef
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*TableDef),
+		views:  make(map[string]*ViewDef),
+	}
+}
+
+// AddTable registers a table definition.
+func (c *Catalog) AddTable(t *TableDef) error {
+	if _, dup := c.tables[t.Name]; dup {
+		return fmt.Errorf("catalog: duplicate table %q", t.Name)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// AddView registers a view definition.
+func (c *Catalog) AddView(v *ViewDef) error {
+	if _, dup := c.views[v.Name]; dup {
+		return fmt.Errorf("catalog: duplicate view %q", v.Name)
+	}
+	c.views[v.Name] = v
+	return nil
+}
+
+// resolveName tries the name as written, then with the "mseed." schema
+// prefix, so REPL users can say "dataview" for "mseed.dataview".
+func resolveName(name string) []string {
+	if strings.Contains(name, ".") {
+		return []string{name}
+	}
+	return []string{name, "mseed." + name}
+}
+
+// Table looks up a table by (possibly unqualified) name.
+func (c *Catalog) Table(name string) (*TableDef, bool) {
+	for _, n := range resolveName(name) {
+		if t, ok := c.tables[n]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// View looks up a view by (possibly unqualified) name.
+func (c *Catalog) View(name string) (*ViewDef, bool) {
+	for _, n := range resolveName(name) {
+		if v, ok := c.views[n]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Tables returns all table definitions, sorted by name.
+func (c *Catalog) Tables() []*TableDef {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	out := make([]*TableDef, len(names))
+	for i, n := range names {
+		out[i] = c.tables[n]
+	}
+	return out
+}
+
+// Views returns all view definitions, sorted by name.
+func (c *Catalog) Views() []*ViewDef {
+	names := make([]string, 0, len(c.views))
+	for n := range c.views {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	out := make([]*ViewDef, len(names))
+	for i, n := range names {
+		out[i] = c.views[n]
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

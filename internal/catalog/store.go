@@ -1,0 +1,113 @@
+package catalog
+
+import (
+	"fmt"
+
+	"repro/internal/column"
+)
+
+// Store holds the loaded contents of base tables, one batch per table.
+// In eager mode all three tables are populated; in lazy mode only the two
+// metadata tables are (mseed.data stays empty and is produced at query time
+// by the lazy extraction operators).
+type Store struct {
+	cat  *Catalog
+	data map[string]*column.Batch
+}
+
+// NewStore creates a store with an empty batch per catalog table.
+func NewStore(cat *Catalog) *Store {
+	s := &Store{cat: cat, data: make(map[string]*column.Batch)}
+	for _, t := range cat.Tables() {
+		cols := make([]*column.Column, len(t.Columns))
+		for i, cd := range t.Columns {
+			cols[i] = column.New(cd.Name, cd.Type)
+		}
+		s.data[t.Name] = column.MustNewBatch(cols...)
+	}
+	return s
+}
+
+// Catalog returns the schema registry.
+func (s *Store) Catalog() *Catalog { return s.cat }
+
+// Table returns the loaded batch of a base table.
+func (s *Store) Table(name string) (*column.Batch, error) {
+	t, ok := s.cat.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return s.data[t.Name], nil
+}
+
+// AppendRow appends one row of values to a table, checked against the
+// table definition.
+func (s *Store) AppendRow(table string, vals ...column.Value) error {
+	t, ok := s.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("catalog: unknown table %q", table)
+	}
+	b := s.data[t.Name]
+	if len(vals) != b.NumCols() {
+		return fmt.Errorf("catalog: %s has %d columns, got %d values", table, b.NumCols(), len(vals))
+	}
+	for i, v := range vals {
+		if err := b.ColAt(i).AppendValue(v); err != nil {
+			return fmt.Errorf("catalog: %s: %w", table, err)
+		}
+	}
+	return nil
+}
+
+// Replace swaps in a fully built batch for a table (bulk loading). The
+// batch column names and types must match the definition.
+func (s *Store) Replace(table string, b *column.Batch) error {
+	t, ok := s.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("catalog: unknown table %q", table)
+	}
+	if b.NumCols() != len(t.Columns) {
+		return fmt.Errorf("catalog: %s has %d columns, batch has %d", table, len(t.Columns), b.NumCols())
+	}
+	for i, cd := range t.Columns {
+		c := b.ColAt(i)
+		if c.Name() != cd.Name || c.Type() != cd.Type {
+			return fmt.Errorf("catalog: %s column %d: batch has %s %v, want %s %v",
+				table, i, c.Name(), c.Type(), cd.Name, cd.Type)
+		}
+	}
+	s.data[t.Name] = b
+	return nil
+}
+
+// Truncate empties a table.
+func (s *Store) Truncate(table string) error {
+	t, ok := s.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("catalog: unknown table %q", table)
+	}
+	cols := make([]*column.Column, len(t.Columns))
+	for i, cd := range t.Columns {
+		cols[i] = column.New(cd.Name, cd.Type)
+	}
+	s.data[t.Name] = column.MustNewBatch(cols...)
+	return nil
+}
+
+// Bytes reports the in-memory footprint of all loaded tables.
+func (s *Store) Bytes() int64 {
+	var n int64
+	for _, b := range s.data {
+		n += b.Bytes()
+	}
+	return n
+}
+
+// Rows reports the row count of a table (0 for unknown names).
+func (s *Store) Rows(table string) int {
+	t, ok := s.cat.Table(table)
+	if !ok {
+		return 0
+	}
+	return s.data[t.Name].NumRows()
+}

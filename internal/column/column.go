@@ -1,0 +1,240 @@
+package column
+
+import (
+	"fmt"
+)
+
+// Column is an append-only typed vector with a name. Integer-family types
+// (Int64, Timestamp, Bool) share the ints slice; Float64 uses floats;
+// String uses strs. Nulls are tracked in a lazily allocated bitmap-like
+// slice (nil when the column has no nulls, the common case).
+type Column struct {
+	name  string
+	typ   Type
+	ints  []int64
+	fls   []float64
+	strs  []string
+	nulls []bool // nil == no nulls anywhere
+}
+
+// New creates an empty column.
+func New(name string, typ Type) *Column {
+	return &Column{name: name, typ: typ}
+}
+
+// NewInt64s creates an Int64 column wrapping vals (not copied).
+func NewInt64s(name string, vals []int64) *Column {
+	return &Column{name: name, typ: Int64, ints: vals}
+}
+
+// NewTimestamps creates a Timestamp column wrapping nanosecond values.
+func NewTimestamps(name string, ns []int64) *Column {
+	return &Column{name: name, typ: Timestamp, ints: ns}
+}
+
+// NewFloat64s creates a Float64 column wrapping vals (not copied).
+func NewFloat64s(name string, vals []float64) *Column {
+	return &Column{name: name, typ: Float64, fls: vals}
+}
+
+// NewStrings creates a String column wrapping vals (not copied).
+func NewStrings(name string, vals []string) *Column {
+	return &Column{name: name, typ: String, strs: vals}
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Type returns the column type.
+func (c *Column) Type() Type { return c.typ }
+
+// WithName returns a shallow copy of the column under a new name; the
+// underlying vectors are shared.
+func (c *Column) WithName(name string) *Column {
+	cp := *c
+	cp.name = name
+	return &cp
+}
+
+// Len returns the number of values.
+func (c *Column) Len() int {
+	switch c.typ {
+	case Float64:
+		return len(c.fls)
+	case String:
+		return len(c.strs)
+	default:
+		return len(c.ints)
+	}
+}
+
+// growNulls extends the null bitmap to the current length if allocated.
+func (c *Column) growNulls(isNull bool) {
+	if c.nulls == nil && !isNull {
+		return
+	}
+	if c.nulls == nil {
+		c.nulls = make([]bool, c.Len()-1)
+	}
+	c.nulls = append(c.nulls, isNull)
+}
+
+// AppendInt64 appends to an Int64, Timestamp or Bool column.
+func (c *Column) AppendInt64(v int64) {
+	c.ints = append(c.ints, v)
+	c.growNulls(false)
+}
+
+// AppendFloat64 appends to a Float64 column.
+func (c *Column) AppendFloat64(v float64) {
+	c.fls = append(c.fls, v)
+	c.growNulls(false)
+}
+
+// AppendString appends to a String column.
+func (c *Column) AppendString(v string) {
+	c.strs = append(c.strs, v)
+	c.growNulls(false)
+}
+
+// AppendNull appends a null value.
+func (c *Column) AppendNull() {
+	switch c.typ {
+	case Float64:
+		c.fls = append(c.fls, 0)
+	case String:
+		c.strs = append(c.strs, "")
+	default:
+		c.ints = append(c.ints, 0)
+	}
+	c.growNulls(true)
+}
+
+// AppendValue appends a Value, which must match the column type (Int64 and
+// Timestamp are interchangeable).
+func (c *Column) AppendValue(v Value) error {
+	if v.Null {
+		c.AppendNull()
+		return nil
+	}
+	switch c.typ {
+	case Float64:
+		if !v.Type.Numeric() {
+			return fmt.Errorf("column %s: cannot append %v to DOUBLE", c.name, v.Type)
+		}
+		c.AppendFloat64(v.AsFloat())
+	case String:
+		if v.Type != String {
+			return fmt.Errorf("column %s: cannot append %v to VARCHAR", c.name, v.Type)
+		}
+		c.AppendString(v.S)
+	case Int64, Timestamp, Bool:
+		if !v.Type.Numeric() && v.Type != Bool {
+			return fmt.Errorf("column %s: cannot append %v to %v", c.name, v.Type, c.typ)
+		}
+		c.AppendInt64(v.AsInt())
+	}
+	return nil
+}
+
+// IsNull reports whether the i-th value is null.
+func (c *Column) IsNull(i int) bool {
+	return c.nulls != nil && c.nulls[i]
+}
+
+// Value returns the i-th value boxed.
+func (c *Column) Value(i int) Value {
+	if c.IsNull(i) {
+		return NewNull(c.typ)
+	}
+	switch c.typ {
+	case Float64:
+		return NewFloat64(c.fls[i])
+	case String:
+		return NewString(c.strs[i])
+	case Bool:
+		return Value{Type: Bool, I: c.ints[i]}
+	case Timestamp:
+		return NewTimestamp(c.ints[i])
+	default:
+		return NewInt64(c.ints[i])
+	}
+}
+
+// Int64s exposes the raw integer vector (Int64, Timestamp, Bool columns).
+func (c *Column) Int64s() []int64 { return c.ints }
+
+// Float64s exposes the raw float vector.
+func (c *Column) Float64s() []float64 { return c.fls }
+
+// Strings exposes the raw string vector.
+func (c *Column) Strings() []string { return c.strs }
+
+// Gather builds a new column containing the rows selected by sel, in order.
+func (c *Column) Gather(sel []int32) *Column {
+	out := New(c.name, c.typ)
+	switch c.typ {
+	case Float64:
+		out.fls = make([]float64, len(sel))
+		for i, s := range sel {
+			out.fls[i] = c.fls[s]
+		}
+	case String:
+		out.strs = make([]string, len(sel))
+		for i, s := range sel {
+			out.strs[i] = c.strs[s]
+		}
+	default:
+		out.ints = make([]int64, len(sel))
+		for i, s := range sel {
+			out.ints[i] = c.ints[s]
+		}
+	}
+	if c.nulls != nil {
+		out.nulls = make([]bool, len(sel))
+		for i, s := range sel {
+			out.nulls[i] = c.nulls[s]
+		}
+	}
+	return out
+}
+
+// AppendColumn appends all values of other (same type) to c.
+func (c *Column) AppendColumn(other *Column) error {
+	if c.typ != other.typ {
+		return fmt.Errorf("column %s: cannot append %v column to %v column", c.name, other.typ, c.typ)
+	}
+	before := c.Len()
+	switch c.typ {
+	case Float64:
+		c.fls = append(c.fls, other.fls...)
+	case String:
+		c.strs = append(c.strs, other.strs...)
+	default:
+		c.ints = append(c.ints, other.ints...)
+	}
+	if c.nulls != nil || other.nulls != nil {
+		if c.nulls == nil {
+			c.nulls = make([]bool, before)
+		}
+		if other.nulls == nil {
+			c.nulls = append(c.nulls, make([]bool, other.Len())...)
+		} else {
+			c.nulls = append(c.nulls, other.nulls...)
+		}
+	}
+	return nil
+}
+
+// Bytes estimates the in-memory footprint of the column's data vectors,
+// used by the warehouse to report storage sizes (experiment E3).
+func (c *Column) Bytes() int64 {
+	var n int64
+	n += int64(len(c.ints)) * 8
+	n += int64(len(c.fls)) * 8
+	for _, s := range c.strs {
+		n += int64(len(s)) + 16 // string header
+	}
+	n += int64(len(c.nulls))
+	return n
+}

@@ -1,0 +1,62 @@
+package etl
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestParallelExtractionMatchesSequential runs the same lazy query with a
+// sequential and a parallel extractor and requires identical aggregates
+// and identical work accounting.
+func TestParallelExtractionMatchesSequential(t *testing.T) {
+	q := `SELECT F.station, COUNT(*), MIN(D.sample_value), MAX(D.sample_value), AVG(D.sample_value)
+	      FROM mseed.dataview WHERE F.channel = 'BHZ' GROUP BY F.station ORDER BY F.station`
+
+	seq, seqStore, _ := newEngine(t, 3000, Options{Parallelism: 1})
+	if _, err := seq.LoadMetadata(); err != nil {
+		t.Fatal(err)
+	}
+	par, parStore, _ := newEngine(t, 3000, Options{Parallelism: 8})
+	if _, err := par.LoadMetadata(); err != nil {
+		t.Fatal(err)
+	}
+
+	sRes := runLazyQuery(t, seq, seqStore, q)
+	pRes := runLazyQuery(t, par, parStore, q)
+	if sRes.String() != pRes.String() {
+		t.Errorf("results differ:\nsequential:\n%v\nparallel:\n%v", sRes, pRes)
+	}
+	ss, ps := seq.ExtractionStats(), par.ExtractionStats()
+	if ss.Extractions != ps.Extractions || ss.FilesTouched != ps.FilesTouched || ss.SamplesServed != ps.SamplesServed {
+		t.Errorf("work accounting differs: sequential %+v, parallel %+v", ss, ps)
+	}
+	// Warm runs are all cache reads for both.
+	runLazyQuery(t, par, parStore, q)
+	if got := par.ExtractionStats().Extractions; got != ps.Extractions {
+		t.Errorf("warm parallel run extracted again: %d -> %d", ps.Extractions, got)
+	}
+}
+
+// TestParallelExtractionPropagatesErrors removes one qualifying file after
+// metadata load: every worker path must surface the failure.
+func TestParallelExtractionPropagatesErrors(t *testing.T) {
+	e, store, _ := newEngine(t, 800, Options{Parallelism: 4})
+	if _, err := e.LoadMetadata(); err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for _, f := range e.Repository().Files {
+		if strings.Contains(f.URI, "BHZ") {
+			victim = f.AbsPath
+			break
+		}
+	}
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	_, err := runLazyQueryErr(e, store, `SELECT COUNT(*) FROM mseed.dataview WHERE F.channel = 'BHZ'`)
+	if err == nil {
+		t.Fatal("expected error after removing a qualifying file")
+	}
+}

@@ -1,0 +1,248 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/column"
+	"repro/internal/sql"
+)
+
+// AggSpec describes one aggregate to compute.
+type AggSpec struct {
+	Func     string   // AVG, MIN, MAX, SUM, COUNT (upper-case)
+	Arg      sql.Expr // nil for COUNT(*)
+	Star     bool
+	Distinct bool
+	OutName  string // output column name
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count    int64
+	sum      float64
+	intSum   int64
+	min, max column.Value
+	seen     map[string]bool // COUNT(DISTINCT ...)
+	any      bool
+}
+
+// outType determines the aggregate's result type from its input type.
+func aggOutType(fn string, in column.Type) (column.Type, error) {
+	switch fn {
+	case "COUNT":
+		return column.Int64, nil
+	case "AVG":
+		if !in.Numeric() {
+			return 0, fmt.Errorf("exec: AVG over %v", in)
+		}
+		return column.Float64, nil
+	case "SUM":
+		if !in.Numeric() {
+			return 0, fmt.Errorf("exec: SUM over %v", in)
+		}
+		if in == column.Float64 {
+			return column.Float64, nil
+		}
+		return column.Int64, nil
+	case "MIN", "MAX":
+		return in, nil
+	default:
+		return 0, fmt.Errorf("exec: unknown aggregate %q", fn)
+	}
+}
+
+// Aggregate groups the batch by the groupBy expressions and computes the
+// aggregates. The output has one column per group-by expression (named by
+// its SQL text) followed by one column per AggSpec. With no group-by
+// expressions, a single global group is produced (even over zero rows, per
+// SQL semantics: COUNT is 0, other aggregates NULL).
+func Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*column.Batch, error) {
+	// Evaluate group keys and aggregate arguments once, vectorized.
+	keyCols := make([]*column.Column, len(groupBy))
+	for i, g := range groupBy {
+		c, err := Eval(g, b)
+		if err != nil {
+			return nil, err
+		}
+		keyCols[i] = c
+	}
+	argCols := make([]*column.Column, len(aggs))
+	for i, a := range aggs {
+		if a.Star {
+			continue
+		}
+		c, err := Eval(a.Arg, b)
+		if err != nil {
+			return nil, err
+		}
+		argCols[i] = c
+	}
+
+	type group struct {
+		firstRow int
+		states   []*aggState
+	}
+	groups := make(map[string]*group)
+	var order []string // first-appearance order
+
+	encodeKey := func(row int) string {
+		var sb strings.Builder
+		for _, kc := range keyCols {
+			if kc.IsNull(row) {
+				sb.WriteString("\x00N")
+			} else {
+				sb.WriteString(kc.Value(row).String())
+			}
+			sb.WriteByte(0)
+		}
+		return sb.String()
+	}
+
+	n := b.NumRows()
+	for row := 0; row < n; row++ {
+		k := encodeKey(row)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{firstRow: row, states: make([]*aggState, len(aggs))}
+			for i := range aggs {
+				g.states[i] = &aggState{}
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, spec := range aggs {
+			st := g.states[i]
+			if spec.Star {
+				st.count++
+				continue
+			}
+			ac := argCols[i]
+			if ac.IsNull(row) {
+				continue // aggregates ignore nulls
+			}
+			v := ac.Value(row)
+			if spec.Distinct {
+				if st.seen == nil {
+					st.seen = make(map[string]bool)
+				}
+				key := v.String()
+				if st.seen[key] {
+					continue
+				}
+				st.seen[key] = true
+			}
+			st.count++
+			switch ac.Type() {
+			case column.Float64:
+				st.sum += v.F
+			case column.String:
+				// only MIN/MAX/COUNT meaningful; sum unused
+			default:
+				st.intSum += v.I
+				st.sum += float64(v.I)
+			}
+			if !st.any {
+				st.min, st.max = v, v
+				st.any = true
+			} else {
+				if c, err := column.Compare(v, st.min); err == nil && c < 0 {
+					st.min = v
+				}
+				if c, err := column.Compare(v, st.max); err == nil && c > 0 {
+					st.max = v
+				}
+			}
+		}
+	}
+
+	// Global aggregate over empty input still yields one group.
+	if len(groupBy) == 0 && len(order) == 0 {
+		g := &group{firstRow: -1, states: make([]*aggState, len(aggs))}
+		for i := range aggs {
+			g.states[i] = &aggState{}
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	// Assemble output columns.
+	var outCols []*column.Column
+	for i, g := range groupBy {
+		oc := column.New(g.String(), keyCols[i].Type())
+		for _, k := range order {
+			row := groups[k].firstRow
+			if err := appendFrom(oc, keyCols[i], row); err != nil {
+				return nil, err
+			}
+		}
+		outCols = append(outCols, oc)
+	}
+	for i, spec := range aggs {
+		inType := column.Int64
+		if argCols[i] != nil {
+			inType = argCols[i].Type()
+		}
+		ot, err := aggOutType(spec.Func, inType)
+		if err != nil {
+			return nil, err
+		}
+		oc := column.New(spec.OutName, ot)
+		for _, k := range order {
+			st := groups[k].states[i]
+			if err := appendAggResult(oc, spec.Func, st); err != nil {
+				return nil, err
+			}
+		}
+		outCols = append(outCols, oc)
+	}
+	return column.NewBatch(outCols...)
+}
+
+func appendFrom(dst, src *column.Column, row int) error {
+	if src.IsNull(row) {
+		dst.AppendNull()
+		return nil
+	}
+	return dst.AppendValue(src.Value(row))
+}
+
+func appendAggResult(dst *column.Column, fn string, st *aggState) error {
+	switch fn {
+	case "COUNT":
+		dst.AppendInt64(st.count)
+		return nil
+	case "AVG":
+		if st.count == 0 {
+			dst.AppendNull()
+			return nil
+		}
+		dst.AppendFloat64(st.sum / float64(st.count))
+		return nil
+	case "SUM":
+		if st.count == 0 {
+			dst.AppendNull()
+			return nil
+		}
+		if dst.Type() == column.Int64 {
+			dst.AppendInt64(st.intSum)
+		} else {
+			dst.AppendFloat64(st.sum)
+		}
+		return nil
+	case "MIN":
+		if !st.any {
+			dst.AppendNull()
+			return nil
+		}
+		return dst.AppendValue(st.min)
+	case "MAX":
+		if !st.any {
+			dst.AppendNull()
+			return nil
+		}
+		return dst.AppendValue(st.max)
+	default:
+		return fmt.Errorf("exec: unknown aggregate %q", fn)
+	}
+}

@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/column"
+	"repro/internal/sql"
+)
+
+// benchBatch builds an n-row batch shaped like the dataview's hot columns.
+func benchBatch(n int) *column.Batch {
+	rng := rand.New(rand.NewSource(11))
+	stations := []string{"ISK", "HGN", "DBN", "WIT", "ROLD"}
+	st := make([]string, n)
+	vals := make([]float64, n)
+	ids := make([]int64, n)
+	ts := make([]int64, n)
+	for i := 0; i < n; i++ {
+		st[i] = stations[rng.Intn(len(stations))]
+		vals[i] = rng.NormFloat64() * 1000
+		ids[i] = int64(i % 64)
+		ts[i] = int64(i) * 25_000_000
+	}
+	return column.MustNewBatch(
+		column.NewStrings("station", st),
+		column.NewFloat64s("v", vals),
+		column.NewInt64s("file_id", ids),
+		column.NewTimestamps("t", ts),
+	)
+}
+
+func benchPred(b *testing.B, src string) sql.Expr {
+	b.Helper()
+	stmt, err := sql.Parse("SELECT x FROM t WHERE " + src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return stmt.Where
+}
+
+func BenchmarkFilterNumeric(b *testing.B) {
+	batch := benchBatch(100_000)
+	pred := benchPred(b, "v > 500")
+	b.SetBytes(int64(batch.NumRows()) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalPredicate(pred, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterStringEq(b *testing.B) {
+	batch := benchBatch(100_000)
+	pred := benchPred(b, "station = 'ISK'")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalPredicate(pred, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterConjunction(b *testing.B) {
+	batch := benchBatch(100_000)
+	pred := benchPred(b, "station = 'ISK' AND v > 0 AND t < '1970-01-02'")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalPredicate(pred, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoinIntKey(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		left := benchBatch(n)
+		right := column.MustNewBatch(
+			column.NewInt64s("rid", func() []int64 {
+				out := make([]int64, 64)
+				for i := range out {
+					out[i] = int64(i)
+				}
+				return out
+			}()),
+			column.NewStrings("tag", make([]string, 64)),
+		)
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := HashJoin(left, right, []string{"file_id"}, []string{"rid"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAggregateGrouped(b *testing.B) {
+	batch := benchBatch(100_000)
+	groupBy := []sql.Expr{&sql.ColumnRef{Name: "station"}}
+	aggs := []AggSpec{
+		{Func: "COUNT", Star: true, OutName: "COUNT(*)"},
+		{Func: "AVG", Arg: &sql.ColumnRef{Name: "v"}, OutName: "AVG(v)"},
+		{Func: "MIN", Arg: &sql.ColumnRef{Name: "v"}, OutName: "MIN(v)"},
+		{Func: "MAX", Arg: &sql.ColumnRef{Name: "v"}, OutName: "MAX(v)"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Aggregate(batch, groupBy, aggs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSortByTimestamp(b *testing.B) {
+	batch := benchBatch(50_000)
+	keys := []SortKey{{Expr: &sql.ColumnRef{Name: "v"}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sort(batch, keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLikePattern(b *testing.B) {
+	batch := benchBatch(100_000)
+	pred := benchPred(b, "station LIKE '%S%'")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalPredicate(pred, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,449 @@
+// Package exec implements the vectorized execution engine: expression
+// evaluation over column batches and the physical operators (filter,
+// project, hash join, group-aggregate, sort, limit) that the planner's
+// logical plans lower to.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/column"
+	"repro/internal/sql"
+)
+
+// Eval evaluates an expression over every row of the batch, returning a
+// column of len(batch) results. Comparison and boolean operators yield Bool
+// columns. String literals compared against Timestamp columns are coerced
+// by parsing them as timestamps (this is how the paper's queries filter
+// sample_time with string literals).
+func Eval(e sql.Expr, b *column.Batch) (*column.Column, error) {
+	switch x := e.(type) {
+	case *sql.Literal:
+		return broadcast(x.Val, b.NumRows()), nil
+
+	case *sql.ColumnRef:
+		c, ok := b.Col(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown column %q (have %v)", x.Name, b.Names())
+		}
+		return c, nil
+
+	case *sql.Unary:
+		inner, err := Eval(x.X, b)
+		if err != nil {
+			return nil, err
+		}
+		return evalUnary(x.Op, inner)
+
+	case *sql.Binary:
+		return evalBinary(x, b)
+
+	case *sql.IsNull:
+		inner, err := Eval(x.X, b)
+		if err != nil {
+			return nil, err
+		}
+		out := column.New("", column.Bool)
+		for i := 0; i < inner.Len(); i++ {
+			if inner.IsNull(i) != x.Not {
+				out.AppendInt64(1)
+			} else {
+				out.AppendInt64(0)
+			}
+		}
+		return out, nil
+
+	case *sql.Call:
+		return nil, fmt.Errorf("exec: aggregate %s outside of an aggregation context", x.Func)
+
+	default:
+		return nil, fmt.Errorf("exec: unsupported expression %T", e)
+	}
+}
+
+// broadcast builds a constant column of n rows.
+func broadcast(v column.Value, n int) *column.Column {
+	c := column.New("", v.Type)
+	for i := 0; i < n; i++ {
+		if v.Null {
+			c.AppendNull()
+			continue
+		}
+		switch v.Type {
+		case column.Float64:
+			c.AppendFloat64(v.F)
+		case column.String:
+			c.AppendString(v.S)
+		default:
+			c.AppendInt64(v.I)
+		}
+	}
+	return c
+}
+
+func evalUnary(op string, in *column.Column) (*column.Column, error) {
+	n := in.Len()
+	switch op {
+	case "NOT":
+		if in.Type() != column.Bool {
+			return nil, fmt.Errorf("exec: NOT over %v", in.Type())
+		}
+		out := column.New("", column.Bool)
+		ints := in.Int64s()
+		for i := 0; i < n; i++ {
+			if in.IsNull(i) {
+				out.AppendNull()
+			} else if ints[i] == 0 {
+				out.AppendInt64(1)
+			} else {
+				out.AppendInt64(0)
+			}
+		}
+		return out, nil
+	case "-":
+		switch in.Type() {
+		case column.Float64:
+			out := column.New("", column.Float64)
+			for i, v := range in.Float64s() {
+				if in.IsNull(i) {
+					out.AppendNull()
+				} else {
+					out.AppendFloat64(-v)
+				}
+			}
+			return out, nil
+		case column.Int64, column.Timestamp:
+			out := column.New("", column.Int64)
+			for i, v := range in.Int64s() {
+				if in.IsNull(i) {
+					out.AppendNull()
+				} else {
+					out.AppendInt64(-v)
+				}
+			}
+			return out, nil
+		}
+		return nil, fmt.Errorf("exec: unary minus over %v", in.Type())
+	default:
+		return nil, fmt.Errorf("exec: unknown unary operator %q", op)
+	}
+}
+
+func evalBinary(x *sql.Binary, b *column.Batch) (*column.Column, error) {
+	switch x.Op {
+	case sql.OpAnd, sql.OpOr:
+		l, err := Eval(x.L, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(x.R, b)
+		if err != nil {
+			return nil, err
+		}
+		if l.Type() != column.Bool || r.Type() != column.Bool {
+			return nil, fmt.Errorf("exec: %s over %v and %v", x.Op, l.Type(), r.Type())
+		}
+		out := column.New("", column.Bool)
+		li, ri := l.Int64s(), r.Int64s()
+		and := x.Op == sql.OpAnd
+		for i := range li {
+			lv := !l.IsNull(i) && li[i] != 0
+			rv := !r.IsNull(i) && ri[i] != 0
+			var res bool
+			if and {
+				res = lv && rv
+			} else {
+				res = lv || rv
+			}
+			if res {
+				out.AppendInt64(1)
+			} else {
+				out.AppendInt64(0)
+			}
+		}
+		return out, nil
+	}
+
+	l, err := Eval(x.L, b)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Eval(x.R, b)
+	if err != nil {
+		return nil, err
+	}
+	if x.Op == sql.OpLike {
+		return evalLike(l, r)
+	}
+	l, r, err = coerce(l, r)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %s: %w", x, err)
+	}
+
+	if x.Op.Comparison() {
+		return evalComparison(x.Op, l, r)
+	}
+	return evalArith(x.Op, l, r)
+}
+
+// evalLike matches strings against SQL LIKE patterns: '%' matches any run
+// (including empty), '_' matches exactly one byte. Nulls yield false.
+func evalLike(l, r *column.Column) (*column.Column, error) {
+	if l.Type() != column.String || r.Type() != column.String {
+		return nil, fmt.Errorf("exec: LIKE needs strings, got %v and %v", l.Type(), r.Type())
+	}
+	out := column.New("", column.Bool)
+	ls, rs := l.Strings(), r.Strings()
+	for i := range ls {
+		if !l.IsNull(i) && !r.IsNull(i) && matchLike(ls[i], rs[i]) {
+			out.AppendInt64(1)
+		} else {
+			out.AppendInt64(0)
+		}
+	}
+	return out, nil
+}
+
+// matchLike implements LIKE with iterative backtracking over '%'.
+func matchLike(s, pat string) bool {
+	si, pi := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star, mark = pi, si
+			pi++
+		case star >= 0:
+			// Backtrack: let the last '%' absorb one more byte.
+			mark++
+			si, pi = mark, star+1
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+// coerce reconciles operand types: a String column paired with a Timestamp
+// column is parsed as timestamps; Int64 pairs with Float64 by promotion
+// (handled inside the kernels via float conversion).
+func coerce(l, r *column.Column) (*column.Column, *column.Column, error) {
+	lt, rt := l.Type(), r.Type()
+	if lt == rt {
+		return l, r, nil
+	}
+	if lt == column.Timestamp && rt == column.String {
+		rc, err := parseTimestampColumn(r)
+		return l, rc, err
+	}
+	if lt == column.String && rt == column.Timestamp {
+		lc, err := parseTimestampColumn(l)
+		return lc, r, err
+	}
+	if lt.Numeric() && rt.Numeric() {
+		return l, r, nil
+	}
+	return nil, nil, fmt.Errorf("cannot combine %v with %v", lt, rt)
+}
+
+func parseTimestampColumn(c *column.Column) (*column.Column, error) {
+	out := column.New(c.Name(), column.Timestamp)
+	for i, s := range c.Strings() {
+		if c.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		ns, err := column.ParseTimestamp(s)
+		if err != nil {
+			return nil, err
+		}
+		out.AppendInt64(ns)
+	}
+	return out, nil
+}
+
+// hasFloat reports whether either column needs float comparison.
+func hasFloat(l, r *column.Column) bool {
+	return l.Type() == column.Float64 || r.Type() == column.Float64
+}
+
+// numsAsFloat converts the i-th value to float64 (numeric columns only).
+func numAsFloat(c *column.Column, i int) float64 {
+	if c.Type() == column.Float64 {
+		return c.Float64s()[i]
+	}
+	return float64(c.Int64s()[i])
+}
+
+func evalComparison(op sql.BinaryOp, l, r *column.Column) (*column.Column, error) {
+	n := l.Len()
+	out := column.New("", column.Bool)
+	appendBool := func(v bool) {
+		if v {
+			out.AppendInt64(1)
+		} else {
+			out.AppendInt64(0)
+		}
+	}
+	cmpToBool := func(c int) bool {
+		switch op {
+		case sql.OpEq:
+			return c == 0
+		case sql.OpNe:
+			return c != 0
+		case sql.OpLt:
+			return c < 0
+		case sql.OpLe:
+			return c <= 0
+		case sql.OpGt:
+			return c > 0
+		default: // OpGe
+			return c >= 0
+		}
+	}
+
+	switch {
+	case l.Type() == column.String && r.Type() == column.String:
+		ls, rs := l.Strings(), r.Strings()
+		for i := 0; i < n; i++ {
+			if l.IsNull(i) || r.IsNull(i) {
+				appendBool(false)
+				continue
+			}
+			var c int
+			switch {
+			case ls[i] < rs[i]:
+				c = -1
+			case ls[i] > rs[i]:
+				c = 1
+			}
+			appendBool(cmpToBool(c))
+		}
+	case hasFloat(l, r):
+		for i := 0; i < n; i++ {
+			if l.IsNull(i) || r.IsNull(i) {
+				appendBool(false)
+				continue
+			}
+			lv, rv := numAsFloat(l, i), numAsFloat(r, i)
+			var c int
+			switch {
+			case lv < rv:
+				c = -1
+			case lv > rv:
+				c = 1
+			}
+			appendBool(cmpToBool(c))
+		}
+	default: // integer-family on both sides
+		li, ri := l.Int64s(), r.Int64s()
+		for i := 0; i < n; i++ {
+			if l.IsNull(i) || r.IsNull(i) {
+				appendBool(false)
+				continue
+			}
+			var c int
+			switch {
+			case li[i] < ri[i]:
+				c = -1
+			case li[i] > ri[i]:
+				c = 1
+			}
+			appendBool(cmpToBool(c))
+		}
+	}
+	return out, nil
+}
+
+func evalArith(op sql.BinaryOp, l, r *column.Column) (*column.Column, error) {
+	if !l.Type().Numeric() || !r.Type().Numeric() {
+		return nil, fmt.Errorf("exec: arithmetic over %v and %v", l.Type(), r.Type())
+	}
+	n := l.Len()
+	// Integer arithmetic stays integral except division, which is float (so
+	// averages like SUM(x)/COUNT(*) behave as users expect).
+	if l.Type() != column.Float64 && r.Type() != column.Float64 && op != sql.OpDiv {
+		out := column.New("", column.Int64)
+		li, ri := l.Int64s(), r.Int64s()
+		for i := 0; i < n; i++ {
+			if l.IsNull(i) || r.IsNull(i) {
+				out.AppendNull()
+				continue
+			}
+			switch op {
+			case sql.OpAdd:
+				out.AppendInt64(li[i] + ri[i])
+			case sql.OpSub:
+				out.AppendInt64(li[i] - ri[i])
+			case sql.OpMul:
+				out.AppendInt64(li[i] * ri[i])
+			}
+		}
+		return out, nil
+	}
+	out := column.New("", column.Float64)
+	for i := 0; i < n; i++ {
+		if l.IsNull(i) || r.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		lv, rv := numAsFloat(l, i), numAsFloat(r, i)
+		switch op {
+		case sql.OpAdd:
+			out.AppendFloat64(lv + rv)
+		case sql.OpSub:
+			out.AppendFloat64(lv - rv)
+		case sql.OpMul:
+			out.AppendFloat64(lv * rv)
+		case sql.OpDiv:
+			if rv == 0 {
+				out.AppendFloat64(math.NaN())
+			} else {
+				out.AppendFloat64(lv / rv)
+			}
+		}
+	}
+	return out, nil
+}
+
+// EvalPredicate evaluates a boolean expression and returns the selection
+// vector of rows where it is true.
+func EvalPredicate(e sql.Expr, b *column.Batch) ([]int32, error) {
+	c, err := Eval(e, b)
+	if err != nil {
+		return nil, err
+	}
+	if c.Type() != column.Bool {
+		return nil, fmt.Errorf("exec: predicate %s has type %v, want BOOLEAN", e, c.Type())
+	}
+	var sel []int32
+	for i, v := range c.Int64s() {
+		if v != 0 && !c.IsNull(i) {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel, nil
+}
+
+// Filter returns the batch restricted to rows satisfying all predicates.
+func Filter(b *column.Batch, preds []sql.Expr) (*column.Batch, error) {
+	if len(preds) == 0 {
+		return b, nil
+	}
+	cur := b
+	for _, p := range preds {
+		sel, err := EvalPredicate(p, cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = cur.Gather(sel)
+	}
+	return cur, nil
+}

@@ -1,0 +1,147 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/column"
+)
+
+// HashJoin performs an inner equi-join of left and right on the named key
+// columns (leftKeys[i] pairs with rightKeys[i]). The output contains all
+// left columns followed by all right columns except the right key columns
+// (they duplicate the left keys by definition of the join).
+//
+// The hash table is built on the right input; probe order (and therefore
+// output order) follows the left input, which keeps metadata-first plans
+// producing deterministically ordered intermediates.
+func HashJoin(left, right *column.Batch, leftKeys, rightKeys []string) (*column.Batch, error) {
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		return nil, fmt.Errorf("exec: join needs matching non-empty key lists, got %v and %v", leftKeys, rightKeys)
+	}
+	lkc, err := keyColumns(left, leftKeys)
+	if err != nil {
+		return nil, err
+	}
+	rkc, err := keyColumns(right, rightKeys)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fast path: up to two integer-family key columns pack into a [2]int64.
+	intKeys := true
+	for i := range lkc {
+		if !intFamily(lkc[i].Type()) || !intFamily(rkc[i].Type()) {
+			intKeys = false
+			break
+		}
+	}
+
+	var lsel, rsel []int32
+	if intKeys && len(lkc) <= 2 {
+		lsel, rsel = joinIntKeys(lkc, rkc, left.NumRows(), right.NumRows())
+	} else {
+		lsel, rsel = joinGenericKeys(lkc, rkc, left.NumRows(), right.NumRows())
+	}
+
+	out := left.Gather(lsel)
+	rightOut := right.Gather(rsel)
+	skip := make(map[string]bool, len(rightKeys))
+	for _, k := range rightKeys {
+		skip[k] = true
+	}
+	for i := 0; i < rightOut.NumCols(); i++ {
+		c := rightOut.ColAt(i)
+		if skip[c.Name()] {
+			continue
+		}
+		if err := out.AddColumn(c); err != nil {
+			return nil, fmt.Errorf("exec: join output: %w", err)
+		}
+	}
+	return out, nil
+}
+
+func keyColumns(b *column.Batch, names []string) ([]*column.Column, error) {
+	out := make([]*column.Column, len(names))
+	for i, n := range names {
+		c, ok := b.Col(n)
+		if !ok {
+			return nil, fmt.Errorf("exec: join key %q not found (have %v)", n, b.Names())
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+func intFamily(t column.Type) bool {
+	return t == column.Int64 || t == column.Timestamp || t == column.Bool
+}
+
+func joinIntKeys(lkc, rkc []*column.Column, ln, rn int) (lsel, rsel []int32) {
+	key := func(cols []*column.Column, i int) [2]int64 {
+		var k [2]int64
+		for j, c := range cols {
+			k[j] = c.Int64s()[i]
+		}
+		return k
+	}
+	ht := make(map[[2]int64][]int32, rn)
+	for i := 0; i < rn; i++ {
+		if nullKey(rkc, i) {
+			continue
+		}
+		k := key(rkc, i)
+		ht[k] = append(ht[k], int32(i))
+	}
+	for i := 0; i < ln; i++ {
+		if nullKey(lkc, i) {
+			continue
+		}
+		for _, ri := range ht[key(lkc, i)] {
+			lsel = append(lsel, int32(i))
+			rsel = append(rsel, ri)
+		}
+	}
+	return lsel, rsel
+}
+
+func joinGenericKeys(lkc, rkc []*column.Column, ln, rn int) (lsel, rsel []int32) {
+	key := func(cols []*column.Column, i int) string {
+		var sb strings.Builder
+		for _, c := range cols {
+			sb.WriteString(c.Value(i).String())
+			sb.WriteByte(0)
+		}
+		return sb.String()
+	}
+	ht := make(map[string][]int32, rn)
+	for i := 0; i < rn; i++ {
+		if nullKey(rkc, i) {
+			continue
+		}
+		k := key(rkc, i)
+		ht[k] = append(ht[k], int32(i))
+	}
+	for i := 0; i < ln; i++ {
+		if nullKey(lkc, i) {
+			continue
+		}
+		for _, ri := range ht[key(lkc, i)] {
+			lsel = append(lsel, int32(i))
+			rsel = append(rsel, ri)
+		}
+	}
+	return lsel, rsel
+}
+
+// nullKey reports whether any key column is null at row i (null keys never
+// join, per SQL semantics).
+func nullKey(cols []*column.Column, i int) bool {
+	for _, c := range cols {
+		if c.IsNull(i) {
+			return true
+		}
+	}
+	return false
+}

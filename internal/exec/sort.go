@@ -1,0 +1,86 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/column"
+	"repro/internal/sql"
+)
+
+// SortKey is one ORDER BY key for Sort.
+type SortKey struct {
+	Expr sql.Expr
+	Desc bool
+}
+
+// Sort returns the batch reordered by the keys (stable).
+func Sort(b *column.Batch, keys []SortKey) (*column.Batch, error) {
+	if len(keys) == 0 || b.NumRows() <= 1 {
+		return b, nil
+	}
+	keyCols := make([]*column.Column, len(keys))
+	for i, k := range keys {
+		c, err := Eval(k.Expr, b)
+		if err != nil {
+			return nil, err
+		}
+		keyCols[i] = c
+	}
+	sel := make([]int32, b.NumRows())
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	var sortErr error
+	sort.SliceStable(sel, func(a, z int) bool {
+		ia, iz := int(sel[a]), int(sel[z])
+		for ki, kc := range keyCols {
+			c, err := column.Compare(kc.Value(ia), kc.Value(iz))
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if keys[ki].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, fmt.Errorf("exec: sort: %w", sortErr)
+	}
+	return b.Gather(sel), nil
+}
+
+// Limit returns at most n leading rows of the batch.
+func Limit(b *column.Batch, n int64) *column.Batch {
+	if n < 0 || int64(b.NumRows()) <= n {
+		return b
+	}
+	sel := make([]int32, n)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	return b.Gather(sel)
+}
+
+// Project evaluates each expression over the batch and returns them as a
+// new batch under the given names.
+func Project(b *column.Batch, exprs []sql.Expr, names []string) (*column.Batch, error) {
+	if len(exprs) != len(names) {
+		return nil, fmt.Errorf("exec: project has %d exprs and %d names", len(exprs), len(names))
+	}
+	cols := make([]*column.Column, len(exprs))
+	for i, e := range exprs {
+		c, err := Eval(e, b)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c.WithName(names[i])
+	}
+	return column.NewBatch(cols...)
+}

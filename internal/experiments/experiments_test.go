@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment smoke tests fast.
+func tinyConfig(t *testing.T) Config {
+	return Config{
+		WorkDir:       t.TempDir(),
+		Days:          []int{1},
+		SamplesPerDay: 1500,
+		Seed:          9,
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	// E7/E8 generate their own full-day repositories (86400 samples per
+	// series) which dominates runtime; they still finish in seconds.
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, tinyConfig(t)); err != nil {
+				t.Fatalf("%s: %v\noutput so far:\n%s", e.ID, err, buf.String())
+			}
+			out := buf.String()
+			if !strings.Contains(out, "shape check") && e.ID != "e7" {
+				t.Errorf("%s output lacks a shape check note:\n%s", e.ID, out)
+			}
+			if strings.Count(out, "\n") < 4 {
+				t.Errorf("%s output suspiciously short:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("e5"); !ok {
+		t.Error("e5 not found")
+	}
+	if _, ok := Lookup("e99"); ok {
+		t.Error("e99 found")
+	}
+	if len(All()) != 9 {
+		t.Errorf("experiment count = %d, want 9", len(All()))
+	}
+}
+
+func TestE7AgreementEnforced(t *testing.T) {
+	// E7 returns an error if modes disagree; a normal run must not.
+	var buf bytes.Buffer
+	if err := E7(&buf, tinyConfig(t)); err != nil {
+		t.Fatalf("E7: %v", err)
+	}
+	if !strings.Contains(buf.String(), "all modes agree: true") {
+		t.Errorf("E7 output lacks agreement confirmation:\n%s", buf.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var buf bytes.Buffer
+	tb := newTable(&buf, "a", "long_header")
+	tb.addRow("1", "2")
+	tb.addRow("333", "4")
+	tb.flush()
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Aligned columns: all lines the same width family.
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("no separator: %q", lines[1])
+	}
+}

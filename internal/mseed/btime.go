@@ -1,0 +1,79 @@
+package mseed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// BTime is the SEED binary time structure: a calendar timestamp with
+// 0.1-millisecond resolution, stored as year + day-of-year.
+type BTime struct {
+	Year   uint16 // e.g. 2010
+	Doy    uint16 // day of year, 1-366
+	Hour   uint8  // 0-23
+	Minute uint8  // 0-59
+	Second uint8  // 0-59 (60 never used; SEED has no leap-second flag here)
+	Fract  uint16 // 0.0001 s units, 0-9999
+}
+
+const btimeSize = 10
+
+// BTimeFromTime converts a time.Time to a BTime, truncating to 0.1 ms.
+func BTimeFromTime(t time.Time) BTime {
+	t = t.UTC()
+	return BTime{
+		Year:   uint16(t.Year()),
+		Doy:    uint16(t.YearDay()),
+		Hour:   uint8(t.Hour()),
+		Minute: uint8(t.Minute()),
+		Second: uint8(t.Second()),
+		Fract:  uint16(t.Nanosecond() / 100_000),
+	}
+}
+
+// Time converts the BTime to a time.Time in UTC.
+func (b BTime) Time() time.Time {
+	return time.Date(int(b.Year), 1, 1, int(b.Hour), int(b.Minute), int(b.Second),
+		int(b.Fract)*100_000, time.UTC).
+		AddDate(0, 0, int(b.Doy)-1)
+}
+
+// UnixNanos returns the BTime as nanoseconds since the Unix epoch.
+func (b BTime) UnixNanos() int64 { return b.Time().UnixNano() }
+
+// Valid reports whether all fields are within their SEED-defined ranges.
+func (b BTime) Valid() bool {
+	return b.Year >= 1900 && b.Year <= 2500 &&
+		b.Doy >= 1 && b.Doy <= 366 &&
+		b.Hour <= 23 && b.Minute <= 59 && b.Second <= 59 &&
+		b.Fract <= 9999
+}
+
+func (b BTime) String() string {
+	return fmt.Sprintf("%04d,%03d,%02d:%02d:%02d.%04d",
+		b.Year, b.Doy, b.Hour, b.Minute, b.Second, b.Fract)
+}
+
+// marshal writes the 10-byte binary form using the given byte order.
+func (b BTime) marshal(buf []byte, order binary.ByteOrder) {
+	order.PutUint16(buf[0:2], b.Year)
+	order.PutUint16(buf[2:4], b.Doy)
+	buf[4] = b.Hour
+	buf[5] = b.Minute
+	buf[6] = b.Second
+	buf[7] = 0 // unused alignment byte
+	order.PutUint16(buf[8:10], b.Fract)
+}
+
+// unmarshalBTime parses the 10-byte binary form using the given byte order.
+func unmarshalBTime(buf []byte, order binary.ByteOrder) BTime {
+	return BTime{
+		Year:   order.Uint16(buf[0:2]),
+		Doy:    order.Uint16(buf[2:4]),
+		Hour:   buf[4],
+		Minute: buf[5],
+		Second: buf[6],
+		Fract:  order.Uint16(buf[8:10]),
+	}
+}

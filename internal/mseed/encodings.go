@@ -1,0 +1,107 @@
+package mseed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+func float32FromBits(b uint32) float32 { return math.Float32frombits(b) }
+
+// rawSampleSize returns the byte width of one sample for the fixed-width
+// encodings, or 0 for compressed/unsupported encodings.
+func rawSampleSize(e Encoding) int {
+	switch e {
+	case EncodingInt16:
+		return 2
+	case EncodingInt32, EncodingFloat32:
+		return 4
+	case EncodingFloat64:
+		return 8
+	}
+	return 0
+}
+
+// encodeRaw packs samples with a fixed-width encoding into payload,
+// returning the number of samples written (bounded by payload capacity).
+func encodeRaw(payload []byte, samples []int32, e Encoding, order binary.ByteOrder) (int, error) {
+	size := rawSampleSize(e)
+	if size == 0 {
+		return 0, fmt.Errorf("%w: %v", ErrBadEncoding, e)
+	}
+	n := len(payload) / size
+	if n > len(samples) {
+		n = len(samples)
+	}
+	for i := 0; i < n; i++ {
+		switch e {
+		case EncodingInt16:
+			v := samples[i]
+			if v > math.MaxInt16 || v < math.MinInt16 {
+				return 0, fmt.Errorf("mseed: sample %d out of INT16 range", v)
+			}
+			order.PutUint16(payload[i*2:], uint16(int16(v)))
+		case EncodingInt32:
+			order.PutUint32(payload[i*4:], uint32(samples[i]))
+		case EncodingFloat32:
+			order.PutUint32(payload[i*4:], math.Float32bits(float32(samples[i])))
+		case EncodingFloat64:
+			order.PutUint64(payload[i*8:], math.Float64bits(float64(samples[i])))
+		}
+	}
+	return n, nil
+}
+
+// decodeRaw unpacks numSamples fixed-width samples as int32 counts.
+// Float payloads are truncated toward zero; use decodeRawFloats to keep
+// fractional parts.
+func decodeRaw(payload []byte, numSamples int, e Encoding, order binary.ByteOrder) ([]int32, error) {
+	size := rawSampleSize(e)
+	if size == 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, e)
+	}
+	if len(payload) < numSamples*size {
+		return nil, fmt.Errorf("%w: need %d bytes for %d %v samples, have %d",
+			ErrShortRecord, numSamples*size, numSamples, e, len(payload))
+	}
+	out := make([]int32, numSamples)
+	for i := range out {
+		switch e {
+		case EncodingInt16:
+			out[i] = int32(int16(order.Uint16(payload[i*2:])))
+		case EncodingInt32:
+			out[i] = int32(order.Uint32(payload[i*4:]))
+		case EncodingFloat32:
+			out[i] = int32(math.Float32frombits(order.Uint32(payload[i*4:])))
+		case EncodingFloat64:
+			out[i] = int32(math.Float64frombits(order.Uint64(payload[i*8:])))
+		}
+	}
+	return out, nil
+}
+
+// decodeRawFloats unpacks numSamples fixed-width samples as float64.
+func decodeRawFloats(payload []byte, numSamples int, e Encoding, order binary.ByteOrder) ([]float64, error) {
+	size := rawSampleSize(e)
+	if size == 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, e)
+	}
+	if len(payload) < numSamples*size {
+		return nil, fmt.Errorf("%w: need %d bytes for %d %v samples, have %d",
+			ErrShortRecord, numSamples*size, numSamples, e, len(payload))
+	}
+	out := make([]float64, numSamples)
+	for i := range out {
+		switch e {
+		case EncodingInt16:
+			out[i] = float64(int16(order.Uint16(payload[i*2:])))
+		case EncodingInt32:
+			out[i] = float64(int32(order.Uint32(payload[i*4:])))
+		case EncodingFloat32:
+			out[i] = float64(math.Float32frombits(order.Uint32(payload[i*4:])))
+		case EncodingFloat64:
+			out[i] = math.Float64frombits(order.Uint64(payload[i*8:]))
+		}
+	}
+	return out, nil
+}

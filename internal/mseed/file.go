@@ -1,0 +1,101 @@
+package mseed
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// RecordInfo locates one record within a file and carries its parsed
+// header. It is the unit of metadata produced by a header-only scan and
+// consumed by lazy payload extraction.
+type RecordInfo struct {
+	Header *Header
+	Offset int64 // byte offset of the record within the file
+}
+
+// ScanHeaders walks the records of an mSEED stream reading only the fixed
+// header and blockettes of each (headerScanSize bytes per record). Payloads
+// are never touched, which is what makes metadata-only loading cheap.
+func ScanHeaders(ra io.ReaderAt, size int64) ([]RecordInfo, error) {
+	var infos []RecordInfo
+	buf := make([]byte, headerScanSize)
+	var off int64
+	for off < size {
+		n, err := ra.ReadAt(buf, off)
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("mseed: scan at offset %d: %w", off, err)
+		}
+		if n < fixedHeaderSize {
+			return nil, fmt.Errorf("%w: %d trailing bytes at offset %d", ErrShortRecord, n, off)
+		}
+		h, err := parseHeader(buf[:n])
+		if err != nil {
+			return nil, fmt.Errorf("mseed: record at offset %d: %w", off, err)
+		}
+		if off+int64(h.RecordLength) > size {
+			return nil, fmt.Errorf("%w: record at offset %d extends past end of file", ErrShortRecord, off)
+		}
+		infos = append(infos, RecordInfo{Header: h, Offset: off})
+		off += int64(h.RecordLength)
+	}
+	return infos, nil
+}
+
+// ScanFile runs ScanHeaders over a file on disk.
+func ScanFile(path string) ([]RecordInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return ScanHeaders(f, st.Size())
+}
+
+// ReadRecordSamples reads and decodes the payload of one previously scanned
+// record. Only the payload bytes are read from the source.
+func ReadRecordSamples(ra io.ReaderAt, ri RecordInfo) ([]int32, error) {
+	h := ri.Header
+	payload := make([]byte, h.RecordLength-h.DataOffset)
+	if _, err := ra.ReadAt(payload, ri.Offset+int64(h.DataOffset)); err != nil {
+		return nil, fmt.Errorf("mseed: read payload at offset %d: %w", ri.Offset, err)
+	}
+	return DecodePayload(h, payload)
+}
+
+// Record pairs a header with its decoded samples, as returned by ReadFile.
+type Record struct {
+	Header  *Header
+	Samples []int32
+}
+
+// ReadFile fully decodes every record in the file — the eager path.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	infos, err := ScanHeaders(f, st.Size())
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]Record, 0, len(infos))
+	for _, ri := range infos {
+		samples, err := ReadRecordSamples(f, ri)
+		if err != nil {
+			return nil, fmt.Errorf("mseed: %s seq %d: %w", path, ri.Header.SeqNo, err)
+		}
+		recs = append(recs, Record{Header: ri.Header, Samples: samples})
+	}
+	return recs, nil
+}

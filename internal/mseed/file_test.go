@@ -1,0 +1,229 @@
+package mseed
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func sineSamples(n int, amp, period float64) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(amp * math.Sin(2*math.Pi*float64(i)/period))
+	}
+	return out
+}
+
+func writeTestFile(t *testing.T, path string, opts SeriesOptions, n int) []int32 {
+	t.Helper()
+	samples := sineSamples(n, 8000, 37)
+	start := time.Date(2010, 1, 12, 0, 0, 0, 0, time.UTC)
+	if _, err := WriteSeriesFile(path, opts, start, samples); err != nil {
+		t.Fatalf("WriteSeriesFile: %v", err)
+	}
+	return samples
+}
+
+func TestWriteSeriesAndReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "NL.HGN..BHZ.mseed")
+	opts := SeriesOptions{
+		Network: "NL", Station: "HGN", Channel: "BHZ",
+		SampleRate: 40, Encoding: EncodingSteim2, RecordLength: 512,
+	}
+	samples := writeTestFile(t, path, opts, 5000)
+
+	recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("expected multiple records, got %d", len(recs))
+	}
+	var got []int32
+	total := 0
+	lastEnd := int64(0)
+	for i, r := range recs {
+		if r.Header.SeqNo != i+1 {
+			t.Errorf("record %d: seq = %d", i, r.Header.SeqNo)
+		}
+		if r.Header.Station != "HGN" || r.Header.Network != "NL" {
+			t.Errorf("record %d: codes %s", i, r.Header.SourceID())
+		}
+		if s := r.Header.StartNanos(); s < lastEnd {
+			t.Errorf("record %d starts (%d) before previous ends (%d)", i, s, lastEnd)
+		}
+		lastEnd = r.Header.EndNanos()
+		got = append(got, r.Samples...)
+		total += r.Header.NumSamples
+	}
+	if total != len(samples) {
+		t.Fatalf("total samples = %d, want %d", total, len(samples))
+	}
+	for i := range samples {
+		if got[i] != samples[i] {
+			t.Fatalf("sample %d: got %d, want %d", i, got[i], samples[i])
+		}
+	}
+}
+
+func TestScanHeadersReadsNoPayload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.mseed")
+	opts := SeriesOptions{
+		Network: "NL", Station: "DBN", Channel: "BHN",
+		SampleRate: 40, Encoding: EncodingSteim2,
+	}
+	writeTestFile(t, path, opts, 3000)
+
+	infos, err := ScanFile(path)
+	if err != nil {
+		t.Fatalf("ScanFile: %v", err)
+	}
+	st, _ := os.Stat(path)
+	if got := int64(len(infos)) * 512; got != st.Size() {
+		t.Errorf("scan found %d records covering %d bytes; file is %d bytes",
+			len(infos), got, st.Size())
+	}
+	// Offsets and record lengths must tile the file.
+	for i, ri := range infos {
+		if ri.Offset != int64(i)*512 {
+			t.Errorf("record %d at offset %d, want %d", i, ri.Offset, int64(i)*512)
+		}
+		if ri.Header.RecordLength != 512 {
+			t.Errorf("record %d length %d", i, ri.Header.RecordLength)
+		}
+		if ri.Header.NumSamples == 0 {
+			t.Errorf("record %d declares zero samples", i)
+		}
+	}
+}
+
+func TestReadRecordSamplesSelective(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "y.mseed")
+	opts := SeriesOptions{
+		Network: "KO", Station: "ISK", Channel: "BHE",
+		SampleRate: 20, Encoding: EncodingSteim1,
+	}
+	samples := writeTestFile(t, path, opts, 2500)
+
+	infos, err := ScanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Read only the middle record and verify it against the source series.
+	mid := len(infos) / 2
+	skip := 0
+	for _, ri := range infos[:mid] {
+		skip += ri.Header.NumSamples
+	}
+	got, err := ReadRecordSamples(f, infos[mid])
+	if err != nil {
+		t.Fatalf("ReadRecordSamples: %v", err)
+	}
+	for i, v := range got {
+		if v != samples[skip+i] {
+			t.Fatalf("sample %d of record %d: got %d, want %d", i, mid, v, samples[skip+i])
+		}
+	}
+}
+
+func TestWriteSeriesRecordStartTimes(t *testing.T) {
+	var buf bytes.Buffer
+	opts := SeriesOptions{
+		Network: "NL", Station: "HGN", Channel: "BHZ",
+		SampleRate: 40, Encoding: EncodingInt32, RecordLength: 512,
+	}
+	start := time.Date(2010, 1, 12, 0, 0, 0, 0, time.UTC)
+	samples := sineSamples(500, 100, 9)
+	if _, err := WriteSeries(&buf, opts, start, samples); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := ScanHeaders(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// INT32, 512-byte records, 64-byte header: 112 samples per record.
+	wantPerRec := (512 - 64) / 4
+	cursor := start.UnixNano()
+	for i, ri := range infos {
+		if got := ri.Header.StartNanos(); got != cursor {
+			t.Errorf("record %d start = %d, want %d", i, got, cursor)
+		}
+		cursor += int64(float64(ri.Header.NumSamples) / 40 * 1e9)
+		if i < len(infos)-1 && ri.Header.NumSamples != wantPerRec {
+			t.Errorf("record %d has %d samples, want %d", i, ri.Header.NumSamples, wantPerRec)
+		}
+	}
+}
+
+func TestWriteSeriesValidation(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := WriteSeries(&buf, SeriesOptions{SampleRate: 0}, time.Now(), []int32{1})
+	if err == nil {
+		t.Error("expected error for zero sample rate")
+	}
+	_, err = WriteSeries(&buf, SeriesOptions{SampleRate: 40, RecordLength: 333}, time.Now(), []int32{1})
+	if err == nil {
+		t.Error("expected error for bad record length")
+	}
+	// Empty series writes nothing and succeeds.
+	n, err := WriteSeries(&buf, SeriesOptions{SampleRate: 40}, time.Now(), nil)
+	if n != 0 || err != nil {
+		t.Errorf("empty series: n=%d err=%v", n, err)
+	}
+}
+
+func TestScanHeadersRejectsGarbage(t *testing.T) {
+	junk := bytes.Repeat([]byte{0xAB}, 1024)
+	if _, err := ScanHeaders(bytes.NewReader(junk), int64(len(junk))); err == nil {
+		t.Error("expected error scanning garbage")
+	}
+	if _, err := ScanHeaders(bytes.NewReader(junk[:20]), 20); err == nil {
+		t.Error("expected error scanning a short fragment")
+	}
+}
+
+func TestScanFileMissing(t *testing.T) {
+	if _, err := ScanFile(filepath.Join(t.TempDir(), "nope.mseed")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestFileSizeCompression(t *testing.T) {
+	// A Steim2 file of a low-amplitude series must be much smaller than the
+	// raw INT32 representation — this is the storage asymmetry that E3
+	// (the 10x claim) builds on.
+	dir := t.TempDir()
+	n := 50_000
+	samples := make([]int32, n)
+	v := int32(0)
+	for i := range samples {
+		v += int32(i%9) - 4
+		samples[i] = v
+	}
+	start := time.Date(2010, 1, 12, 0, 0, 0, 0, time.UTC)
+	p1 := filepath.Join(dir, "steim2.mseed")
+	p2 := filepath.Join(dir, "int32.mseed")
+	if _, err := WriteSeriesFile(p1, SeriesOptions{Network: "NL", Station: "A", Channel: "BHZ", SampleRate: 40, Encoding: EncodingSteim2}, start, samples); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSeriesFile(p2, SeriesOptions{Network: "NL", Station: "A", Channel: "BHZ", SampleRate: 40, Encoding: EncodingInt32}, start, samples); err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := os.Stat(p1)
+	s2, _ := os.Stat(p2)
+	if s1.Size()*2 >= s2.Size() {
+		t.Errorf("steim2 file (%d B) not at least 2x smaller than int32 file (%d B)", s1.Size(), s2.Size())
+	}
+}

@@ -1,0 +1,171 @@
+package mseed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// maxRecordSamples is the most samples one record can declare; the fixed
+// header stores the count in a uint16.
+const maxRecordSamples = math.MaxUint16
+
+// log2RecordLength returns the blockette-1000 record-length exponent, or an
+// error if n is not a power of two in the SEED-legal range.
+func log2RecordLength(n int) (uint8, error) {
+	for exp := uint8(7); exp <= 16; exp++ {
+		if 1<<exp == n {
+			return exp, nil
+		}
+	}
+	return 0, fmt.Errorf("mseed: record length %d is not a power of two in [128, 65536]", n)
+}
+
+// EncodeRecord serializes one record. The header h provides the codes,
+// start time, rate, encoding and record length; NumSamples, DataOffset and
+// BlocketteOffset are set by this function. prev is the last sample of the
+// preceding record (used for Steim difference continuity; ignored by raw
+// encodings). Not all samples may fit; the returned count says how many
+// were consumed, and h.NumSamples is updated to match.
+func EncodeRecord(h *Header, samples []int32, prev int32) ([]byte, int, error) {
+	exp, err := log2RecordLength(h.RecordLength)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(samples) == 0 {
+		return nil, 0, fmt.Errorf("mseed: cannot encode an empty record")
+	}
+	if len(samples) > maxRecordSamples {
+		samples = samples[:maxRecordSamples]
+	}
+
+	order := binary.ByteOrder(binary.BigEndian)
+	h.BigEndian = true
+	h.BlocketteOffset = fixedHeaderSize
+	h.DataOffset = 64
+	if h.ActualRate != 0 {
+		h.DataOffset = 128
+	}
+	if h.RecordLength < h.DataOffset+steimFrameSize {
+		return nil, 0, fmt.Errorf("mseed: record length %d too small for header and payload", h.RecordLength)
+	}
+
+	buf := make([]byte, h.RecordLength)
+	payload := buf[h.DataOffset:]
+
+	var consumed int
+	switch h.Encoding {
+	case EncodingSteim1, EncodingSteim2:
+		packings := steim1Packings
+		if h.Encoding == EncodingSteim2 {
+			packings = steim2Packings
+		}
+		frames := len(payload) / steimFrameSize
+		enc, n, err := steimEncode(samples, prev, frames, packings, order)
+		if err != nil {
+			return nil, 0, err
+		}
+		copy(payload, enc)
+		consumed = n
+	default:
+		n, err := encodeRaw(payload, samples, h.Encoding, order)
+		if err != nil {
+			return nil, 0, err
+		}
+		consumed = n
+	}
+	if consumed == 0 {
+		return nil, 0, fmt.Errorf("mseed: record length %d fits no samples", h.RecordLength)
+	}
+
+	h.NumSamples = consumed
+	marshalHeader(buf[:fixedHeaderSize], h, order)
+
+	// Blockette 1000.
+	b := buf[fixedHeaderSize:]
+	order.PutUint16(b[0:2], 1000)
+	next := uint16(0)
+	if h.ActualRate != 0 {
+		next = fixedHeaderSize + 8
+	}
+	order.PutUint16(b[2:4], next)
+	b[4] = uint8(h.Encoding)
+	b[5] = 1 // big-endian
+	b[6] = exp
+	b[7] = 0
+
+	// Blockette 100 (actual sample rate), when requested.
+	if h.ActualRate != 0 {
+		b = buf[fixedHeaderSize+8:]
+		order.PutUint16(b[0:2], 100)
+		order.PutUint16(b[2:4], 0)
+		order.PutUint32(b[4:8], math.Float32bits(float32(h.ActualRate)))
+	}
+	return buf, consumed, nil
+}
+
+// ParseRecordHeader parses the fixed header and blockettes of one record.
+// buf needs to cover the header and blockette chain (64 bytes for records
+// written by this package); the payload is not touched.
+func ParseRecordHeader(buf []byte) (*Header, error) {
+	return parseHeader(buf)
+}
+
+// DecodeRecord parses a complete record: header, blockettes and payload.
+func DecodeRecord(buf []byte) (*Header, []int32, error) {
+	h, err := parseHeader(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(buf) < h.RecordLength {
+		return nil, nil, fmt.Errorf("%w: header declares %d bytes, buffer has %d",
+			ErrShortRecord, h.RecordLength, len(buf))
+	}
+	samples, err := DecodePayload(h, buf[h.DataOffset:h.RecordLength])
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, samples, nil
+}
+
+// DecodePayload decodes the sample payload of a record whose header has
+// already been parsed. payload must span from the header's data offset to
+// the end of the record.
+func DecodePayload(h *Header, payload []byte) ([]int32, error) {
+	order := byteOrder(h)
+	switch h.Encoding {
+	case EncodingSteim1:
+		return steimDecode(payload, h.NumSamples, false, order)
+	case EncodingSteim2:
+		return steimDecode(payload, h.NumSamples, true, order)
+	default:
+		return decodeRaw(payload, h.NumSamples, h.Encoding, order)
+	}
+}
+
+// DecodePayloadFloats is DecodePayload converting to float64 and keeping
+// fractional parts for float encodings.
+func DecodePayloadFloats(h *Header, payload []byte) ([]float64, error) {
+	order := byteOrder(h)
+	switch h.Encoding {
+	case EncodingSteim1, EncodingSteim2:
+		ints, err := steimDecode(payload, h.NumSamples, h.Encoding == EncodingSteim2, order)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(ints))
+		for i, v := range ints {
+			out[i] = float64(v)
+		}
+		return out, nil
+	default:
+		return decodeRawFloats(payload, h.NumSamples, h.Encoding, order)
+	}
+}
+
+func byteOrder(h *Header) binary.ByteOrder {
+	if h.BigEndian {
+		return binary.BigEndian
+	}
+	return binary.LittleEndian
+}

@@ -1,0 +1,308 @@
+package mseed
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func steimRoundTrip(t *testing.T, samples []int32, steim2 bool) {
+	t.Helper()
+	packings := steim1Packings
+	if steim2 {
+		packings = steim2Packings
+	}
+	frames := len(samples)/2 + 3 // generous capacity
+	payload, n, err := steimEncode(samples, samples[0], frames, packings, binary.BigEndian)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if n != len(samples) {
+		t.Fatalf("encode consumed %d of %d samples despite ample frames", n, len(samples))
+	}
+	got, err := steimDecode(payload, n, steim2, binary.BigEndian)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range samples {
+		if got[i] != samples[i] {
+			t.Fatalf("sample %d: got %d, want %d", i, got[i], samples[i])
+		}
+	}
+}
+
+func TestSteim1RoundTripBasic(t *testing.T) {
+	steimRoundTrip(t, []int32{1, 2, 3, 4, 5, 6, 7, 8}, false)
+}
+
+func TestSteim2RoundTripBasic(t *testing.T) {
+	steimRoundTrip(t, []int32{1, 2, 3, 4, 5, 6, 7, 8}, true)
+}
+
+func TestSteimRoundTripSingleSample(t *testing.T) {
+	steimRoundTrip(t, []int32{-42}, false)
+	steimRoundTrip(t, []int32{-42}, true)
+}
+
+func TestSteimRoundTripConstant(t *testing.T) {
+	samples := make([]int32, 1000)
+	for i := range samples {
+		samples[i] = 12345
+	}
+	steimRoundTrip(t, samples, false)
+	steimRoundTrip(t, samples, true)
+}
+
+func TestSteimRoundTripLargeJumps(t *testing.T) {
+	// Differences needing the widest Steim2 representation (30-bit): each
+	// consecutive difference here stays within [-2^29, 2^29).
+	samples := []int32{0, 1 << 20, -(1 << 20), 1 << 28, 0, -(1 << 28), 0, 536870911, 42}
+	steimRoundTrip(t, samples, true)
+}
+
+func TestSteim1FullInt32Differences(t *testing.T) {
+	// Steim1 code-3 carries full 32-bit differences; values chosen so the
+	// diffs stay within int32.
+	samples := []int32{0, math.MaxInt32, 0, math.MinInt32 + 1, 0}
+	_ = samples
+	// MaxInt32 diff from 0 fits int32; MinInt32+1 - 0 fits too.
+	steimRoundTrip(t, samples, false)
+}
+
+func TestSteim2DiffOverflow(t *testing.T) {
+	// A difference of 2^30 cannot be represented in Steim2's 30-bit code.
+	samples := []int32{0, 1 << 30}
+	_, _, err := steimEncode(samples, 0, 8, steim2Packings, binary.BigEndian)
+	if err == nil {
+		t.Fatal("expected ErrSteimDiffRange, got nil")
+	}
+}
+
+func TestSteimRoundTripSineWave(t *testing.T) {
+	samples := make([]int32, 5000)
+	for i := range samples {
+		samples[i] = int32(20000 * math.Sin(float64(i)/30))
+	}
+	steimRoundTrip(t, samples, false)
+	steimRoundTrip(t, samples, true)
+}
+
+func TestSteimRoundTripRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, span := range []int32{3, 100, 5000, 1 << 20} {
+		samples := make([]int32, 2000)
+		v := int32(0)
+		for i := range samples {
+			v += rng.Int31n(2*span+1) - span
+			samples[i] = v
+		}
+		steimRoundTrip(t, samples, false)
+		steimRoundTrip(t, samples, true)
+	}
+}
+
+func TestSteimEncodePartialWhenFramesExhausted(t *testing.T) {
+	samples := make([]int32, 10000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range samples {
+		samples[i] = rng.Int31n(1 << 24) // wide diffs, low compressibility
+	}
+	payload, n, err := steimEncode(samples, 0, 7, steim2Packings, binary.BigEndian)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if n == 0 || n >= len(samples) {
+		t.Fatalf("expected partial consumption, got %d of %d", n, len(samples))
+	}
+	got, err := steimDecode(payload, n, true, binary.BigEndian)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != samples[i] {
+			t.Fatalf("sample %d: got %d, want %d", i, got[i], samples[i])
+		}
+	}
+}
+
+func TestSteimDecodeIntegrityCheck(t *testing.T) {
+	samples := []int32{1, 2, 3, 4, 5}
+	payload, n, err := steimEncode(samples, 1, 2, steim1Packings, binary.BigEndian)
+	if err != nil || n != len(samples) {
+		t.Fatalf("encode: n=%d err=%v", n, err)
+	}
+	// Corrupt XN (frame 0 word 2).
+	binary.BigEndian.PutUint32(payload[8:12], 999)
+	if _, err := steimDecode(payload, n, false, binary.BigEndian); err == nil {
+		t.Fatal("expected integrity error after corrupting XN")
+	}
+}
+
+func TestSteimDecodeRejectsBadLength(t *testing.T) {
+	if _, err := steimDecode(make([]byte, 63), 5, false, binary.BigEndian); err == nil {
+		t.Fatal("expected error for non-frame-multiple payload")
+	}
+	if _, err := steimDecode(nil, 5, true, binary.BigEndian); err == nil {
+		t.Fatal("expected error for empty payload")
+	}
+}
+
+func TestSteimDecodeTooFewDifferences(t *testing.T) {
+	samples := []int32{1, 2, 3}
+	payload, _, err := steimEncode(samples, 1, 1, steim1Packings, binary.BigEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := steimDecode(payload, 1000, false, binary.BigEndian); err == nil {
+		t.Fatal("expected error when more samples declared than encoded")
+	}
+}
+
+func TestSteimZeroSamples(t *testing.T) {
+	got, err := steimDecode(make([]byte, 64), 0, false, binary.BigEndian)
+	if err != nil || got != nil {
+		t.Fatalf("decode of 0 samples: got %v, %v", got, err)
+	}
+	payload, n, err := steimEncode(nil, 0, 4, steim1Packings, binary.BigEndian)
+	if payload != nil || n != 0 || err != nil {
+		t.Fatalf("encode of 0 samples: %v %d %v", payload, n, err)
+	}
+}
+
+func TestSteimLittleEndian(t *testing.T) {
+	samples := []int32{10, -20, 30, -40, 50}
+	payload, n, err := steimEncode(samples, 10, 2, steim2Packings, binary.LittleEndian)
+	if err != nil || n != len(samples) {
+		t.Fatalf("encode: n=%d err=%v", n, err)
+	}
+	got, err := steimDecode(payload, n, true, binary.LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range samples {
+		if got[i] != samples[i] {
+			t.Fatalf("sample %d: got %d want %d", i, got[i], samples[i])
+		}
+	}
+}
+
+// quickSamples bounds raw quick-generated data to Steim2-encodable series:
+// consecutive differences must fit in 30 bits signed.
+func quickSamples(raw []int32) []int32 {
+	if len(raw) == 0 {
+		return []int32{0}
+	}
+	out := make([]int32, len(raw))
+	v := int32(0)
+	for i, r := range raw {
+		v += r % (1 << 20) // bounded step keeps diffs well inside range
+		out[i] = v
+	}
+	return out
+}
+
+func TestSteim1PropertyQuick(t *testing.T) {
+	f := func(raw []int32) bool {
+		samples := quickSamples(raw)
+		payload, n, err := steimEncode(samples, samples[0], len(samples)+4, steim1Packings, binary.BigEndian)
+		if err != nil || n != len(samples) {
+			return false
+		}
+		got, err := steimDecode(payload, n, false, binary.BigEndian)
+		if err != nil {
+			return false
+		}
+		for i := range samples {
+			if got[i] != samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteim2PropertyQuick(t *testing.T) {
+	f := func(raw []int32) bool {
+		samples := quickSamples(raw)
+		payload, n, err := steimEncode(samples, samples[0], len(samples)+4, steim2Packings, binary.BigEndian)
+		if err != nil || n != len(samples) {
+			return false
+		}
+		got, err := steimDecode(payload, n, true, binary.BigEndian)
+		if err != nil {
+			return false
+		}
+		for i := range samples {
+			if got[i] != samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteim2CompressionRatio(t *testing.T) {
+	// Small differences should compress far better than 4 bytes/sample.
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]int32, 4000)
+	v := int32(0)
+	for i := range samples {
+		v += rng.Int31n(15) - 7
+		samples[i] = v
+	}
+	payload, n, err := steimEncode(samples, samples[0], 1000, steim2Packings, binary.BigEndian)
+	if err != nil || n != len(samples) {
+		t.Fatalf("encode: n=%d err=%v", n, err)
+	}
+	// Count frames actually used (until consumption stopped).
+	bytesPerSample := float64(len(payload)) / float64(n)
+	// With |diff| <= 7, Steim2 packs 7 diffs per word: ~0.6 B/sample + frame
+	// overhead. Anything under 1.5 B/sample proves compression works.
+	if bytesPerSample > 1.5 {
+		t.Errorf("Steim2 used %.2f bytes/sample on small-diff data, want < 1.5", bytesPerSample)
+	}
+}
+
+func TestFitsSigned(t *testing.T) {
+	cases := []struct {
+		v    int64
+		bits uint
+		want bool
+	}{
+		{0, 4, true}, {7, 4, true}, {8, 4, false}, {-8, 4, true}, {-9, 4, false},
+		{127, 8, true}, {128, 8, false}, {-128, 8, true}, {-129, 8, false},
+		{1<<29 - 1, 30, true}, {1 << 29, 30, false}, {-(1 << 29), 30, true},
+		{math.MaxInt32, 32, true}, {math.MinInt32, 32, true},
+		{math.MaxInt64, 64, true},
+	}
+	for _, c := range cases {
+		if got := fitsSigned(c.v, c.bits); got != c.want {
+			t.Errorf("fitsSigned(%d, %d) = %v, want %v", c.v, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		bits uint
+		want int32
+	}{
+		{0xF, 4, -1}, {0x7, 4, 7}, {0x8, 4, -8},
+		{0xFF, 8, -1}, {0x7F, 8, 127},
+		{0x3FFFFFFF, 30, -1}, {0x1FFFFFFF, 30, 1<<29 - 1},
+	}
+	for _, c := range cases {
+		if got := signExtend(c.v, c.bits); got != c.want {
+			t.Errorf("signExtend(%#x, %d) = %d, want %d", c.v, c.bits, got, c.want)
+		}
+	}
+}

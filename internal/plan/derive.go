@@ -1,0 +1,90 @@
+package plan
+
+import (
+	"repro/internal/sql"
+)
+
+// deriveIntervalPreds infers sound metadata predicates from data predicates
+// over D.sample_time. A record (or file) can only contain a sample with
+// time t if its [start_time, end_time] interval covers t, so:
+//
+//	D.sample_time >  L  implies  R.end_time   >  L  and  F.end_time   >  L
+//	D.sample_time >= L  implies  R.end_time   >= L  and  F.end_time   >= L
+//	D.sample_time <  U  implies  R.start_time <  U  and  F.start_time <  U
+//	D.sample_time <= U  implies  R.start_time <= U  and  F.start_time <= U
+//	D.sample_time =  T  implies  both bounds
+//
+// Only conjuncts of the literal-vs-column shape participate; anything else
+// (ORs, arithmetic, column-vs-column) is left alone. The derived conjuncts
+// are supersets of the qualifying set — they prune, never change results.
+//
+// This generalizes the paper's demo queries, which carry explicit
+// R.start_time predicates precisely because record pruning needs them; the
+// derivation makes the pruning automatic.
+func deriveIntervalPreds(dPreds []sql.Expr) (fPreds, rPreds []sql.Expr) {
+	for _, p := range dPreds {
+		b, ok := p.(*sql.Binary)
+		if !ok {
+			continue
+		}
+		ref, lit, op, ok := normalizeComparison(b)
+		if !ok || ref.Name != "D.sample_time" {
+			continue
+		}
+		add := func(col string, o sql.BinaryOp) {
+			e := &sql.Binary{Op: o, L: &sql.ColumnRef{Name: col}, R: lit}
+			if col == "F.start_time" || col == "F.end_time" {
+				fPreds = append(fPreds, e)
+			} else {
+				rPreds = append(rPreds, e)
+			}
+		}
+		switch op {
+		case sql.OpGt, sql.OpGe:
+			add("R.end_time", op)
+			add("F.end_time", op)
+		case sql.OpLt, sql.OpLe:
+			add("R.start_time", op)
+			add("F.start_time", op)
+		case sql.OpEq:
+			add("R.end_time", sql.OpGe)
+			add("R.start_time", sql.OpLe)
+			add("F.end_time", sql.OpGe)
+			add("F.start_time", sql.OpLe)
+		}
+	}
+	return fPreds, rPreds
+}
+
+// normalizeComparison reduces a binary comparison to (columnRef, literal,
+// op) with the column on the left, flipping the operator when the literal
+// was on the left. ok is false for any other shape.
+func normalizeComparison(b *sql.Binary) (*sql.ColumnRef, *sql.Literal, sql.BinaryOp, bool) {
+	if !b.Op.Comparison() {
+		return nil, nil, 0, false
+	}
+	if ref, okL := b.L.(*sql.ColumnRef); okL {
+		if lit, okR := b.R.(*sql.Literal); okR {
+			return ref, lit, b.Op, true
+		}
+	}
+	if lit, okL := b.L.(*sql.Literal); okL {
+		if ref, okR := b.R.(*sql.ColumnRef); okR {
+			var flipped sql.BinaryOp
+			switch b.Op {
+			case sql.OpLt:
+				flipped = sql.OpGt
+			case sql.OpLe:
+				flipped = sql.OpGe
+			case sql.OpGt:
+				flipped = sql.OpLt
+			case sql.OpGe:
+				flipped = sql.OpLe
+			default:
+				flipped = b.Op // = and <> are symmetric
+			}
+			return ref, lit, flipped, true
+		}
+	}
+	return nil, nil, 0, false
+}

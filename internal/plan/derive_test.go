@@ -1,0 +1,106 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+func TestDeriveIntervalPreds(t *testing.T) {
+	stmt, err := sql.Parse(`SELECT COUNT(*) FROM t WHERE
+		D.sample_time > '2010-01-12T22:15:00.000'
+		AND D.sample_time < '2010-01-12T22:15:02.000'
+		AND '2010-01-01' <= D.sample_time
+		AND D.sample_value > 5
+		AND D.sample_time = D.sample_time`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, r := deriveIntervalPreds(sql.SplitConjuncts(stmt.Where))
+	// Three usable time conjuncts: >, <, and flipped <= ; the value
+	// predicate and the column-vs-column one contribute nothing.
+	if len(r) != 3 || len(f) != 3 {
+		t.Fatalf("derived %d R and %d F preds: %v %v", len(r), len(f), r, f)
+	}
+	joined := sql.JoinConjuncts(r).String()
+	for _, want := range []string{
+		"R.end_time > '2010-01-12T22:15:00.000'",
+		"R.start_time < '2010-01-12T22:15:02.000'",
+		"R.end_time >= '2010-01-01'",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing derived predicate %q in %s", want, joined)
+		}
+	}
+}
+
+func TestDeriveEqualityBounds(t *testing.T) {
+	stmt, _ := sql.Parse(`SELECT COUNT(*) FROM t WHERE D.sample_time = '2010-01-12T12:00:00'`)
+	f, r := deriveIntervalPreds(sql.SplitConjuncts(stmt.Where))
+	if len(r) != 2 || len(f) != 2 {
+		t.Fatalf("equality should derive both bounds: %v %v", r, f)
+	}
+}
+
+func TestNormalizeComparison(t *testing.T) {
+	mk := func(q string) *sql.Binary {
+		stmt, err := sql.Parse("SELECT x FROM t WHERE " + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stmt.Where.(*sql.Binary)
+	}
+	ref, lit, op, ok := normalizeComparison(mk("a < 5"))
+	if !ok || ref.Name != "a" || lit.Val.I != 5 || op != sql.OpLt {
+		t.Errorf("a < 5: %v %v %v %v", ref, lit, op, ok)
+	}
+	ref, _, op, ok = normalizeComparison(mk("5 < a"))
+	if !ok || ref.Name != "a" || op != sql.OpGt {
+		t.Errorf("5 < a should flip to a > 5: %v %v %v", ref, op, ok)
+	}
+	_, _, op, ok = normalizeComparison(mk("5 = a"))
+	if !ok || op != sql.OpEq {
+		t.Errorf("5 = a: %v %v", op, ok)
+	}
+	if _, _, _, ok := normalizeComparison(mk("a < b")); ok {
+		t.Error("column-vs-column should not normalize")
+	}
+	if _, _, _, ok := normalizeComparison(mk("a AND b")); ok {
+		t.Error("non-comparison should not normalize")
+	}
+}
+
+func TestLazyPlanDerivesRecordPruning(t *testing.T) {
+	// Q1 *without* its explicit R.start_time predicates: the derived
+	// interval predicates must appear on the records (and files) scans.
+	q := `SELECT AVG(D.sample_value) FROM mseed.dataview
+	      WHERE F.station = 'ISK' AND F.channel = 'BHE'
+	      AND D.sample_time > '2010-01-12T22:15:00.000'
+	      AND D.sample_time < '2010-01-12T22:15:02.000'`
+	p := build(t, q, Lazy)
+	rScan, _ := findNode(p.Root, func(n Node) bool {
+		s, ok := n.(*Scan)
+		return ok && s.Table == catalog.TableRecords
+	}).(*Scan)
+	if rScan == nil || len(rScan.Preds) != 2 {
+		t.Fatalf("records scan should carry 2 derived preds, has %+v\n%s", rScan, Render(p.Root))
+	}
+	fScan, _ := findNode(p.Root, func(n Node) bool {
+		s, ok := n.(*Scan)
+		return ok && s.Table == catalog.TableFiles
+	}).(*Scan)
+	if fScan == nil || len(fScan.Preds) != 4 { // 2 user + 2 derived
+		t.Fatalf("files scan should carry 4 preds, has %+v", fScan)
+	}
+	// Eager mode plans are untouched by the derivation.
+	pe := build(t, q, Eager)
+	rScanE, _ := findNode(pe.Root, func(n Node) bool {
+		s, ok := n.(*Scan)
+		return ok && s.Table == catalog.TableRecords
+	}).(*Scan)
+	if rScanE == nil || len(rScanE.Preds) != 0 {
+		t.Errorf("eager records scan should carry no derived preds: %+v", rScanE)
+	}
+}

@@ -1,0 +1,201 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/column"
+	"repro/internal/exec"
+	"repro/internal/sql"
+)
+
+// ExtractSource is implemented by the lazy ETL engine: given the metadata
+// rows that survived the metadata predicates (columns F.* and R.*), produce
+// the universal-table batch with the D.* columns attached. The source
+// reports each injected operator (cache read or file extraction) to the
+// observer — that is the run-time plan modification of §3.1 made visible.
+type ExtractSource interface {
+	Extract(meta *column.Batch, obs Observer) (*column.Batch, error)
+}
+
+// Observer receives the run-time injected operators and operational events.
+type Observer interface {
+	// InjectedOp records one operator injected by the run-time rewrite
+	// (e.g. "CacheRead" or "ExtractFile") with a human-readable detail.
+	InjectedOp(kind, detail string)
+	// Event records a general operational log entry.
+	Event(op, detail string)
+}
+
+// NopObserver discards all observations.
+type NopObserver struct{}
+
+// InjectedOp implements Observer.
+func (NopObserver) InjectedOp(kind, detail string) {}
+
+// Event implements Observer.
+func (NopObserver) Event(op, detail string) {}
+
+// Env carries everything plan execution needs.
+type Env struct {
+	Store  *catalog.Store
+	Source ExtractSource // required for Lazy/External plans
+	Obs    Observer      // defaults to NopObserver
+}
+
+func (e *Env) obs() Observer {
+	if e.Obs == nil {
+		return NopObserver{}
+	}
+	return e.Obs
+}
+
+// Execute runs the plan to completion and returns the result batch.
+func Execute(n Node, env *Env) (*column.Batch, error) {
+	obs := env.obs()
+	switch x := n.(type) {
+	case *Scan:
+		b, err := env.Store.Table(x.Table)
+		if err != nil {
+			return nil, err
+		}
+		if x.Prefix != "" {
+			cols := make([]*column.Column, b.NumCols())
+			for i := 0; i < b.NumCols(); i++ {
+				c := b.ColAt(i)
+				cols[i] = c.WithName(x.Prefix + c.Name())
+			}
+			b, err = column.NewBatch(cols...)
+			if err != nil {
+				return nil, err
+			}
+		}
+		rows := b.NumRows()
+		b, err = exec.Filter(b, x.Preds)
+		if err != nil {
+			return nil, fmt.Errorf("plan: scan %s: %w", x.Table, err)
+		}
+		if len(x.Preds) > 0 {
+			obs.Event("scan", fmt.Sprintf("%s: %d of %d rows pass %s", x.Table, b.NumRows(), rows, exprList(x.Preds)))
+		} else {
+			obs.Event("scan", fmt.Sprintf("%s: %d rows", x.Table, rows))
+		}
+		return b, nil
+
+	case *Join:
+		l, err := Execute(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Execute(x.R, env)
+		if err != nil {
+			return nil, err
+		}
+		out, err := exec.HashJoin(l, r, x.LKeys, x.RKeys)
+		if err != nil {
+			return nil, err
+		}
+		obs.Event("join", fmt.Sprintf("%s: %d x %d -> %d rows", x.Describe(), l.NumRows(), r.NumRows(), out.NumRows()))
+		return out, nil
+
+	case *Filter:
+		in, err := Execute(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		out, err := exec.Filter(in, x.Preds)
+		if err != nil {
+			return nil, err
+		}
+		obs.Event("filter", fmt.Sprintf("%s: %d -> %d rows", exprList(x.Preds), in.NumRows(), out.NumRows()))
+		return out, nil
+
+	case *LazyExtract:
+		// Step 1 (§3.1): execute the metadata part of the plan.
+		meta, err := Execute(x.Meta, env)
+		if err != nil {
+			return nil, err
+		}
+		obs.Event("rewrite", fmt.Sprintf("metadata plan yields %d qualifying records; invoking run-time plan rewriting operator", meta.NumRows()))
+		if env.Source == nil {
+			return nil, fmt.Errorf("plan: LazyExtract requires an ExtractSource in the environment")
+		}
+		// Step 2: the rewriting operator injects cache-read / extract
+		// operators for exactly the qualifying records.
+		out, err := env.Source.Extract(meta, obs)
+		if err != nil {
+			return nil, err
+		}
+		obs.Event("extract", fmt.Sprintf("lazy extraction produced %d universal-table rows", out.NumRows()))
+		return out, nil
+
+	case *Aggregate:
+		in, err := Execute(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		out, err := exec.Aggregate(in, x.GroupBy, x.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		obs.Event("aggregate", fmt.Sprintf("%d rows -> %d groups", in.NumRows(), out.NumRows()))
+		return out, nil
+
+	case *Project:
+		in, err := Execute(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Project(in, x.Exprs, x.Names)
+
+	case *Sort:
+		in, err := Execute(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Sort(in, x.Keys)
+
+	case *Limit:
+		in, err := Execute(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Limit(in, x.N), nil
+
+	default:
+		return nil, fmt.Errorf("plan: unknown node %T", n)
+	}
+}
+
+// MetaPredicates returns the predicates that the compile-time reorder
+// classified as metadata predicates (everything pushed into or above the
+// F/R side), for reporting. It walks the plan collecting Scan preds and
+// Filters below LazyExtract/data joins.
+func MetaPredicates(n Node) []sql.Expr {
+	var out []sql.Expr
+	var walkMeta func(Node)
+	walkMeta = func(n Node) {
+		switch x := n.(type) {
+		case *Scan:
+			out = append(out, x.Preds...)
+		case *Filter:
+			out = append(out, x.Preds...)
+			walkMeta(x.Child)
+		case *Join:
+			walkMeta(x.L)
+			walkMeta(x.R)
+		}
+	}
+	var find func(Node)
+	find = func(n Node) {
+		if le, ok := n.(*LazyExtract); ok {
+			walkMeta(le.Meta)
+			return
+		}
+		for _, c := range n.Children() {
+			find(c)
+		}
+	}
+	find(n)
+	return out
+}

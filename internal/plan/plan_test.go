@@ -1,0 +1,269 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+const q1 = `SELECT AVG(D.sample_value)
+FROM mseed.dataview
+WHERE F.station = 'ISK' AND F.channel = 'BHE'
+AND R.start_time > '2010-01-12T00:00:00.000'
+AND R.start_time < '2010-01-12T23:59:59.999'
+AND D.sample_time > '2010-01-12T22:15:00.000'
+AND D.sample_time < '2010-01-12T22:15:02.000'`
+
+func build(t *testing.T, q string, mode Mode) *Plans {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := Build(stmt, catalog.MSEED(), mode)
+	if err != nil {
+		t.Fatalf("build (%v): %v", mode, err)
+	}
+	return p
+}
+
+// findNode returns the first node matching pred in a pre-order walk.
+func findNode(n Node, pred func(Node) bool) Node {
+	if pred(n) {
+		return n
+	}
+	for _, c := range n.Children() {
+		if f := findNode(c, pred); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+func TestBuildLazyShape(t *testing.T) {
+	p := build(t, q1, Lazy)
+
+	le, ok := findNode(p.Root, func(n Node) bool { _, ok := n.(*LazyExtract); return ok }).(*LazyExtract)
+	if !ok || le == nil {
+		t.Fatalf("no LazyExtract in lazy plan:\n%s", Render(p.Root))
+	}
+	// Data predicates (2 on D.sample_time) recorded on the extract node and
+	// applied by a Filter above it.
+	if len(le.DataPreds) != 2 {
+		t.Errorf("data preds = %d, want 2", len(le.DataPreds))
+	}
+	// Metadata predicates pushed into the right scans: the 2 user conjuncts
+	// per scan plus the 2 interval predicates derived from D.sample_time.
+	fScan, _ := findNode(le.Meta, func(n Node) bool {
+		s, ok := n.(*Scan)
+		return ok && s.Table == catalog.TableFiles
+	}).(*Scan)
+	if fScan == nil || len(fScan.Preds) != 4 {
+		t.Fatalf("files scan preds: %+v\n%s", fScan, Render(p.Root))
+	}
+	rScan, _ := findNode(le.Meta, func(n Node) bool {
+		s, ok := n.(*Scan)
+		return ok && s.Table == catalog.TableRecords
+	}).(*Scan)
+	if rScan == nil || len(rScan.Preds) != 4 {
+		t.Fatalf("records scan preds: %+v", rScan)
+	}
+	// No scan of mseed.data anywhere in the lazy plan.
+	if findNode(p.Root, func(n Node) bool {
+		s, ok := n.(*Scan)
+		return ok && s.Table == catalog.TableData
+	}) != nil {
+		t.Errorf("lazy plan still scans mseed.data:\n%s", Render(p.Root))
+	}
+	// The naive plan does scan mseed.data and keeps the filter on top.
+	if findNode(p.Naive, func(n Node) bool {
+		s, ok := n.(*Scan)
+		return ok && s.Table == catalog.TableData
+	}) == nil {
+		t.Errorf("naive plan lacks data scan:\n%s", Render(p.Naive))
+	}
+	// MetaPredicates reporting covers the four user metadata conjuncts plus
+	// the four derived interval predicates.
+	if got := MetaPredicates(p.Root); len(got) != 8 {
+		t.Errorf("MetaPredicates = %d, want 8", len(got))
+	}
+}
+
+func TestBuildEagerShape(t *testing.T) {
+	p := build(t, q1, Eager)
+	if findNode(p.Root, func(n Node) bool { _, ok := n.(*LazyExtract); return ok }) != nil {
+		t.Fatalf("eager plan contains LazyExtract:\n%s", Render(p.Root))
+	}
+	// Joins against the loaded data table, with metadata preds pushed down.
+	dScan, _ := findNode(p.Root, func(n Node) bool {
+		s, ok := n.(*Scan)
+		return ok && s.Table == catalog.TableData
+	}).(*Scan)
+	if dScan == nil {
+		t.Fatalf("no data scan in eager plan:\n%s", Render(p.Root))
+	}
+	fScan, _ := findNode(p.Root, func(n Node) bool {
+		s, ok := n.(*Scan)
+		return ok && s.Table == catalog.TableFiles
+	}).(*Scan)
+	if fScan == nil || len(fScan.Preds) != 2 {
+		t.Errorf("files preds not pushed in eager plan:\n%s", Render(p.Root))
+	}
+}
+
+func TestBuildExternalShape(t *testing.T) {
+	p := build(t, q1, External)
+	le, _ := findNode(p.Root, func(n Node) bool { _, ok := n.(*LazyExtract); return ok }).(*LazyExtract)
+	if le == nil {
+		t.Fatalf("no LazyExtract in external plan:\n%s", Render(p.Root))
+	}
+	// External mode: no pruning — scans carry no predicates.
+	if findNode(le.Meta, func(n Node) bool {
+		s, ok := n.(*Scan)
+		return ok && len(s.Preds) > 0
+	}) != nil {
+		t.Errorf("external plan pushed predicates into metadata scans:\n%s", Render(p.Root))
+	}
+	// All six conjuncts filter above the extraction.
+	f, _ := findNode(p.Root, func(n Node) bool { _, ok := n.(*Filter); return ok }).(*Filter)
+	if f == nil || len(f.Preds) != 6 {
+		t.Errorf("external filter preds: %+v", f)
+	}
+}
+
+func TestBuildMixedFRPredicate(t *testing.T) {
+	// A predicate touching both F and R columns lands in a filter over the
+	// metadata join, still below the extraction.
+	q := `SELECT COUNT(*) FROM mseed.dataview WHERE F.start_time = R.start_time AND F.station = 'ISK'`
+	p := build(t, q, Lazy)
+	le, _ := findNode(p.Root, func(n Node) bool { _, ok := n.(*LazyExtract); return ok }).(*LazyExtract)
+	if le == nil {
+		t.Fatal("no LazyExtract")
+	}
+	fr, _ := findNode(le.Meta, func(n Node) bool { _, ok := n.(*Filter); return ok }).(*Filter)
+	if fr == nil || len(fr.Preds) != 1 || !strings.Contains(fr.Preds[0].String(), "F.start_time") {
+		t.Errorf("mixed F/R predicate misplaced:\n%s", Render(p.Root))
+	}
+}
+
+func TestBuildAggregateValidation(t *testing.T) {
+	cat := catalog.MSEED()
+	bad := []string{
+		// Non-aggregate item not in GROUP BY.
+		`SELECT F.station, MIN(D.sample_value) FROM mseed.dataview`,
+		// SELECT * with aggregation.
+		`SELECT * FROM mseed.dataview GROUP BY F.station`,
+	}
+	for _, q := range bad {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if _, err := Build(stmt, cat, Lazy); err == nil {
+			t.Errorf("expected build error for %s", q)
+		}
+	}
+}
+
+func TestBuildUnknownTable(t *testing.T) {
+	stmt, _ := sql.Parse(`SELECT x FROM nosuch`)
+	if _, err := Build(stmt, catalog.MSEED(), Lazy); err == nil {
+		t.Error("unknown table should fail")
+	}
+}
+
+func TestBuildDataTableVirtualInLazyAndExternal(t *testing.T) {
+	stmt, _ := sql.Parse(`SELECT COUNT(*) FROM mseed.data`)
+	for _, m := range []Mode{Lazy, External} {
+		if _, err := Build(stmt, catalog.MSEED(), m); err == nil {
+			t.Errorf("mseed.data scan should be rejected in %v mode", m)
+		}
+	}
+	if _, err := Build(stmt, catalog.MSEED(), Eager); err != nil {
+		t.Errorf("eager mode should allow it: %v", err)
+	}
+}
+
+func TestBuildExplicitJoin(t *testing.T) {
+	q := `SELECT F.uri, COUNT(*) FROM mseed.files F
+	      JOIN mseed.records R ON F.file_id = R.file_id
+	      WHERE F.network = 'NL' AND R.num_samples > 100
+	      GROUP BY F.uri ORDER BY F.uri LIMIT 5`
+	p := build(t, q, Lazy)
+	j, _ := findNode(p.Root, func(n Node) bool { _, ok := n.(*Join); return ok }).(*Join)
+	if j == nil || j.LKeys[0] != "F.file_id" || j.RKeys[0] != "R.file_id" {
+		t.Fatalf("join keys: %+v\n%s", j, Render(p.Root))
+	}
+	// Predicates pushed to their scans.
+	fScan, _ := findNode(p.Root, func(n Node) bool {
+		s, ok := n.(*Scan)
+		return ok && s.Prefix == "F."
+	}).(*Scan)
+	if fScan == nil || len(fScan.Preds) != 1 {
+		t.Errorf("F preds: %+v", fScan)
+	}
+	// Upper stack: Limit over Sort over Project over Aggregate.
+	if _, ok := p.Root.(*Limit); !ok {
+		t.Errorf("root is %T, want Limit", p.Root)
+	}
+	if findNode(p.Root, func(n Node) bool { _, ok := n.(*Sort); return ok }) == nil {
+		t.Error("no sort node")
+	}
+}
+
+func TestBuildJoinWithoutEquiCondition(t *testing.T) {
+	stmt, _ := sql.Parse(`SELECT F.uri FROM mseed.files F JOIN mseed.records R ON F.file_id > R.file_id`)
+	if _, err := Build(stmt, catalog.MSEED(), Eager); err == nil {
+		t.Error("non-equi join should be rejected")
+	}
+}
+
+func TestBuildOrderByAliasAndAggregate(t *testing.T) {
+	q := `SELECT F.station s, AVG(D.sample_value) AS m FROM mseed.dataview
+	      WHERE F.network = 'NL' GROUP BY F.station ORDER BY m DESC`
+	p := build(t, q, Lazy)
+	srt, _ := findNode(p.Root, func(n Node) bool { _, ok := n.(*Sort); return ok }).(*Sort)
+	if srt == nil {
+		t.Fatal("no sort")
+	}
+	if srt.Keys[0].Expr.String() != "m" || !srt.Keys[0].Desc {
+		t.Errorf("sort key: %+v", srt.Keys[0])
+	}
+}
+
+func TestRenderPlans(t *testing.T) {
+	p := build(t, q1, Lazy)
+	opt := Render(p.Root)
+	for _, want := range []string{"Aggregate", "LazyExtract", "HashJoin", "Scan mseed.files AS F", "Project"} {
+		if !strings.Contains(opt, want) {
+			t.Errorf("rendered plan lacks %q:\n%s", want, opt)
+		}
+	}
+	// Indentation grows with depth.
+	if !strings.Contains(opt, "\n  ") {
+		t.Error("no indentation in rendered plan")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Eager.String() != "eager" || Lazy.String() != "lazy" || External.String() != "external" {
+		t.Error("mode names")
+	}
+	if Mode(99).String() == "" {
+		t.Error("unknown mode renders empty")
+	}
+}
+
+func TestBuildSelectStarDataview(t *testing.T) {
+	q := `SELECT * FROM mseed.dataview WHERE F.station = 'ISK' LIMIT 10`
+	p := build(t, q, Lazy)
+	if _, ok := p.Root.(*Limit); !ok {
+		t.Fatalf("root %T", p.Root)
+	}
+	// SELECT * must not introduce a Project node.
+	if findNode(p.Root, func(n Node) bool { _, ok := n.(*Project); return ok }) != nil {
+		t.Errorf("SELECT * should have no Project:\n%s", Render(p.Root))
+	}
+}

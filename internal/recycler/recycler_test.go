@@ -1,0 +1,208 @@
+package recycler
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func entryOf(n int, mtime time.Time) *Entry {
+	e := &Entry{Times: make([]int64, n), Values: make([]float64, n), FileMtime: mtime}
+	return e
+}
+
+func TestLookupMissAndHit(t *testing.T) {
+	c := New(1 << 20)
+	now := time.Now()
+	key := Key{URI: "a.mseed", SeqNo: 1}
+	if _, ok := c.Lookup(key, now); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Admit(key, entryOf(10, now))
+	ent, ok := c.Lookup(key, now)
+	if !ok || len(ent.Times) != 10 {
+		t.Fatalf("expected hit, got %v %v", ent, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStalenessInvalidation(t *testing.T) {
+	c := New(1 << 20)
+	admitted := time.Now()
+	key := Key{URI: "a.mseed", SeqNo: 1}
+	c.Admit(key, entryOf(10, admitted))
+
+	// Same mtime: fresh.
+	if _, ok := c.Lookup(key, admitted); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	// Newer file mtime: stale, must invalidate.
+	if _, ok := c.Lookup(key, admitted.Add(time.Second)); ok {
+		t.Fatal("stale entry served")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// Entry is gone now, even for an old mtime.
+	if _, ok := c.Lookup(key, admitted); ok {
+		t.Fatal("invalidated entry still present")
+	}
+	if c.Len() != 0 {
+		t.Errorf("len = %d after invalidation", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Each 10-sample entry costs 10*16+64 = 224 bytes; budget fits 2.
+	c := New(500)
+	now := time.Now()
+	k1, k2, k3 := Key{URI: "a", SeqNo: 1}, Key{URI: "a", SeqNo: 2}, Key{URI: "a", SeqNo: 3}
+	c.Admit(k1, entryOf(10, now))
+	c.Admit(k2, entryOf(10, now))
+	// Touch k1 so k2 becomes the LRU victim.
+	if _, ok := c.Lookup(k1, now); !ok {
+		t.Fatal("k1 missing")
+	}
+	c.Admit(k3, entryOf(10, now))
+	if _, ok := c.Lookup(k2, now); ok {
+		t.Error("k2 should have been evicted (LRU)")
+	}
+	if _, ok := c.Lookup(k1, now); !ok {
+		t.Error("k1 should have survived")
+	}
+	if _, ok := c.Lookup(k3, now); !ok {
+		t.Error("k3 should be present")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestAdmitOversizedEntryDropped(t *testing.T) {
+	c := New(100)
+	c.Admit(Key{URI: "big", SeqNo: 1}, entryOf(1000, time.Now()))
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Errorf("oversized entry admitted: len=%d used=%d", c.Len(), c.Used())
+	}
+}
+
+func TestZeroBudgetDisablesCache(t *testing.T) {
+	c := New(0)
+	key := Key{URI: "a", SeqNo: 1}
+	c.Admit(key, entryOf(1, time.Now()))
+	if _, ok := c.Lookup(key, time.Now()); ok {
+		t.Error("zero-budget cache served an entry")
+	}
+}
+
+func TestAdmitReplacesExisting(t *testing.T) {
+	c := New(1 << 20)
+	now := time.Now()
+	key := Key{URI: "a", SeqNo: 1}
+	c.Admit(key, entryOf(10, now))
+	c.Admit(key, entryOf(20, now))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	ent, ok := c.Lookup(key, now)
+	if !ok || len(ent.Times) != 20 {
+		t.Errorf("replacement not visible: %v %v", ent, ok)
+	}
+}
+
+func TestInvalidateFile(t *testing.T) {
+	c := New(1 << 20)
+	now := time.Now()
+	for i := 1; i <= 5; i++ {
+		c.Admit(Key{URI: "a", SeqNo: i}, entryOf(5, now))
+		c.Admit(Key{URI: "b", SeqNo: i}, entryOf(5, now))
+	}
+	if n := c.InvalidateFile("a"); n != 5 {
+		t.Fatalf("invalidated %d, want 5", n)
+	}
+	if c.Len() != 5 {
+		t.Errorf("len = %d, want 5", c.Len())
+	}
+	if _, ok := c.Lookup(Key{URI: "b", SeqNo: 3}, now); !ok {
+		t.Error("unrelated file entries lost")
+	}
+}
+
+func TestClearAndContents(t *testing.T) {
+	c := New(1 << 20)
+	now := time.Now()
+	c.Admit(Key{URI: "a", SeqNo: 1}, entryOf(3, now))
+	c.Admit(Key{URI: "a", SeqNo: 2}, entryOf(4, now))
+	contents := c.Contents()
+	if len(contents) != 2 {
+		t.Fatalf("contents len = %d", len(contents))
+	}
+	// Most recently used first.
+	if contents[0].Key.SeqNo != 2 || contents[0].Samples != 4 {
+		t.Errorf("contents[0] = %+v", contents[0])
+	}
+	if contents[0].AdmittedAt.IsZero() {
+		t.Error("AdmittedAt not stamped")
+	}
+	c.Clear()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Error("Clear left entries")
+	}
+	// Stats survive Clear.
+	if c.Stats().Misses != 0 {
+		c.ResetStats()
+	}
+	c.ResetStats()
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("ResetStats left %+v", st)
+	}
+}
+
+func TestBudgetNeverExceededQuick(t *testing.T) {
+	// Property: after any sequence of admissions, Used() <= budget and the
+	// entry count matches the internal list.
+	f := func(sizes []uint8) bool {
+		c := New(2048)
+		now := time.Now()
+		for i, s := range sizes {
+			c.Admit(Key{URI: "f", SeqNo: i}, entryOf(int(s), now))
+			if c.Used() > 2048 {
+				return false
+			}
+		}
+		return c.Len() == len(c.Contents())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 16)
+	now := time.Now()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				key := Key{URI: fmt.Sprintf("f%d", g), SeqNo: i % 17}
+				if i%3 == 0 {
+					c.Admit(key, entryOf(i%50, now))
+				} else {
+					c.Lookup(key, now)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if c.Used() > 1<<16 {
+		t.Errorf("over budget after concurrent use: %d", c.Used())
+	}
+}

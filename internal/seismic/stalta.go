@@ -1,0 +1,146 @@
+// Package seismic implements the waveform analyses the paper's demo runs on
+// top of the warehouse: STA/LTA (short-term average over long-term average)
+// event detection, the standard trigger used to hunt for interesting
+// seismic events, plus small helpers for amplitude statistics.
+package seismic
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Event is one detected seismic event.
+type Event struct {
+	// Onset is the time the STA/LTA ratio first crossed the trigger.
+	Onset time.Time
+	// Peak is the maximum ratio reached during the event.
+	Peak float64
+	// End is the time the ratio fell below the de-trigger threshold.
+	End time.Time
+}
+
+// Config controls the STA/LTA detector. The window defaults follow the
+// paper: STA of 2 s and LTA of 15 s.
+type Config struct {
+	SampleRate float64 // Hz, required
+	// STAWindow and LTAWindow are the averaging windows.
+	STAWindow time.Duration // default 2 s
+	LTAWindow time.Duration // default 15 s
+	// TriggerOn fires an event when STA/LTA exceeds it (default 4).
+	TriggerOn float64
+	// TriggerOff ends the event when the ratio drops below it (default 1.5).
+	TriggerOff float64
+}
+
+func (c *Config) fill() error {
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("seismic: sample rate must be positive, got %g", c.SampleRate)
+	}
+	if c.STAWindow == 0 {
+		c.STAWindow = 2 * time.Second
+	}
+	if c.LTAWindow == 0 {
+		c.LTAWindow = 15 * time.Second
+	}
+	if c.STAWindow >= c.LTAWindow {
+		return fmt.Errorf("seismic: STA window (%v) must be shorter than LTA window (%v)", c.STAWindow, c.LTAWindow)
+	}
+	if c.TriggerOn == 0 {
+		c.TriggerOn = 4
+	}
+	if c.TriggerOff == 0 {
+		c.TriggerOff = 1.5
+	}
+	if c.TriggerOff >= c.TriggerOn {
+		return fmt.Errorf("seismic: trigger-off (%g) must be below trigger-on (%g)", c.TriggerOff, c.TriggerOn)
+	}
+	return nil
+}
+
+// DetectEvents runs a classic sliding-window STA/LTA over a uniformly
+// sampled series. times[i] is the timestamp (ns since epoch) of values[i];
+// the series is assumed contiguous at cfg.SampleRate. Energy (value²) is
+// averaged in both windows; an event triggers when STA/LTA ≥ TriggerOn and
+// ends when it falls below TriggerOff.
+func DetectEvents(times []int64, values []float64, cfg Config) ([]Event, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if len(times) != len(values) {
+		return nil, fmt.Errorf("seismic: %d times but %d values", len(times), len(values))
+	}
+	staN := int(cfg.STAWindow.Seconds() * cfg.SampleRate)
+	ltaN := int(cfg.LTAWindow.Seconds() * cfg.SampleRate)
+	if staN < 1 || ltaN <= staN || len(values) <= ltaN {
+		return nil, nil // series too short to detect anything
+	}
+
+	// Prefix sums of energy for O(1) window averages.
+	prefix := make([]float64, len(values)+1)
+	for i, v := range values {
+		prefix[i+1] = prefix[i] + v*v
+	}
+	avg := func(from, to int) float64 { // [from, to)
+		return (prefix[to] - prefix[from]) / float64(to-from)
+	}
+
+	var events []Event
+	inEvent := false
+	var cur Event
+	for i := ltaN; i < len(values); i++ {
+		sta := avg(i-staN, i)
+		lta := avg(i-ltaN, i)
+		var ratio float64
+		if lta > 0 {
+			ratio = sta / lta
+		}
+		if !inEvent && ratio >= cfg.TriggerOn {
+			inEvent = true
+			cur = Event{Onset: time.Unix(0, times[i]).UTC(), Peak: ratio}
+		} else if inEvent {
+			if ratio > cur.Peak {
+				cur.Peak = ratio
+			}
+			if ratio < cfg.TriggerOff {
+				cur.End = time.Unix(0, times[i]).UTC()
+				events = append(events, cur)
+				inEvent = false
+			}
+		}
+	}
+	if inEvent {
+		cur.End = time.Unix(0, times[len(times)-1]).UTC()
+		events = append(events, cur)
+	}
+	return events, nil
+}
+
+// AmplitudeStats summarizes a series.
+type AmplitudeStats struct {
+	Min, Max, Mean, RMS float64
+	N                   int
+}
+
+// Amplitude computes basic amplitude statistics over a series.
+func Amplitude(values []float64) AmplitudeStats {
+	st := AmplitudeStats{N: len(values)}
+	if len(values) == 0 {
+		return st
+	}
+	st.Min, st.Max = values[0], values[0]
+	var sum, sumSq float64
+	for _, v := range values {
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+		sum += v
+		sumSq += v * v
+	}
+	st.Mean = sum / float64(len(values))
+	st.RMS = math.Sqrt(sumSq / float64(len(values)))
+	return st
+}

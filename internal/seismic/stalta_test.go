@@ -1,0 +1,130 @@
+package seismic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/seisgen"
+)
+
+// synth builds a series with an event at a known onset.
+func synth(n, onset int, amp float64) ([]int64, []float64) {
+	raw := seisgen.Waveform(seisgen.WaveformConfig{
+		NumSamples: n,
+		NoiseAmp:   20,
+		Seed:       13,
+		Events: []seisgen.Event{{
+			OnsetSample: onset, Amplitude: amp, DecaySamples: 400, PeriodSamples: 10,
+		}},
+	})
+	base := time.Date(2010, 1, 12, 0, 0, 0, 0, time.UTC).UnixNano()
+	times := make([]int64, n)
+	values := make([]float64, n)
+	for i, v := range raw {
+		times[i] = base + int64(i)*25_000_000 // 40 Hz
+		values[i] = float64(v)
+	}
+	return times, values
+}
+
+func TestDetectEventsFindsInjectedEvent(t *testing.T) {
+	const onset = 30000
+	times, values := synth(60000, onset, 30000)
+	events, err := DetectEvents(times, values, Config{SampleRate: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events detected")
+	}
+	want := time.Unix(0, times[onset]).UTC()
+	got := events[0].Onset
+	if d := got.Sub(want); d < -5*time.Second || d > 30*time.Second {
+		t.Errorf("onset %v, injected at %v (delta %v)", got, want, d)
+	}
+	if events[0].Peak < 4 {
+		t.Errorf("peak ratio %g below trigger", events[0].Peak)
+	}
+	if !events[0].End.After(events[0].Onset) {
+		t.Errorf("event end %v not after onset %v", events[0].End, events[0].Onset)
+	}
+}
+
+func TestDetectEventsQuietSeries(t *testing.T) {
+	raw := seisgen.Waveform(seisgen.WaveformConfig{NumSamples: 20000, NoiseAmp: 20, Seed: 3})
+	times := make([]int64, len(raw))
+	values := make([]float64, len(raw))
+	for i, v := range raw {
+		times[i] = int64(i) * 25_000_000
+		values[i] = float64(v)
+	}
+	events, err := DetectEvents(times, values, Config{SampleRate: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("detected %d events in pure noise", len(events))
+	}
+}
+
+func TestDetectEventsTooShortSeries(t *testing.T) {
+	times, values := synth(100, 50, 10000) // < 15 s of data at 40 Hz
+	events, err := DetectEvents(times, values, Config{SampleRate: 40})
+	if err != nil || events != nil {
+		t.Errorf("short series: %v %v", events, err)
+	}
+}
+
+func TestDetectEventsOpenEndedEvent(t *testing.T) {
+	// Event near the end: ratio never falls below trigger-off, so the event
+	// must close at the last sample.
+	const n = 30000
+	times, values := synth(n, n-80, 50000)
+	events, err := DetectEvents(times, values, Config{SampleRate: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	if !events[0].End.Equal(time.Unix(0, times[n-1]).UTC()) {
+		t.Errorf("open event end = %v, want last sample", events[0].End)
+	}
+}
+
+func TestDetectEventsConfigValidation(t *testing.T) {
+	times, values := synth(1000, 500, 1000)
+	bad := []Config{
+		{},               // no sample rate
+		{SampleRate: -1}, // negative rate
+		{SampleRate: 40, STAWindow: 20 * time.Second, LTAWindow: 10 * time.Second}, // STA >= LTA
+		{SampleRate: 40, TriggerOn: 2, TriggerOff: 3},                              // off above on
+	}
+	for i, cfg := range bad {
+		if _, err := DetectEvents(times, values, cfg); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+	if _, err := DetectEvents(times[:10], values, Config{SampleRate: 40}); err == nil {
+		t.Error("length mismatch should be rejected")
+	}
+}
+
+func TestAmplitude(t *testing.T) {
+	st := Amplitude([]float64{3, -4, 0})
+	if st.Min != -4 || st.Max != 3 || st.N != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if math.Abs(st.Mean-(-1.0/3)) > 1e-12 {
+		t.Errorf("mean = %g", st.Mean)
+	}
+	wantRMS := math.Sqrt((9.0 + 16.0) / 3)
+	if math.Abs(st.RMS-wantRMS) > 1e-12 {
+		t.Errorf("rms = %g, want %g", st.RMS, wantRMS)
+	}
+	empty := Amplitude(nil)
+	if empty.N != 0 || empty.Min != 0 || empty.Max != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}

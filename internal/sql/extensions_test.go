@@ -1,0 +1,111 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseIn(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM t WHERE station IN ('ISK', 'HGN', 'DBN')`)
+	// IN desugars to a chain of OR-equalities.
+	s := stmt.Where.String()
+	for _, want := range []string{"station = 'ISK'", "station = 'HGN'", "station = 'DBN'", "OR"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("IN desugar missing %q: %s", want, s)
+		}
+	}
+	if strings.Contains(s, "IN") {
+		t.Errorf("IN survived desugaring: %s", s)
+	}
+}
+
+func TestParseNotIn(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM t WHERE x NOT IN (1, 2)`)
+	u, ok := stmt.Where.(*Unary)
+	if !ok || u.Op != "NOT" {
+		t.Fatalf("NOT IN should wrap in NOT: %v", stmt.Where)
+	}
+}
+
+func TestParseInSingleElement(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM t WHERE x IN (5)`)
+	b, ok := stmt.Where.(*Binary)
+	if !ok || b.Op != OpEq {
+		t.Fatalf("single-element IN should be plain equality: %v", stmt.Where)
+	}
+}
+
+func TestParseLike(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM t WHERE uri LIKE '%BHZ%' AND name NOT LIKE 'X_'`)
+	conj := SplitConjuncts(stmt.Where)
+	b, ok := conj[0].(*Binary)
+	if !ok || b.Op != OpLike {
+		t.Fatalf("first conjunct: %v", conj[0])
+	}
+	u, ok := conj[1].(*Unary)
+	if !ok || u.Op != "NOT" {
+		t.Fatalf("second conjunct: %v", conj[1])
+	}
+	inner, ok := u.X.(*Binary)
+	if !ok || inner.Op != OpLike {
+		t.Fatalf("NOT LIKE inner: %v", u.X)
+	}
+	if got := b.String(); got != "(uri LIKE '%BHZ%')" {
+		t.Errorf("render: %s", got)
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL`)
+	conj := SplitConjuncts(stmt.Where)
+	n0, ok := conj[0].(*IsNull)
+	if !ok || n0.Not {
+		t.Fatalf("first: %v", conj[0])
+	}
+	n1, ok := conj[1].(*IsNull)
+	if !ok || !n1.Not {
+		t.Fatalf("second: %v", conj[1])
+	}
+	if n0.String() != "(a IS NULL)" || n1.String() != "(b IS NOT NULL)" {
+		t.Errorf("render: %s / %s", n0, n1)
+	}
+}
+
+func TestParseExtensionErrors(t *testing.T) {
+	bad := []string{
+		`SELECT * FROM t WHERE x IN`,
+		`SELECT * FROM t WHERE x IN ()`,
+		`SELECT * FROM t WHERE x IN (1`,
+		`SELECT * FROM t WHERE x IS`,
+		`SELECT * FROM t WHERE x IS NOT`,
+		`SELECT * FROM t WHERE x LIKE`,
+		`SELECT * FROM t WHERE x NOT 5`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestExtensionsRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		`SELECT * FROM t WHERE station IN ('A', 'B') AND uri LIKE '%.mseed' AND x IS NOT NULL`,
+	} {
+		s1 := mustParse(t, src)
+		s2 := mustParse(t, s1.String())
+		if s1.String() != s2.String() {
+			t.Errorf("round trip:\n%s\n%s", s1, s2)
+		}
+	}
+}
+
+func TestWalkColumnRefsExtensions(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM t WHERE a LIKE 'x%' AND b IS NULL AND c IN (1, 2)`)
+	var names []string
+	WalkColumnRefs(stmt.Where, func(r *ColumnRef) { names = append(names, r.Name) })
+	// c appears twice (desugared IN has two equalities).
+	if len(names) != 4 || names[0] != "a" || names[1] != "b" || names[2] != "c" || names[3] != "c" {
+		t.Errorf("refs: %v", names)
+	}
+}

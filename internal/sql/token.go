@@ -1,0 +1,78 @@
+// Package sql implements the query language front-end of the warehouse: a
+// lexer, an AST, and a recursive-descent parser for the SQL subset used by
+// the paper's analytical queries — SELECT lists with aggregates, FROM with
+// inner joins, WHERE with boolean predicates, GROUP BY, ORDER BY and LIMIT.
+package sql
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokString
+	TokNumber
+	TokOp // = <> != < > <= >= + - * /
+	TokComma
+	TokDot
+	TokLParen
+	TokRParen
+	TokSemicolon
+	TokStar
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokString:
+		return "string"
+	case TokNumber:
+		return "number"
+	case TokOp:
+		return "operator"
+	case TokComma:
+		return "','"
+	case TokDot:
+		return "'.'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokSemicolon:
+		return "';'"
+	case TokStar:
+		return "'*'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // raw text; keywords are upper-cased
+	Pos  int
+}
+
+// keywords recognized by the lexer (matched case-insensitively).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "GROUP": true, "BY": true, "ORDER": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "AS": true, "JOIN": true, "INNER": true,
+	"ON": true, "BETWEEN": true, "DISTINCT": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "IN": true, "LIKE": true, "IS": true,
+}
+
+// aggregate function names (uppercase).
+var aggregates = map[string]bool{
+	"AVG": true, "MIN": true, "MAX": true, "SUM": true, "COUNT": true,
+}

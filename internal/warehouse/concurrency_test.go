@@ -1,0 +1,112 @@
+package warehouse
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/etl"
+)
+
+// TestConcurrentQueries fires parallel clients at one lazy warehouse (with
+// a parallel extractor) and checks every answer for consistency. Queries
+// serialize on the warehouse mutex; the point is absence of races and
+// corruption across the cache, the log and the stats under churn.
+func TestConcurrentQueries(t *testing.T) {
+	dir := genRepo(t, 2500)
+	w, err := Open(dir, Options{Mode: Lazy, ETL: etl.Options{Parallelism: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		q2,
+		`SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK'`,
+		`SELECT F.channel, COUNT(*) FROM mseed.dataview WHERE F.network = 'NL' GROUP BY F.channel`,
+		`SELECT station, COUNT(*) FROM mseed.files GROUP BY station`,
+	}
+	// Reference answers, computed single-threaded.
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := w.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Batch.String()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				qi := (g + i) % len(queries)
+				res, err := w.Query(queries[qi])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Batch.String() != want[qi] {
+					errs <- errMismatch{queries[qi], want[qi], res.Batch.String()}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.Queries != int64(len(queries)+64) {
+		t.Errorf("query counter = %d, want %d", st.Queries, len(queries)+64)
+	}
+}
+
+type errMismatch struct{ q, want, got string }
+
+func (e errMismatch) Error() string {
+	return "concurrent query mismatch for " + e.q + ":\nwant:\n" + e.want + "\ngot:\n" + e.got
+}
+
+// TestParallelismSpeedsUpOrAtLeastMatches sanity-checks the parallel
+// extractor end to end through the warehouse (correctness, not timing —
+// CI machines make timing assertions flaky).
+func TestParallelExtractionThroughWarehouse(t *testing.T) {
+	dir := genRepo(t, 4000)
+	seq := openWH(t, dir, Lazy)
+	par, err := Open(dir, Options{Mode: Lazy, ETL: etl.Options{Parallelism: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT COUNT(*), AVG(D.sample_value) FROM mseed.dataview`
+	rs, err := seq.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := par.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, q, rs.Batch, rp.Batch)
+	if len(rs.Trace.TouchedFiles) != len(rp.Trace.TouchedFiles) {
+		t.Errorf("touched files differ: %d vs %d",
+			len(rs.Trace.TouchedFiles), len(rp.Trace.TouchedFiles))
+	}
+	// The parallel trace records the same set of injected operators,
+	// possibly in a different order.
+	if len(rs.Trace.RuntimeOps) != len(rp.Trace.RuntimeOps) {
+		t.Errorf("injected ops differ: %d vs %d", len(rs.Trace.RuntimeOps), len(rp.Trace.RuntimeOps))
+	}
+	sortStrings(rs.Trace.RuntimeOps)
+	sortStrings(rp.Trace.RuntimeOps)
+	for i := range rs.Trace.RuntimeOps {
+		if rs.Trace.RuntimeOps[i] != rp.Trace.RuntimeOps[i] {
+			t.Fatalf("op %d differs: %q vs %q", i, rs.Trace.RuntimeOps[i], rp.Trace.RuntimeOps[i])
+		}
+	}
+	if !strings.Contains(rs.Trace.RuntimeOps[0], "seq=") {
+		t.Errorf("unexpected op format: %q", rs.Trace.RuntimeOps[0])
+	}
+}

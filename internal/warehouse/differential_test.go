@@ -1,0 +1,81 @@
+package warehouse
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestDifferentialRandomQueries generates random analytical queries over
+// the dataview and requires that eager, lazy and external execution agree
+// on every one — the system-level correctness invariant behind the paper's
+// claim that laziness is transparent to the user.
+func TestDifferentialRandomQueries(t *testing.T) {
+	dir := genRepo(t, 2200)
+	eager := openWH(t, dir, Eager)
+	lazy := openWH(t, dir, Lazy)
+	ext := openWH(t, dir, External)
+
+	rng := rand.New(rand.NewSource(987))
+	stations := []string{"ISK", "HGN", "DBN", "WIT", "ROLD", "ZZZ"}
+	channels := []string{"BHZ", "BHN", "BHE", "XXX"}
+	networks := []string{"NL", "KO", "GR"}
+
+	conjunct := func() string {
+		switch rng.Intn(8) {
+		case 0:
+			return fmt.Sprintf("F.station = '%s'", stations[rng.Intn(len(stations))])
+		case 1:
+			return fmt.Sprintf("F.channel = '%s'", channels[rng.Intn(len(channels))])
+		case 2:
+			return fmt.Sprintf("F.network = '%s'", networks[rng.Intn(len(networks))])
+		case 3:
+			return fmt.Sprintf("R.seqno <= %d", 1+rng.Intn(6))
+		case 4:
+			return fmt.Sprintf("D.sample_value > %d", rng.Intn(2000)-1000)
+		case 5:
+			return fmt.Sprintf("R.start_time < '2010-01-12T00:00:%02d'", rng.Intn(60))
+		case 6:
+			return fmt.Sprintf("D.sample_time >= '2010-01-12T00:00:%02d'", rng.Intn(60))
+		default:
+			return fmt.Sprintf("F.uri LIKE '%%%s%%'", channels[rng.Intn(3)])
+		}
+	}
+	where := func() string {
+		n := 1 + rng.Intn(3)
+		out := conjunct()
+		for i := 1; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				out += " OR " + conjunct()
+			} else {
+				out += " AND " + conjunct()
+			}
+		}
+		return out
+	}
+
+	shapes := []string{
+		"SELECT COUNT(*) FROM mseed.dataview WHERE %s",
+		"SELECT COUNT(*), MIN(D.sample_value), MAX(D.sample_value) FROM mseed.dataview WHERE %s",
+		"SELECT F.station, COUNT(*), AVG(D.sample_value) FROM mseed.dataview WHERE %s GROUP BY F.station ORDER BY F.station",
+		"SELECT F.channel, SUM(D.sample_value) FROM mseed.dataview WHERE %s GROUP BY F.channel ORDER BY F.channel",
+	}
+
+	for i := 0; i < 24; i++ {
+		q := fmt.Sprintf(shapes[rng.Intn(len(shapes))], where())
+		re, err := eager.Query(q)
+		if err != nil {
+			t.Fatalf("eager: %v\nquery: %s", err, q)
+		}
+		rl, err := lazy.Query(q)
+		if err != nil {
+			t.Fatalf("lazy: %v\nquery: %s", err, q)
+		}
+		rx, err := ext.Query(q)
+		if err != nil {
+			t.Fatalf("external: %v\nquery: %s", err, q)
+		}
+		assertSameResult(t, q, re.Batch, rl.Batch)
+		assertSameResult(t, q, re.Batch, rx.Batch)
+	}
+}

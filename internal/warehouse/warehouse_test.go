@@ -1,0 +1,494 @@
+package warehouse
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/column"
+	"repro/internal/etl"
+	"repro/internal/repo"
+	"repro/internal/seisgen"
+)
+
+const (
+	q1 = `SELECT AVG(D.sample_value)
+FROM mseed.dataview
+WHERE F.station = 'ISK'
+AND F.channel = 'BHE'
+AND R.start_time > '2010-01-12T00:00:00.000'
+AND R.start_time < '2010-01-12T23:59:59.999'
+AND D.sample_time > '2010-01-12T22:15:00.000'
+AND D.sample_time < '2010-01-12T22:15:02.000'`
+
+	q2 = `SELECT F.station,
+MIN(D.sample_value), MAX(D.sample_value)
+FROM mseed.dataview
+WHERE F.network = 'NL'
+AND F.channel = 'BHZ'
+GROUP BY F.station`
+)
+
+// genRepo writes a small deterministic repository. SamplesPerDay is sized
+// so the full day covers 2010-01-12 at 40 Hz up to ~22:20, which the Q1
+// window (22:15:00-22:15:02) falls inside: 40 Hz * 80500 s &gt; 22h20m.
+func genRepo(t testing.TB, samplesPerDay int) string {
+	t.Helper()
+	dir := t.TempDir()
+	_, err := seisgen.Generate(seisgen.RepoConfig{
+		Dir:           dir,
+		SamplesPerDay: samplesPerDay,
+		EventsPerDay:  1,
+		Seed:          42,
+	})
+	if err != nil {
+		t.Fatalf("generate repository: %v", err)
+	}
+	return dir
+}
+
+// genFullDayRepo writes a repository at 1 Hz whose series cover the whole
+// of 2010-01-12 including Q1's 22:15 window, keeping data volumes small.
+func genFullDayRepo(t testing.TB) string {
+	t.Helper()
+	dir := t.TempDir()
+	_, err := seisgen.Generate(seisgen.RepoConfig{
+		Dir:           dir,
+		SampleRate:    1,
+		SamplesPerDay: 24 * 3600,
+		EventsPerDay:  1,
+		Seed:          42,
+	})
+	if err != nil {
+		t.Fatalf("generate repository: %v", err)
+	}
+	return dir
+}
+
+func openWH(t testing.TB, dir string, mode Mode) *Warehouse {
+	t.Helper()
+	w, err := Open(dir, Options{Mode: mode})
+	if err != nil {
+		t.Fatalf("open %v warehouse: %v", mode, err)
+	}
+	return w
+}
+
+func TestOpenModesInitialLoad(t *testing.T) {
+	dir := genRepo(t, 4000)
+
+	lazy := openWH(t, dir, Lazy)
+	eager := openWH(t, dir, Eager)
+
+	li, ei := lazy.InitStats(), eager.InitStats()
+	if li.Files != 15 || ei.Files != 15 { // 5 stations x 3 channels x 1 day
+		t.Errorf("files: lazy %d, eager %d, want 15", li.Files, ei.Files)
+	}
+	if li.Records != ei.Records || li.Records == 0 {
+		t.Errorf("records: lazy %d, eager %d", li.Records, ei.Records)
+	}
+	// Lazy reads only headers: far fewer bytes than the repository.
+	if li.BytesRead >= li.RepoBytes/2 {
+		t.Errorf("lazy initial load read %d of %d repo bytes", li.BytesRead, li.RepoBytes)
+	}
+	if ei.BytesRead != ei.RepoBytes {
+		t.Errorf("eager initial load read %d bytes, repo is %d", ei.BytesRead, ei.RepoBytes)
+	}
+	// Lazy loads no data rows; eager loads one per sample.
+	if got := lazy.Stats().DataRows; got != 0 {
+		t.Errorf("lazy data rows = %d", got)
+	}
+	if got := eager.Stats().DataRows; int64(got) != ei.Samples {
+		t.Errorf("eager data rows = %d, want %d", got, ei.Samples)
+	}
+	// Eager store dwarfs the lazy store.
+	if li.StoreBytes*4 > ei.StoreBytes {
+		t.Errorf("store bytes: lazy %d not much smaller than eager %d", li.StoreBytes, ei.StoreBytes)
+	}
+}
+
+func TestFigure1QueriesAgreeAcrossModes(t *testing.T) {
+	dir := genRepo(t, 3000)
+
+	lazy := openWH(t, dir, Lazy)
+	eager := openWH(t, dir, Eager)
+	ext := openWH(t, dir, External)
+
+	for _, q := range []string{q2, // per-station min/max
+		`SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK'`,
+		`SELECT F.channel, AVG(D.sample_value), COUNT(*) FROM mseed.dataview WHERE F.network = 'KO' GROUP BY F.channel ORDER BY F.channel`,
+	} {
+		rl, err := lazy.Query(q)
+		if err != nil {
+			t.Fatalf("lazy: %v\nquery: %s", err, q)
+		}
+		re, err := eager.Query(q)
+		if err != nil {
+			t.Fatalf("eager: %v\nquery: %s", err, q)
+		}
+		rx, err := ext.Query(q)
+		if err != nil {
+			t.Fatalf("external: %v\nquery: %s", err, q)
+		}
+		assertSameResult(t, q, re.Batch, rl.Batch)
+		assertSameResult(t, q, re.Batch, rx.Batch)
+	}
+}
+
+// assertSameResult compares batches row-by-row with float tolerance,
+// ignoring row order (results are compared after sorting by rendering).
+func assertSameResult(t *testing.T, q string, want, got *column.Batch) {
+	t.Helper()
+	if want.NumRows() != got.NumRows() || want.NumCols() != got.NumCols() {
+		t.Fatalf("shape mismatch for %s:\nwant %dx%d\n%v\ngot %dx%d\n%v",
+			q, want.NumRows(), want.NumCols(), want, got.NumRows(), got.NumCols(), got)
+	}
+	render := func(b *column.Batch) []string {
+		rows := make([]string, b.NumRows())
+		for i := 0; i < b.NumRows(); i++ {
+			var sb strings.Builder
+			for _, v := range b.Row(i) {
+				if v.Type == column.Float64 {
+					sb.WriteString(strings.TrimRight(strings.TrimRight(
+						fmtFloat(v.F), "0"), "."))
+				} else {
+					sb.WriteString(v.String())
+				}
+				sb.WriteByte('|')
+			}
+			rows[i] = sb.String()
+		}
+		sortStrings(rows)
+		return rows
+	}
+	w, g := render(want), render(got)
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("row %d mismatch for %s:\nwant %s\ngot  %s", i, q, w[i], g[i])
+		}
+	}
+}
+
+// fmtFloat rounds to 6 decimals to absorb summation-order differences
+// between execution strategies.
+func fmtFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'f', 6, 64)
+	if s == "-0.000000" {
+		return "0.000000"
+	}
+	return s
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestFigure1Q1WindowAggregate(t *testing.T) {
+	// A full-day 1 Hz repository covers the 22:15 window of Q1.
+	dir := genFullDayRepo(t)
+	lazy := openWH(t, dir, Lazy)
+	eager := openWH(t, dir, Eager)
+
+	rl, err := lazy.Query(q1)
+	if err != nil {
+		t.Fatalf("lazy q1: %v", err)
+	}
+	re, err := eager.Query(q1)
+	if err != nil {
+		t.Fatalf("eager q1: %v", err)
+	}
+	if rl.Batch.NumRows() != 1 || re.Batch.NumRows() != 1 {
+		t.Fatalf("expected 1 row, got lazy=%d eager=%d", rl.Batch.NumRows(), re.Batch.NumRows())
+	}
+	lv, ev := rl.Batch.Row(0)[0], re.Batch.Row(0)[0]
+	if lv.Null || ev.Null {
+		t.Fatalf("q1 returned NULL (window not covered): lazy=%v eager=%v", lv, ev)
+	}
+	if math.Abs(lv.F-ev.F) > 1e-6*math.Max(1, math.Abs(ev.F)) {
+		t.Errorf("q1: lazy %g != eager %g", lv.F, ev.F)
+	}
+
+	// The lazy query must touch only the single qualifying file.
+	if n := len(rl.Trace.TouchedFiles); n != 1 {
+		t.Errorf("lazy q1 touched %d files, want 1: %v", n, rl.Trace.TouchedFiles)
+	}
+	if !strings.Contains(rl.Trace.TouchedFiles[0], "ISK") || !strings.Contains(rl.Trace.TouchedFiles[0], "BHE") {
+		t.Errorf("touched wrong file: %v", rl.Trace.TouchedFiles)
+	}
+}
+
+func TestLazyTraceShowsRewrite(t *testing.T) {
+	dir := genRepo(t, 3000)
+	w := openWH(t, dir, Lazy)
+	res, err := w.Query(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if !strings.Contains(tr.Naive, "Scan mseed.data") {
+		t.Errorf("naive plan should scan mseed.data:\n%s", tr.Naive)
+	}
+	if !strings.Contains(tr.Optimized, "LazyExtract") {
+		t.Errorf("optimized plan should contain LazyExtract:\n%s", tr.Optimized)
+	}
+	// Metadata predicates must sit below the extraction in the plan.
+	if !strings.Contains(tr.Optimized, "F.network = 'NL'") {
+		t.Errorf("optimized plan lost the metadata predicate:\n%s", tr.Optimized)
+	}
+	if len(tr.RuntimeOps) == 0 {
+		t.Error("no run-time injected operators recorded")
+	}
+	for _, op := range tr.RuntimeOps {
+		if !strings.HasPrefix(op, "ExtractRecord") && !strings.HasPrefix(op, "CacheRead") && !strings.HasPrefix(op, "ExtractFile") {
+			t.Errorf("unexpected injected op %q", op)
+		}
+	}
+	// 4 NL stations x BHZ = 4 files.
+	if len(tr.TouchedFiles) != 4 {
+		t.Errorf("touched %d files, want 4: %v", len(tr.TouchedFiles), tr.TouchedFiles)
+	}
+}
+
+func TestCacheWarmup(t *testing.T) {
+	dir := genRepo(t, 3000)
+	w := openWH(t, dir, Lazy)
+
+	r1, err := w.Query(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := 0
+	for _, op := range r1.Trace.RuntimeOps {
+		if strings.HasPrefix(op, "ExtractRecord") {
+			cold++
+		}
+	}
+	if cold == 0 {
+		t.Fatal("first query extracted nothing")
+	}
+	r2, err := w.Query(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range r2.Trace.RuntimeOps {
+		if !strings.HasPrefix(op, "CacheRead") {
+			t.Fatalf("second run should be all cache reads, saw %q", op)
+		}
+	}
+	if len(r2.Trace.TouchedFiles) != 0 {
+		t.Errorf("second run touched files: %v", r2.Trace.TouchedFiles)
+	}
+	assertSameResult(t, q2, r1.Batch, r2.Batch)
+}
+
+func TestLazyRefreshAfterUpdate(t *testing.T) {
+	dir := genRepo(t, 3000)
+	w := openWH(t, dir, Lazy)
+	if _, err := w.Query(q2); err != nil {
+		t.Fatal(err)
+	}
+	st0 := w.Engine().Cache().Stats()
+	if st0.Invalidations != 0 {
+		t.Fatalf("unexpected invalidations before update: %+v", st0)
+	}
+
+	// Touch one qualifying file into the future.
+	rp, err := repo.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var touched string
+	for _, f := range rp.Files {
+		if strings.Contains(f.URI, "NL/HGN/BHZ") {
+			touched = f.AbsPath
+			if err := repo.Touch(f.AbsPath, time.Now().Add(time.Hour)); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if touched == "" {
+		t.Fatal("no NL/HGN/BHZ file found")
+	}
+
+	res, err := w.Query(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := w.Engine().Cache().Stats()
+	if st1.Invalidations == 0 {
+		t.Error("update did not invalidate any cache entries")
+	}
+	if len(res.Trace.TouchedFiles) != 1 || !strings.Contains(res.Trace.TouchedFiles[0], "HGN") {
+		t.Errorf("refresh should re-extract only the updated file, touched %v", res.Trace.TouchedFiles)
+	}
+}
+
+func TestExternalModeTouchesEverything(t *testing.T) {
+	dir := genRepo(t, 2000)
+	ext := openWH(t, dir, External)
+	res, err := ext.Query(q2) // selective predicate
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace.TouchedFiles) != 15 {
+		t.Errorf("external mode touched %d files, want all 15", len(res.Trace.TouchedFiles))
+	}
+
+	lazy := openWH(t, dir, Lazy)
+	rl, err := lazy.Query(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rl.Trace.TouchedFiles) != 4 {
+		t.Errorf("lazy mode touched %d files, want 4", len(rl.Trace.TouchedFiles))
+	}
+}
+
+func TestMetadataBrowsing(t *testing.T) {
+	dir := genRepo(t, 2000)
+	w := openWH(t, dir, Lazy)
+	res, err := w.Query(`SELECT station, COUNT(*) FROM mseed.files GROUP BY station ORDER BY station`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batch.NumRows() != 5 {
+		t.Fatalf("stations: %d rows\n%v", res.Batch.NumRows(), res.Batch)
+	}
+	cnt, _ := res.Batch.Col("COUNT(*)")
+	for i := 0; i < 5; i++ {
+		if cnt.Int64s()[i] != 3 { // 3 channels per station
+			t.Errorf("station %d has %d files, want 3", i, cnt.Int64s()[i])
+		}
+	}
+	// Record metadata with aliased base table.
+	res, err = w.Query(`SELECT COUNT(*) FROM mseed.records R WHERE R.num_samples > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batch.Row(0)[0].I == 0 {
+		t.Error("no records found")
+	}
+}
+
+func TestQueryDataTableVirtualInLazyMode(t *testing.T) {
+	dir := genRepo(t, 1000)
+	w := openWH(t, dir, Lazy)
+	if _, err := w.Query(`SELECT COUNT(*) FROM mseed.data`); err == nil {
+		t.Error("expected error querying virtual mseed.data in lazy mode")
+	}
+	e := openWH(t, dir, Eager)
+	res, err := e.Query(`SELECT COUNT(*) FROM mseed.data`)
+	if err != nil {
+		t.Fatalf("eager mode should allow direct data scans: %v", err)
+	}
+	if res.Batch.Row(0)[0].I == 0 {
+		t.Error("eager data table empty")
+	}
+}
+
+func TestExplainAndLog(t *testing.T) {
+	dir := genRepo(t, 1000)
+	w := openWH(t, dir, Lazy)
+	tr, err := w.Explain(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Naive == "" || tr.Optimized == "" || tr.Naive == tr.Optimized {
+		t.Errorf("explain plans missing or identical:\n%s\n%s", tr.Naive, tr.Optimized)
+	}
+	if _, err := w.Query(q2); err != nil {
+		t.Fatal(err)
+	}
+	log := w.Log()
+	if len(log) == 0 {
+		t.Fatal("empty operation log")
+	}
+	var sawQuery, sawExtract, sawAnswer bool
+	for _, e := range log {
+		switch e.Op {
+		case "query":
+			sawQuery = true
+		case "ExtractRecord":
+			sawExtract = true
+		case "answer":
+			sawAnswer = true
+		}
+	}
+	if !sawQuery || !sawExtract || !sawAnswer {
+		t.Errorf("log lacks expected entries: query=%v extract=%v answer=%v", sawQuery, sawExtract, sawAnswer)
+	}
+	w.ClearLog()
+	if len(w.Log()) != 0 {
+		t.Error("ClearLog did not clear")
+	}
+}
+
+func TestRefreshPicksUpNewFiles(t *testing.T) {
+	dir := genRepo(t, 1000)
+	w := openWH(t, dir, Lazy)
+	before := w.Stats().FilesRows
+
+	// Add a new station's files.
+	_, err := seisgen.Generate(seisgen.RepoConfig{
+		Dir:           dir,
+		Stations:      []seisgen.Station{{Network: "GR", Code: "BFO"}},
+		Channels:      []string{"BHZ"},
+		SamplesPerDay: 500,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().FilesRows; got != before+1 {
+		t.Errorf("after refresh: %d files, want %d", got, before+1)
+	}
+	res, err := w.Query(`SELECT COUNT(*) FROM mseed.dataview WHERE F.network = 'GR'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batch.Row(0)[0].I != 500 {
+		t.Errorf("new station samples = %v, want 500", res.Batch.Row(0)[0])
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(t.TempDir(), Options{}); err == nil {
+		t.Error("expected error opening empty repository")
+	}
+	if _, err := Open("/nonexistent/path", Options{}); err == nil {
+		t.Error("expected error for missing directory")
+	}
+}
+
+func TestCacheBudgetEviction(t *testing.T) {
+	dir := genRepo(t, 4000)
+	w, err := Open(dir, Options{Mode: Lazy, ETL: etl.Options{CacheBudget: 16 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Query(q2); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Engine().Cache().Stats()
+	if st.Evictions == 0 {
+		t.Errorf("tiny cache should evict: %+v", st)
+	}
+	if used := w.Engine().Cache().Used(); used > 16<<10 {
+		t.Errorf("cache over budget: %d", used)
+	}
+	// Results stay correct under eviction pressure.
+	e := openWH(t, dir, Eager)
+	rl, _ := w.Query(q2)
+	re, _ := e.Query(q2)
+	assertSameResult(t, q2, re.Batch, rl.Batch)
+}

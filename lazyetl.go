@@ -1,0 +1,120 @@
+// Package lazyetl is a scientific data warehouse with query-driven,
+// on-demand ETL, reproducing "Lazy ETL in Action: ETL Technology Dates
+// Scientific Data" (Kargın et al., PVLDB 6(12), 2013) and its BIRTE 2012
+// companion system.
+//
+// A warehouse opens over a repository of mSEED seismic waveform files. In
+// Lazy mode the initial load reads only metadata (file and record headers),
+// so the warehouse is queryable near-instantly; waveform samples are
+// extracted, transformed and cached on demand, per query, for exactly the
+// records that survive the query's metadata predicates. Eager mode performs
+// the traditional full initial load, and External mode models external-
+// table access (query-time extraction without metadata pruning) as a
+// baseline.
+//
+// Quickstart:
+//
+//	files, _ := lazyetl.GenerateRepository(lazyetl.RepoConfig{Dir: dir, Seed: 1})
+//	w, err := lazyetl.Open(dir, lazyetl.Options{Mode: lazyetl.Lazy})
+//	res, err := w.Query(`SELECT F.station, MIN(D.sample_value), MAX(D.sample_value)
+//	                     FROM mseed.dataview
+//	                     WHERE F.network = 'NL' AND F.channel = 'BHZ'
+//	                     GROUP BY F.station`)
+//	fmt.Print(res.Batch)
+//
+// The package is a thin facade; subsystems live in internal/ packages
+// (mseed format, columnar store, SQL front-end, planner, executor, ETL
+// engine, recycler cache, waveform synthesis, STA/LTA analysis).
+package lazyetl
+
+import (
+	"repro/internal/seisgen"
+	"repro/internal/seismic"
+	"repro/internal/warehouse"
+)
+
+// Re-exported core types. These aliases are the supported public API.
+type (
+	// Warehouse is an open scientific data warehouse over an mSEED file
+	// repository.
+	Warehouse = warehouse.Warehouse
+	// Options configures Open.
+	Options = warehouse.Options
+	// Mode selects eager, lazy or external-table operation.
+	Mode = warehouse.Mode
+	// Result is a query answer with its plan trace and touched-file list.
+	Result = warehouse.Result
+	// Trace carries the naive plan, the reorganized plan, and the
+	// operators injected by the run-time rewrite.
+	Trace = warehouse.Trace
+	// InitStats describes the cost of the initial load.
+	InitStats = warehouse.InitStats
+	// Stats is a snapshot of warehouse counters.
+	Stats = warehouse.Stats
+	// LogEntry is one line of the operation log.
+	LogEntry = warehouse.LogEntry
+
+	// RepoConfig configures GenerateRepository.
+	RepoConfig = seisgen.RepoConfig
+	// Station identifies a synthetic seismograph station.
+	Station = seisgen.Station
+	// GeneratedFile describes one generated repository file.
+	GeneratedFile = seisgen.GeneratedFile
+
+	// EventConfig configures DetectEvents.
+	EventConfig = seismic.Config
+	// SeismicEvent is one detected event.
+	SeismicEvent = seismic.Event
+)
+
+// Operating modes.
+const (
+	// Eager performs the traditional full initial load.
+	Eager = warehouse.Eager
+	// Lazy loads only metadata initially; data is extracted per query.
+	Lazy = warehouse.Lazy
+	// External extracts per query without metadata pruning (baseline).
+	External = warehouse.External
+)
+
+// Open scans the mSEED repository under dir and initializes a warehouse in
+// the requested mode.
+func Open(dir string, opts Options) (*Warehouse, error) {
+	return warehouse.Open(dir, opts)
+}
+
+// GenerateRepository writes a deterministic synthetic mSEED repository to
+// cfg.Dir (background noise plus optional injected seismic events), the
+// stand-in for a real seismic archive such as ORFEUS.
+func GenerateRepository(cfg RepoConfig) ([]GeneratedFile, error) {
+	return seisgen.Generate(cfg)
+}
+
+// DetectEvents runs STA/LTA event detection over a uniformly sampled
+// series, typically the sample_time/sample_value columns of a query result.
+func DetectEvents(times []int64, values []float64, cfg EventConfig) ([]SeismicEvent, error) {
+	return seismic.DetectEvents(times, values, cfg)
+}
+
+// The two sample analytical queries of the paper's Figure 1, verbatim.
+const (
+	// Figure1Q1 computes a short-term average over the ISK station's BHE
+	// channel within a two-second window.
+	Figure1Q1 = `SELECT AVG(D.sample_value)
+FROM mseed.dataview
+WHERE F.station = 'ISK'
+AND F.channel = 'BHE'
+AND R.start_time > '2010-01-12T00:00:00.000'
+AND R.start_time < '2010-01-12T23:59:59.999'
+AND D.sample_time > '2010-01-12T22:15:00.000'
+AND D.sample_time < '2010-01-12T22:15:02.000'`
+
+	// Figure1Q2 computes per-station amplitude extremes over the Dutch
+	// network's BHZ channels, unrestricted in time.
+	Figure1Q2 = `SELECT F.station,
+MIN(D.sample_value), MAX(D.sample_value)
+FROM mseed.dataview
+WHERE F.network = 'NL'
+AND F.channel = 'BHZ'
+GROUP BY F.station`
+)

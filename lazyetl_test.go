@@ -1,0 +1,167 @@
+package lazyetl_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	lazyetl "repro"
+)
+
+// genRepo builds a small deterministic repository for public-API tests.
+func genRepo(t testing.TB, cfg lazyetl.RepoConfig) string {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	if cfg.SamplesPerDay == 0 {
+		cfg.SamplesPerDay = 4000
+	}
+	if _, err := lazyetl.GenerateRepository(cfg); err != nil {
+		t.Fatalf("GenerateRepository: %v", err)
+	}
+	return cfg.Dir
+}
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	dir := genRepo(t, lazyetl.RepoConfig{})
+	w, err := lazyetl.Open(dir, lazyetl.Options{Mode: lazyetl.Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Query(lazyetl.Figure1Q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batch.NumRows() != 4 { // 4 NL stations
+		t.Fatalf("rows = %d\n%v", res.Batch.NumRows(), res.Batch)
+	}
+	if len(res.Trace.TouchedFiles) != 4 {
+		t.Errorf("touched %d files, want 4", len(res.Trace.TouchedFiles))
+	}
+	st, ok := res.Batch.Col("F.station")
+	if !ok {
+		t.Fatal("no station column")
+	}
+	for _, s := range st.Strings() {
+		if s == "ISK" {
+			t.Error("ISK is not in the NL network")
+		}
+	}
+}
+
+func TestPublicAPIFigure1Q1(t *testing.T) {
+	dir := genRepo(t, lazyetl.RepoConfig{
+		SampleRate:    1,
+		SamplesPerDay: 24 * 3600,
+	})
+	w, err := lazyetl.Open(dir, lazyetl.Options{Mode: lazyetl.Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Query(lazyetl.Figure1Q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batch.NumRows() != 1 || res.Batch.Row(0)[0].Null {
+		t.Fatalf("Q1 result: %v", res.Batch)
+	}
+}
+
+func TestPublicAPIModesAgree(t *testing.T) {
+	dir := genRepo(t, lazyetl.RepoConfig{})
+	answers := map[lazyetl.Mode]string{}
+	for _, mode := range []lazyetl.Mode{lazyetl.Eager, lazyetl.Lazy, lazyetl.External} {
+		w, err := lazyetl.Open(dir, lazyetl.Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		res, err := w.Query(`SELECT COUNT(*), MIN(D.sample_value), MAX(D.sample_value)
+			FROM mseed.dataview WHERE F.channel = 'BHE'`)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		answers[mode] = res.Batch.String()
+	}
+	if answers[lazyetl.Eager] != answers[lazyetl.Lazy] || answers[lazyetl.Lazy] != answers[lazyetl.External] {
+		t.Errorf("modes disagree:\n%v", answers)
+	}
+}
+
+func TestPublicAPIDetectEvents(t *testing.T) {
+	dir := genRepo(t, lazyetl.RepoConfig{
+		Stations:      []lazyetl.Station{{Network: "NL", Code: "HGN"}},
+		Channels:      []string{"BHZ"},
+		SamplesPerDay: 60000,
+		EventsPerDay:  1,
+	})
+	w, err := lazyetl.Open(dir, lazyetl.Options{Mode: lazyetl.Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Query(`SELECT D.sample_time, D.sample_value FROM mseed.dataview ORDER BY D.sample_time`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, _ := res.Batch.Col("D.sample_time")
+	values, _ := res.Batch.Col("D.sample_value")
+	events, err := lazyetl.DetectEvents(times.Int64s(), values.Float64s(), lazyetl.EventConfig{
+		SampleRate: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Error("no events detected in an event-bearing series")
+	}
+}
+
+func TestPublicAPITraceAndLog(t *testing.T) {
+	dir := genRepo(t, lazyetl.RepoConfig{})
+	w, err := lazyetl.Open(dir, lazyetl.Options{Mode: lazyetl.Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Query(lazyetl.Figure1Q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Trace.Optimized, "LazyExtract") {
+		t.Error("optimized plan lacks LazyExtract")
+	}
+	if !strings.Contains(res.Trace.Naive, "Scan mseed.data") {
+		t.Error("naive plan lacks the data scan")
+	}
+	if len(w.Log()) == 0 {
+		t.Error("empty log")
+	}
+}
+
+func TestPublicAPIRefreshAfterUpdate(t *testing.T) {
+	dir := genRepo(t, lazyetl.RepoConfig{})
+	w, err := lazyetl.Open(dir, lazyetl.Options{Mode: lazyetl.Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Query(lazyetl.Figure1Q2); err != nil {
+		t.Fatal(err)
+	}
+	// Touch one NL BHZ file; the next query must re-extract only it.
+	victim := filepath.Join(dir, "NL", "WIT", "BHZ", "NL.WIT..BHZ.2010.012.mseed")
+	now := time.Now().Add(time.Hour)
+	if err := os.Chtimes(victim, now, now); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Query(lazyetl.Figure1Q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace.TouchedFiles) != 1 || !strings.Contains(res.Trace.TouchedFiles[0], "WIT") {
+		t.Errorf("touched %v, want only the WIT file", res.Trace.TouchedFiles)
+	}
+}
