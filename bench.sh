@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# bench.sh — run the paper's E1–E9 experiment benchmarks plus the exec
+# microbenchmarks with -benchmem, emitting benchstat-comparable output.
+#
+# Usage:
+#   ./bench.sh             full run (count=5, suitable for benchstat)
+#   ./bench.sh -quick      single short iteration (CI smoke / trajectory)
+#   ./bench.sh E5          only benchmarks matching the given regex
+#
+# Compare two trees with:
+#   git checkout main  && ./bench.sh > old.txt
+#   git checkout my-pr && ./bench.sh > new.txt
+#   benchstat old.txt new.txt
+set -euo pipefail
+cd "$(dirname "$0")"
+
+count=5
+benchtime=1s
+pattern='E[1-9]|Filter|Aggregate|HashJoin|Sort|Like|Steim'
+
+for arg in "$@"; do
+  case "$arg" in
+    -quick)
+      count=1
+      benchtime=1x
+      ;;
+    *)
+      pattern="$arg"
+      ;;
+  esac
+done
+
+exec go test -run '^$' -bench "$pattern" -benchmem \
+  -count "$count" -benchtime "$benchtime" ./...

@@ -82,6 +82,22 @@ func (b *Batch) Names() []string {
 	return out
 }
 
+// Slice returns a prefix view of the first n rows. Column vectors are
+// shared with b (O(1), no copying); callers must not append to either batch
+// afterwards. This is how LIMIT avoids a full gather.
+func (b *Batch) Slice(n int) *Batch {
+	if n >= b.NumRows() {
+		return b
+	}
+	out := &Batch{byName: make(map[string]int, len(b.cols))}
+	for _, c := range b.cols {
+		sc := c.Slice(n)
+		out.byName[sc.Name()] = len(out.cols)
+		out.cols = append(out.cols, sc)
+	}
+	return out
+}
+
 // Gather builds a new batch of the selected rows.
 func (b *Batch) Gather(sel []int32) *Batch {
 	out := &Batch{byName: make(map[string]int, len(b.cols))}

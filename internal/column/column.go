@@ -42,6 +42,16 @@ func NewStrings(name string, vals []string) *Column {
 	return &Column{name: name, typ: String, strs: vals}
 }
 
+// NewIntFamily creates a column of an integer-family type (Int64, Bool or
+// Timestamp) wrapping vals (not copied). Kernels use it to return
+// preallocated result vectors without per-row appends.
+func NewIntFamily(name string, typ Type, vals []int64) *Column {
+	if typ == Float64 || typ == String {
+		panic(fmt.Sprintf("column: NewIntFamily with %v", typ))
+	}
+	return &Column{name: name, typ: typ, ints: vals}
+}
+
 // Name returns the column name.
 func (c *Column) Name() string { return c.name }
 
@@ -169,6 +179,47 @@ func (c *Column) Float64s() []float64 { return c.fls }
 
 // Strings exposes the raw string vector.
 func (c *Column) Strings() []string { return c.strs }
+
+// Nulls exposes the raw null vector: nil when the column has no nulls (the
+// common case kernels exploit as a branch-free fast path), else a []bool of
+// the column's length with true marking null positions.
+func (c *Column) Nulls() []bool { return c.nulls }
+
+// SetNulls attaches a null vector to the column (nil clears it). The length
+// must match the column length; all-false vectors may be passed and are
+// kept as-is.
+func (c *Column) SetNulls(nulls []bool) {
+	if nulls != nil && len(nulls) != c.Len() {
+		panic(fmt.Sprintf("column %s: SetNulls len %d != column len %d", c.name, len(nulls), c.Len()))
+	}
+	c.nulls = nulls
+}
+
+// HasNulls reports whether the column may contain nulls (a nil null vector
+// guarantees it does not).
+func (c *Column) HasNulls() bool { return c.nulls != nil }
+
+// Slice returns a prefix view of the first n values. The underlying vectors
+// are shared with c, not copied, so this is O(1); callers must not append to
+// either column afterwards.
+func (c *Column) Slice(n int) *Column {
+	if n >= c.Len() {
+		return c
+	}
+	cp := &Column{name: c.name, typ: c.typ}
+	switch c.typ {
+	case Float64:
+		cp.fls = c.fls[:n]
+	case String:
+		cp.strs = c.strs[:n]
+	default:
+		cp.ints = c.ints[:n]
+	}
+	if c.nulls != nil {
+		cp.nulls = c.nulls[:n]
+	}
+	return cp
+}
 
 // Gather builds a new column containing the rows selected by sel, in order.
 func (c *Column) Gather(sel []int32) *Column {

@@ -181,19 +181,22 @@ func (e *Engine) Extract(meta *column.Batch, obs plan.Observer) (*column.Batch, 
 	}
 
 	// Assemble the universal-table batch: replicate each metadata row once
-	// per sample, then attach the D columns.
+	// per sample, then attach the D columns. The replication selection
+	// vector and sample vectors are sized up front from the entry lengths
+	// and filled by index (the entries' sample slices bulk-copy).
 	var total int
 	for _, ent := range entries {
 		total += len(ent.Times)
 	}
-	sel := make([]int32, 0, total)
-	dTimes := make([]int64, 0, total)
-	dValues := make([]float64, 0, total)
+	sel := make([]int32, total)
+	dTimes := make([]int64, total)
+	dValues := make([]float64, total)
+	k := 0
 	for i, ent := range entries {
-		for j := range ent.Times {
-			sel = append(sel, int32(i))
-			dTimes = append(dTimes, ent.Times[j])
-			dValues = append(dValues, ent.Values[j])
+		copy(dTimes[k:], ent.Times)
+		copy(dValues[k:], ent.Values)
+		for j := k + len(ent.Times); k < j; k++ {
+			sel[k] = int32(i)
 		}
 	}
 	out := meta.Gather(sel)

@@ -1,8 +1,9 @@
 package exec
 
 import (
+	"encoding/binary"
 	"fmt"
-	"strings"
+	"math"
 
 	"repro/internal/column"
 	"repro/internal/sql"
@@ -17,14 +18,38 @@ type AggSpec struct {
 	OutName  string // output column name
 }
 
-// aggState accumulates one aggregate for one group.
+// aggState accumulates one aggregate for one group. Values are kept in raw
+// typed fields (no Value boxing on the per-row path); which min/max fields
+// are meaningful follows the argument column's type.
 type aggState struct {
-	count    int64
-	sum      float64
-	intSum   int64
-	min, max column.Value
-	seen     map[string]bool // COUNT(DISTINCT ...)
-	any      bool
+	count      int64
+	sum        float64
+	intSum     int64
+	minI, maxI int64
+	minF, maxF float64
+	minS, maxS string
+	seen       map[string]struct{} // COUNT(DISTINCT ...)
+	any        bool
+}
+
+// aggArg is the unpacked per-aggregate input: raw vectors of the evaluated
+// argument column, hoisted out of the per-row loop.
+type aggArg struct {
+	star     bool
+	distinct bool
+	typ      column.Type
+	ints     []int64
+	fls      []float64
+	strs     []string
+	nulls    []bool
+}
+
+// aggGroup is one output group: the first row that produced it (group-by
+// key values are gathered from there) and one state per aggregate,
+// allocated contiguously.
+type aggGroup struct {
+	firstRow int32
+	states   []aggState
 }
 
 // outType determines the aggregate's result type from its input type.
@@ -57,6 +82,11 @@ func aggOutType(fn string, in column.Type) (column.Type, error) {
 // its SQL text) followed by one column per AggSpec. With no group-by
 // expressions, a single global group is produced (even over zero rows, per
 // SQL semantics: COUNT is 0, other aggregates NULL).
+//
+// Grouping is hash-based with two key paths: a single integer-family key
+// indexes a map[int64] directly (nulls get a dedicated group), and
+// composite or string keys are encoded into a reused byte buffer with
+// fixed-width numeric encoding, whose map[string] lookups do not allocate.
 func Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*column.Batch, error) {
 	// Evaluate group keys and aggregate arguments once, vectorized.
 	keyCols := make([]*column.Column, len(groupBy))
@@ -67,182 +97,330 @@ func Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*column.Bat
 		}
 		keyCols[i] = c
 	}
-	argCols := make([]*column.Column, len(aggs))
+	args := make([]aggArg, len(aggs))
 	for i, a := range aggs {
 		if a.Star {
+			args[i] = aggArg{star: true}
 			continue
 		}
 		c, err := Eval(a.Arg, b)
 		if err != nil {
 			return nil, err
 		}
-		argCols[i] = c
-	}
-
-	type group struct {
-		firstRow int
-		states   []*aggState
-	}
-	groups := make(map[string]*group)
-	var order []string // first-appearance order
-
-	encodeKey := func(row int) string {
-		var sb strings.Builder
-		for _, kc := range keyCols {
-			if kc.IsNull(row) {
-				sb.WriteString("\x00N")
-			} else {
-				sb.WriteString(kc.Value(row).String())
-			}
-			sb.WriteByte(0)
+		args[i] = aggArg{
+			distinct: a.Distinct,
+			typ:      c.Type(),
+			ints:     c.Int64s(),
+			fls:      c.Float64s(),
+			strs:     c.Strings(),
+			nulls:    c.Nulls(),
 		}
-		return sb.String()
+	}
+
+	var groups []aggGroup
+	addGroup := func(row int) int {
+		groups = append(groups, aggGroup{firstRow: int32(row), states: make([]aggState, len(aggs))})
+		return len(groups) - 1
 	}
 
 	n := b.NumRows()
-	for row := 0; row < n; row++ {
-		k := encodeKey(row)
-		g, ok := groups[k]
-		if !ok {
-			g = &group{firstRow: row, states: make([]*aggState, len(aggs))}
-			for i := range aggs {
-				g.states[i] = &aggState{}
-			}
-			groups[k] = g
-			order = append(order, k)
-		}
-		for i, spec := range aggs {
-			st := g.states[i]
-			if spec.Star {
-				st.count++
-				continue
-			}
-			ac := argCols[i]
-			if ac.IsNull(row) {
-				continue // aggregates ignore nulls
-			}
-			v := ac.Value(row)
-			if spec.Distinct {
-				if st.seen == nil {
-					st.seen = make(map[string]bool)
+	if len(groupBy) == 1 && keyCols[0].Type() != column.Float64 && keyCols[0].Type() != column.String {
+		// Integer-keyed fast path: the raw int64 is the hash key.
+		ints := keyCols[0].Int64s()
+		nulls := keyCols[0].Nulls()
+		idx := make(map[int64]int, 64)
+		nullGroup := -1
+		for row := 0; row < n; row++ {
+			var gi int
+			if nulls != nil && nulls[row] {
+				if nullGroup < 0 {
+					nullGroup = addGroup(row)
 				}
-				key := v.String()
-				if st.seen[key] {
-					continue
-				}
-				st.seen[key] = true
-			}
-			st.count++
-			switch ac.Type() {
-			case column.Float64:
-				st.sum += v.F
-			case column.String:
-				// only MIN/MAX/COUNT meaningful; sum unused
-			default:
-				st.intSum += v.I
-				st.sum += float64(v.I)
-			}
-			if !st.any {
-				st.min, st.max = v, v
-				st.any = true
+				gi = nullGroup
 			} else {
-				if c, err := column.Compare(v, st.min); err == nil && c < 0 {
-					st.min = v
+				k := ints[row]
+				g, ok := idx[k]
+				if !ok {
+					g = addGroup(row)
+					idx[k] = g
 				}
-				if c, err := column.Compare(v, st.max); err == nil && c > 0 {
-					st.max = v
-				}
+				gi = g
 			}
+			updateAggStates(groups[gi].states, args, row)
+		}
+	} else if len(groupBy) > 0 {
+		// Generic path: encode the key tuple into a reused byte buffer.
+		// Map lookups with a string(buf) index expression do not allocate;
+		// the key string is only copied when a new group is inserted.
+		idx := make(map[string]int, 64)
+		buf := make([]byte, 0, 16*len(keyCols))
+		for row := 0; row < n; row++ {
+			buf = buf[:0]
+			for _, kc := range keyCols {
+				buf = appendRowKey(buf, kc, row)
+			}
+			gi, ok := idx[string(buf)]
+			if !ok {
+				gi = addGroup(row)
+				idx[string(buf)] = gi
+			}
+			updateAggStates(groups[gi].states, args, row)
+		}
+	} else {
+		// Global aggregate: a single group over all rows.
+		addGroup(0)
+		if n == 0 {
+			groups[0].firstRow = -1
+		}
+		states := groups[0].states
+		for row := 0; row < n; row++ {
+			updateAggStates(states, args, row)
 		}
 	}
 
-	// Global aggregate over empty input still yields one group.
-	if len(groupBy) == 0 && len(order) == 0 {
-		g := &group{firstRow: -1, states: make([]*aggState, len(aggs))}
-		for i := range aggs {
-			g.states[i] = &aggState{}
-		}
-		groups[""] = g
-		order = append(order, "")
-	}
-
-	// Assemble output columns.
+	// Assemble output columns: group keys gather from each group's first
+	// row; aggregate results fill preallocated vectors from the states.
 	var outCols []*column.Column
-	for i, g := range groupBy {
-		oc := column.New(g.String(), keyCols[i].Type())
-		for _, k := range order {
-			row := groups[k].firstRow
-			if err := appendFrom(oc, keyCols[i], row); err != nil {
-				return nil, err
-			}
+	if len(groupBy) > 0 {
+		firstRows := make([]int32, len(groups))
+		for i, g := range groups {
+			firstRows[i] = g.firstRow
 		}
-		outCols = append(outCols, oc)
+		for i, g := range groupBy {
+			outCols = append(outCols, keyCols[i].Gather(firstRows).WithName(g.String()))
+		}
 	}
 	for i, spec := range aggs {
 		inType := column.Int64
-		if argCols[i] != nil {
-			inType = argCols[i].Type()
+		if !args[i].star {
+			inType = args[i].typ
 		}
 		ot, err := aggOutType(spec.Func, inType)
 		if err != nil {
 			return nil, err
 		}
-		oc := column.New(spec.OutName, ot)
-		for _, k := range order {
-			st := groups[k].states[i]
-			if err := appendAggResult(oc, spec.Func, st); err != nil {
-				return nil, err
-			}
-		}
-		outCols = append(outCols, oc)
+		outCols = append(outCols, buildAggColumn(spec.OutName, spec.Func, ot, groups, i))
 	}
 	return column.NewBatch(outCols...)
 }
 
-func appendFrom(dst, src *column.Column, row int) error {
-	if src.IsNull(row) {
-		dst.AppendNull()
-		return nil
+// appendRowKey encodes one key column's value at row into buf: a tag byte,
+// then a fixed-width little-endian payload for numerics or a length-prefixed
+// payload for strings (so composite keys cannot collide across columns).
+func appendRowKey(buf []byte, c *column.Column, row int) []byte {
+	if c.IsNull(row) {
+		return append(buf, 'N')
 	}
-	return dst.AppendValue(src.Value(row))
+	switch c.Type() {
+	case column.Float64:
+		buf = append(buf, 'f')
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Float64s()[row]))
+	case column.String:
+		s := c.Strings()[row]
+		buf = append(buf, 's')
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		return append(buf, s...)
+	default:
+		buf = append(buf, 'i')
+		return binary.LittleEndian.AppendUint64(buf, uint64(c.Int64s()[row]))
+	}
 }
 
-func appendAggResult(dst *column.Column, fn string, st *aggState) error {
-	switch fn {
-	case "COUNT":
-		dst.AppendInt64(st.count)
-		return nil
-	case "AVG":
-		if st.count == 0 {
-			dst.AppendNull()
-			return nil
+// updateAggStates folds row into every aggregate's state for its group.
+func updateAggStates(states []aggState, args []aggArg, row int) {
+	for i := range args {
+		a := &args[i]
+		st := &states[i]
+		if a.star {
+			st.count++
+			continue
 		}
-		dst.AppendFloat64(st.sum / float64(st.count))
-		return nil
-	case "SUM":
-		if st.count == 0 {
-			dst.AppendNull()
-			return nil
+		if a.nulls != nil && a.nulls[row] {
+			continue // aggregates ignore nulls
 		}
-		if dst.Type() == column.Int64 {
-			dst.AppendInt64(st.intSum)
-		} else {
-			dst.AppendFloat64(st.sum)
+		switch a.typ {
+		case column.Float64:
+			v := a.fls[row]
+			if a.distinct && !distinctBits(st, math.Float64bits(v)) {
+				continue
+			}
+			st.count++
+			st.sum += v
+			if !st.any {
+				st.minF, st.maxF = v, v
+				st.any = true
+			} else {
+				if v < st.minF {
+					st.minF = v
+				}
+				if v > st.maxF {
+					st.maxF = v
+				}
+			}
+		case column.String:
+			v := a.strs[row]
+			if a.distinct {
+				if st.seen == nil {
+					st.seen = make(map[string]struct{})
+				}
+				if _, dup := st.seen[v]; dup {
+					continue
+				}
+				st.seen[v] = struct{}{}
+			}
+			st.count++
+			if !st.any {
+				st.minS, st.maxS = v, v
+				st.any = true
+			} else {
+				if v < st.minS {
+					st.minS = v
+				}
+				if v > st.maxS {
+					st.maxS = v
+				}
+			}
+		default: // integer family
+			v := a.ints[row]
+			if a.distinct && !distinctBits(st, uint64(v)) {
+				continue
+			}
+			st.count++
+			st.intSum += v
+			st.sum += float64(v)
+			if !st.any {
+				st.minI, st.maxI = v, v
+				st.any = true
+			} else {
+				if v < st.minI {
+					st.minI = v
+				}
+				if v > st.maxI {
+					st.maxI = v
+				}
+			}
 		}
-		return nil
-	case "MIN":
-		if !st.any {
-			dst.AppendNull()
-			return nil
-		}
-		return dst.AppendValue(st.min)
-	case "MAX":
-		if !st.any {
-			dst.AppendNull()
-			return nil
-		}
-		return dst.AppendValue(st.max)
-	default:
-		return fmt.Errorf("exec: unknown aggregate %q", fn)
 	}
+}
+
+// distinctBits records a numeric value's bit pattern in the state's seen
+// set, reporting whether it was new. Lookups do not allocate; only first
+// occurrences copy the 8-byte key.
+func distinctBits(st *aggState, bits uint64) bool {
+	var kb [8]byte
+	binary.LittleEndian.PutUint64(kb[:], bits)
+	if st.seen == nil {
+		st.seen = make(map[string]struct{})
+	}
+	if _, dup := st.seen[string(kb[:])]; dup {
+		return false
+	}
+	st.seen[string(kb[:])] = struct{}{}
+	return true
+}
+
+// buildAggColumn materializes one aggregate's result column across all
+// groups into a preallocated vector.
+func buildAggColumn(name, fn string, ot column.Type, groups []aggGroup, ai int) *column.Column {
+	ng := len(groups)
+	var nulls []bool
+	setNull := func(g int) {
+		if nulls == nil {
+			nulls = make([]bool, ng)
+		}
+		nulls[g] = true
+	}
+	var c *column.Column
+	switch {
+	case fn == "COUNT":
+		out := make([]int64, ng)
+		for g := range groups {
+			out[g] = groups[g].states[ai].count
+		}
+		return column.NewIntFamily(name, column.Int64, out)
+	case fn == "AVG":
+		out := make([]float64, ng)
+		for g := range groups {
+			st := &groups[g].states[ai]
+			if st.count == 0 {
+				setNull(g)
+				continue
+			}
+			out[g] = st.sum / float64(st.count)
+		}
+		c = column.NewFloat64s(name, out)
+	case fn == "SUM" && ot == column.Int64:
+		out := make([]int64, ng)
+		for g := range groups {
+			st := &groups[g].states[ai]
+			if st.count == 0 {
+				setNull(g)
+				continue
+			}
+			out[g] = st.intSum
+		}
+		c = column.NewIntFamily(name, column.Int64, out)
+	case fn == "SUM":
+		out := make([]float64, ng)
+		for g := range groups {
+			st := &groups[g].states[ai]
+			if st.count == 0 {
+				setNull(g)
+				continue
+			}
+			out[g] = st.sum
+		}
+		c = column.NewFloat64s(name, out)
+	default: // MIN, MAX over the argument's own type
+		isMin := fn == "MIN"
+		switch ot {
+		case column.Float64:
+			out := make([]float64, ng)
+			for g := range groups {
+				st := &groups[g].states[ai]
+				if !st.any {
+					setNull(g)
+					continue
+				}
+				if isMin {
+					out[g] = st.minF
+				} else {
+					out[g] = st.maxF
+				}
+			}
+			c = column.NewFloat64s(name, out)
+		case column.String:
+			out := make([]string, ng)
+			for g := range groups {
+				st := &groups[g].states[ai]
+				if !st.any {
+					setNull(g)
+					continue
+				}
+				if isMin {
+					out[g] = st.minS
+				} else {
+					out[g] = st.maxS
+				}
+			}
+			c = column.NewStrings(name, out)
+		default:
+			out := make([]int64, ng)
+			for g := range groups {
+				st := &groups[g].states[ai]
+				if !st.any {
+					setNull(g)
+					continue
+				}
+				if isMin {
+					out[g] = st.minI
+				} else {
+					out[g] = st.maxI
+				}
+			}
+			c = column.NewIntFamily(name, ot, out)
+		}
+	}
+	c.SetNulls(nulls)
+	return c
 }

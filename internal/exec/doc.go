@@ -1,0 +1,33 @@
+// Package exec implements the vectorized execution engine: expression
+// evaluation over column batches and the physical operators (filter,
+// project, hash join, group-aggregate, sort, limit) that the planner's
+// logical plans lower to.
+//
+// # Selection-vector execution model
+//
+// The engine follows MonetDB's column-at-a-time discipline, with filters
+// expressed as selection vectors rather than materialized intermediates. A
+// selection vector is an ascending []int32 of qualifying row indices over
+// an input batch; nil denotes "all rows". Predicate evaluation composes
+// one selection vector across an entire WHERE clause:
+//
+//   - a conjunction threads the vector through its conjuncts, so each
+//     successive predicate only inspects the rows that survived the
+//     previous ones;
+//   - a disjunction evaluates both sides over the same candidate rows and
+//     merges the two ordered vectors;
+//   - a comparison runs a typed kernel (see kernels.go) that scans raw
+//     int64/float64/string vectors and appends qualifying indices, with a
+//     constant-vs-column specialization when one operand is a literal (no
+//     broadcast column is ever allocated) and a null-free fast path when
+//     the column has no null bitmap.
+//
+// Filter gathers the batch exactly once, after the full predicate list has
+// been reduced to one selection vector. Operators that produce new columns
+// (arithmetic, aggregation) write into preallocated typed slices sized from
+// their inputs instead of growing columns value by value.
+//
+// Aggregate hashes group keys without boxing: a single integer-family key
+// indexes a map[int64] directly, and composite or string keys are encoded
+// into a reused fixed-width byte buffer whose map lookups do not allocate.
+package exec

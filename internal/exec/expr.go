@@ -1,12 +1,7 @@
-// Package exec implements the vectorized execution engine: expression
-// evaluation over column batches and the physical operators (filter,
-// project, hash join, group-aggregate, sort, limit) that the planner's
-// logical plans lower to.
 package exec
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/column"
 	"repro/internal/sql"
@@ -44,15 +39,28 @@ func Eval(e sql.Expr, b *column.Batch) (*column.Column, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := column.New("", column.Bool)
-		for i := 0; i < inner.Len(); i++ {
-			if inner.IsNull(i) != x.Not {
-				out.AppendInt64(1)
+		out := make([]int64, inner.Len())
+		nulls := inner.Nulls()
+		if x.Not {
+			if nulls == nil {
+				for i := range out {
+					out[i] = 1
+				}
 			} else {
-				out.AppendInt64(0)
+				for i := range out {
+					if !nulls[i] {
+						out[i] = 1
+					}
+				}
+			}
+		} else if nulls != nil {
+			for i := range out {
+				if nulls[i] {
+					out[i] = 1
+				}
 			}
 		}
-		return out, nil
+		return column.NewIntFamily("", column.Bool, out), nil
 
 	case *sql.Call:
 		return nil, fmt.Errorf("exec: aggregate %s outside of an aggregation context", x.Func)
@@ -62,24 +70,89 @@ func Eval(e sql.Expr, b *column.Batch) (*column.Column, error) {
 	}
 }
 
-// broadcast builds a constant column of n rows.
-func broadcast(v column.Value, n int) *column.Column {
-	c := column.New("", v.Type)
-	for i := 0; i < n; i++ {
-		if v.Null {
-			c.AppendNull()
-			continue
-		}
-		switch v.Type {
-		case column.Float64:
-			c.AppendFloat64(v.F)
-		case column.String:
-			c.AppendString(v.S)
-		default:
-			c.AppendInt64(v.I)
-		}
+// operand is one side of a binary expression: either a column vector or a
+// scalar constant. Literals stay scalar so the kernels can specialize on
+// constants instead of broadcasting them into full-width columns.
+type operand struct {
+	col    *column.Column
+	val    column.Value
+	scalar bool
+}
+
+func (o operand) typ() column.Type {
+	if o.scalar {
+		return o.val.Type
 	}
+	return o.col.Type()
+}
+
+// evalOperand evaluates one side of a binary expression, keeping literal
+// operands scalar.
+func evalOperand(e sql.Expr, b *column.Batch) (operand, error) {
+	if lit, ok := e.(*sql.Literal); ok {
+		return operand{val: lit.Val, scalar: true}, nil
+	}
+	c, err := Eval(e, b)
+	return operand{col: c}, err
+}
+
+// allNullColumn builds an n-row column of nulls.
+func allNullColumn(typ column.Type, n int) *column.Column {
+	nulls := make([]bool, n)
+	for i := range nulls {
+		nulls[i] = true
+	}
+	var c *column.Column
+	switch typ {
+	case column.Float64:
+		c = column.NewFloat64s("", make([]float64, n))
+	case column.String:
+		c = column.NewStrings("", make([]string, n))
+	default:
+		c = column.NewIntFamily("", typ, make([]int64, n))
+	}
+	c.SetNulls(nulls)
 	return c
+}
+
+// broadcast builds a constant column of n rows (only needed when a literal
+// must materialize as a full column, e.g. SELECT 1; binary kernels keep
+// constants scalar).
+func broadcast(v column.Value, n int) *column.Column {
+	if v.Null {
+		return allNullColumn(v.Type, n)
+	}
+	switch v.Type {
+	case column.Float64:
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = v.F
+		}
+		return column.NewFloat64s("", out)
+	case column.String:
+		out := make([]string, n)
+		for i := range out {
+			out[i] = v.S
+		}
+		return column.NewStrings("", out)
+	default:
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = v.I
+		}
+		return column.NewIntFamily("", v.Type, out)
+	}
+}
+
+// copyNulls clones a null vector so kernel outputs never alias their
+// operands' bitmaps.
+func copyNulls(nulls []bool) []bool {
+	if nulls == nil {
+		return nil
+	}
+	out := make([]bool, len(nulls))
+	copy(out, nulls)
+	return out
 }
 
 func evalUnary(op string, in *column.Column) (*column.Column, error) {
@@ -89,40 +162,63 @@ func evalUnary(op string, in *column.Column) (*column.Column, error) {
 		if in.Type() != column.Bool {
 			return nil, fmt.Errorf("exec: NOT over %v", in.Type())
 		}
-		out := column.New("", column.Bool)
 		ints := in.Int64s()
-		for i := 0; i < n; i++ {
-			if in.IsNull(i) {
-				out.AppendNull()
-			} else if ints[i] == 0 {
-				out.AppendInt64(1)
-			} else {
-				out.AppendInt64(0)
+		out := make([]int64, n)
+		nulls := copyNulls(in.Nulls())
+		if nulls == nil {
+			for i, v := range ints {
+				if v == 0 {
+					out[i] = 1
+				}
+			}
+		} else {
+			for i, v := range ints {
+				if !nulls[i] && v == 0 {
+					out[i] = 1
+				}
 			}
 		}
-		return out, nil
+		c := column.NewIntFamily("", column.Bool, out)
+		c.SetNulls(nulls)
+		return c, nil
 	case "-":
 		switch in.Type() {
 		case column.Float64:
-			out := column.New("", column.Float64)
-			for i, v := range in.Float64s() {
-				if in.IsNull(i) {
-					out.AppendNull()
-				} else {
-					out.AppendFloat64(-v)
+			fls := in.Float64s()
+			out := make([]float64, n)
+			nulls := copyNulls(in.Nulls())
+			if nulls == nil {
+				for i, v := range fls {
+					out[i] = -v
+				}
+			} else {
+				for i, v := range fls {
+					if !nulls[i] {
+						out[i] = -v
+					}
 				}
 			}
-			return out, nil
+			c := column.NewFloat64s("", out)
+			c.SetNulls(nulls)
+			return c, nil
 		case column.Int64, column.Timestamp:
-			out := column.New("", column.Int64)
-			for i, v := range in.Int64s() {
-				if in.IsNull(i) {
-					out.AppendNull()
-				} else {
-					out.AppendInt64(-v)
+			ints := in.Int64s()
+			out := make([]int64, n)
+			nulls := copyNulls(in.Nulls())
+			if nulls == nil {
+				for i, v := range ints {
+					out[i] = -v
+				}
+			} else {
+				for i, v := range ints {
+					if !nulls[i] {
+						out[i] = -v
+					}
 				}
 			}
-			return out, nil
+			c := column.NewIntFamily("", column.Int64, out)
+			c.SetNulls(nulls)
+			return c, nil
 		}
 		return nil, fmt.Errorf("exec: unary minus over %v", in.Type())
 	default:
@@ -131,6 +227,7 @@ func evalUnary(op string, in *column.Column) (*column.Column, error) {
 }
 
 func evalBinary(x *sql.Binary, b *column.Batch) (*column.Column, error) {
+	n := b.NumRows()
 	switch x.Op {
 	case sql.OpAnd, sql.OpOr:
 		l, err := Eval(x.L, b)
@@ -144,47 +241,182 @@ func evalBinary(x *sql.Binary, b *column.Batch) (*column.Column, error) {
 		if l.Type() != column.Bool || r.Type() != column.Bool {
 			return nil, fmt.Errorf("exec: %s over %v and %v", x.Op, l.Type(), r.Type())
 		}
-		out := column.New("", column.Bool)
+		out := make([]int64, n)
 		li, ri := l.Int64s(), r.Int64s()
-		and := x.Op == sql.OpAnd
-		for i := range li {
-			lv := !l.IsNull(i) && li[i] != 0
-			rv := !r.IsNull(i) && ri[i] != 0
-			var res bool
-			if and {
-				res = lv && rv
+		ln, rn := l.Nulls(), r.Nulls()
+		if x.Op == sql.OpAnd {
+			if ln == nil && rn == nil {
+				for i := range li {
+					if li[i] != 0 && ri[i] != 0 {
+						out[i] = 1
+					}
+				}
 			} else {
-				res = lv || rv
+				for i := range li {
+					if (ln == nil || !ln[i]) && li[i] != 0 && (rn == nil || !rn[i]) && ri[i] != 0 {
+						out[i] = 1
+					}
+				}
 			}
-			if res {
-				out.AppendInt64(1)
+		} else {
+			if ln == nil && rn == nil {
+				for i := range li {
+					if li[i] != 0 || ri[i] != 0 {
+						out[i] = 1
+					}
+				}
 			} else {
-				out.AppendInt64(0)
+				for i := range li {
+					if ((ln == nil || !ln[i]) && li[i] != 0) || ((rn == nil || !rn[i]) && ri[i] != 0) {
+						out[i] = 1
+					}
+				}
 			}
 		}
-		return out, nil
+		return column.NewIntFamily("", column.Bool, out), nil
 	}
 
-	l, err := Eval(x.L, b)
+	l, err := evalOperand(x.L, b)
 	if err != nil {
 		return nil, err
 	}
-	r, err := Eval(x.R, b)
+	r, err := evalOperand(x.R, b)
 	if err != nil {
 		return nil, err
 	}
-	if x.Op == sql.OpLike {
-		return evalLike(l, r)
-	}
-	l, r, err = coerce(l, r)
-	if err != nil {
-		return nil, fmt.Errorf("exec: %s: %w", x, err)
-	}
 
-	if x.Op.Comparison() {
-		return evalComparison(x.Op, l, r)
+	switch {
+	case x.Op == sql.OpLike:
+		return evalLikeOperands(l, r, n)
+	case x.Op.Comparison():
+		sel, err := evalCmpSel(x.Op, l, r, nil, n)
+		if err != nil {
+			return nil, fmt.Errorf("exec: %s: %w", x, err)
+		}
+		return selToBools(sel, n), nil
+	default:
+		c, err := evalArith(x.Op, l, r, n)
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
 	}
-	return evalArith(x.Op, l, r)
+}
+
+// coerceConst reconciles a constant operand with the column type it meets,
+// mirroring coerce for the scalar case: string constants against Timestamp
+// columns parse as timestamps; numeric types mix freely.
+func coerceConst(ct column.Type, v column.Value) (column.Value, error) {
+	if ct == v.Type {
+		return v, nil
+	}
+	if ct == column.Timestamp && v.Type == column.String {
+		if v.Null {
+			return column.NewNull(column.Timestamp), nil
+		}
+		ns, err := column.ParseTimestamp(v.S)
+		if err != nil {
+			return v, err
+		}
+		return column.NewTimestamp(ns), nil
+	}
+	if ct.Numeric() && v.Type.Numeric() {
+		return v, nil
+	}
+	return v, fmt.Errorf("cannot combine %v with %v", ct, v.Type)
+}
+
+// evalCmpSel evaluates a comparison over the candidate rows, dispatching to
+// the constant-vs-column kernels when one side is a literal.
+func evalCmpSel(op sql.BinaryOp, l, r operand, sel []int32, n int) ([]int32, error) {
+	switch {
+	case l.scalar && r.scalar:
+		if l.val.Null || r.val.Null {
+			return []int32{}, nil
+		}
+		c, err := column.Compare(l.val, r.val)
+		if err != nil {
+			return nil, err
+		}
+		if !cmpTruth(op, c) {
+			return []int32{}, nil
+		}
+		if sel == nil {
+			return selAll(n), nil
+		}
+		return sel, nil
+	case r.scalar:
+		return evalCmpConstSel(op, l.col, r.val, false, sel)
+	case l.scalar:
+		return evalCmpConstSel(op, r.col, l.val, true, sel)
+	default:
+		return evalCmpColsSel(op, l.col, r.col, sel)
+	}
+}
+
+// evalCmpConstSel compares a column against a constant over the candidate
+// rows. constLeft marks a constant left operand (c op col), handled by
+// mirroring the operator.
+func evalCmpConstSel(op sql.BinaryOp, c *column.Column, v column.Value, constLeft bool, sel []int32) ([]int32, error) {
+	if constLeft {
+		op = flipCmp(op)
+	}
+	v, err := coerceConst(c.Type(), v)
+	if err != nil {
+		return nil, err
+	}
+	if v.Null {
+		return []int32{}, nil
+	}
+	cand := selNotNull(c.Nulls(), sel, c.Len())
+	switch c.Type() {
+	case column.String:
+		return selCmpConst(op, c.Strings(), v.S, cand), nil
+	case column.Float64:
+		return selCmpConstFloats(op, c.Float64s(), v.AsFloat(), cand), nil
+	default:
+		if v.Type == column.Float64 {
+			return selCmpConstFloats(op, asFloats(c), v.F, cand), nil
+		}
+		return selCmpConst(op, c.Int64s(), v.AsInt(), cand), nil
+	}
+}
+
+// evalCmpColsSel compares two columns over the candidate rows.
+func evalCmpColsSel(op sql.BinaryOp, l, r *column.Column, sel []int32) ([]int32, error) {
+	l, r, err := coerce(l, r)
+	if err != nil {
+		return nil, err
+	}
+	cand := selNotNull(l.Nulls(), sel, l.Len())
+	cand = selNotNull(r.Nulls(), cand, r.Len())
+	switch {
+	case l.Type() == column.String && r.Type() == column.String:
+		return selCmpCols(op, l.Strings(), r.Strings(), cand), nil
+	case hasFloat(l, r):
+		return selCmpColsFloats(op, asFloats(l), asFloats(r), cand), nil
+	default: // integer-family on both sides
+		return selCmpCols(op, l.Int64s(), r.Int64s(), cand), nil
+	}
+}
+
+// evalLikeOperands dispatches LIKE: a constant pattern (the common shape)
+// runs the selection kernel; a column pattern falls back to evalLike.
+func evalLikeOperands(l, r operand, n int) (*column.Column, error) {
+	if l.typ() != column.String || r.typ() != column.String {
+		return nil, fmt.Errorf("exec: LIKE needs strings, got %v and %v", l.typ(), r.typ())
+	}
+	if l.scalar {
+		l = operand{col: broadcast(l.val, n)}
+	}
+	if r.scalar {
+		if r.val.Null {
+			return column.NewIntFamily("", column.Bool, make([]int64, n)), nil
+		}
+		cand := selNotNull(l.col.Nulls(), nil, n)
+		return selToBools(selLikeConst(l.col.Strings(), r.val.S, cand), n), nil
+	}
+	return evalLike(l.col, r.col)
 }
 
 // evalLike matches strings against SQL LIKE patterns: '%' matches any run
@@ -193,16 +425,22 @@ func evalLike(l, r *column.Column) (*column.Column, error) {
 	if l.Type() != column.String || r.Type() != column.String {
 		return nil, fmt.Errorf("exec: LIKE needs strings, got %v and %v", l.Type(), r.Type())
 	}
-	out := column.New("", column.Bool)
 	ls, rs := l.Strings(), r.Strings()
-	for i := range ls {
-		if !l.IsNull(i) && !r.IsNull(i) && matchLike(ls[i], rs[i]) {
-			out.AppendInt64(1)
-		} else {
-			out.AppendInt64(0)
+	out := make([]int64, len(ls))
+	if l.Nulls() == nil && r.Nulls() == nil {
+		for i := range ls {
+			if matchLike(ls[i], rs[i]) {
+				out[i] = 1
+			}
+		}
+	} else {
+		for i := range ls {
+			if !l.IsNull(i) && !r.IsNull(i) && matchLike(ls[i], rs[i]) {
+				out[i] = 1
+			}
 		}
 	}
-	return out, nil
+	return column.NewIntFamily("", column.Bool, out), nil
 }
 
 // matchLike implements LIKE with iterative backtracking over '%'.
@@ -254,19 +492,22 @@ func coerce(l, r *column.Column) (*column.Column, *column.Column, error) {
 }
 
 func parseTimestampColumn(c *column.Column) (*column.Column, error) {
-	out := column.New(c.Name(), column.Timestamp)
-	for i, s := range c.Strings() {
-		if c.IsNull(i) {
-			out.AppendNull()
+	strs := c.Strings()
+	out := make([]int64, len(strs))
+	nulls := copyNulls(c.Nulls())
+	for i, s := range strs {
+		if nulls != nil && nulls[i] {
 			continue
 		}
 		ns, err := column.ParseTimestamp(s)
 		if err != nil {
 			return nil, err
 		}
-		out.AppendInt64(ns)
+		out[i] = ns
 	}
-	return out, nil
+	oc := column.NewIntFamily(c.Name(), column.Timestamp, out)
+	oc.SetNulls(nulls)
+	return oc, nil
 }
 
 // hasFloat reports whether either column needs float comparison.
@@ -274,148 +515,164 @@ func hasFloat(l, r *column.Column) bool {
 	return l.Type() == column.Float64 || r.Type() == column.Float64
 }
 
-// numsAsFloat converts the i-th value to float64 (numeric columns only).
-func numAsFloat(c *column.Column, i int) float64 {
-	if c.Type() == column.Float64 {
-		return c.Float64s()[i]
+// evalArith computes an arithmetic binary operator. Integer arithmetic
+// stays integral except division, which is float (so averages like
+// SUM(x)/COUNT(*) behave as users expect).
+func evalArith(op sql.BinaryOp, l, r operand, n int) (*column.Column, error) {
+	lt, rt := l.typ(), r.typ()
+	if !lt.Numeric() || !rt.Numeric() {
+		return nil, fmt.Errorf("exec: arithmetic over %v and %v", lt, rt)
 	}
-	return float64(c.Int64s()[i])
-}
-
-func evalComparison(op sql.BinaryOp, l, r *column.Column) (*column.Column, error) {
-	n := l.Len()
-	out := column.New("", column.Bool)
-	appendBool := func(v bool) {
-		if v {
-			out.AppendInt64(1)
-		} else {
-			out.AppendInt64(0)
-		}
+	if l.scalar && r.scalar {
+		l = operand{col: broadcast(l.val, n)}
 	}
-	cmpToBool := func(c int) bool {
-		switch op {
-		case sql.OpEq:
-			return c == 0
-		case sql.OpNe:
-			return c != 0
-		case sql.OpLt:
-			return c < 0
-		case sql.OpLe:
-			return c <= 0
-		case sql.OpGt:
-			return c > 0
-		default: // OpGe
-			return c >= 0
+	intResult := lt != column.Float64 && rt != column.Float64 && op != sql.OpDiv
+	if (l.scalar && l.val.Null) || (r.scalar && r.val.Null) {
+		if intResult {
+			return allNullColumn(column.Int64, n), nil
 		}
+		return allNullColumn(column.Float64, n), nil
 	}
 
+	if intResult {
+		var out []int64
+		var nulls []bool
+		switch {
+		case l.scalar:
+			out = arithConstInts(op, r.col.Int64s(), l.val.AsInt(), true)
+			nulls = copyNulls(r.col.Nulls())
+		case r.scalar:
+			out = arithConstInts(op, l.col.Int64s(), r.val.AsInt(), false)
+			nulls = copyNulls(l.col.Nulls())
+		default:
+			out = arithColsInts(op, l.col.Int64s(), r.col.Int64s())
+			nulls = orNulls(l.col.Nulls(), r.col.Nulls(), n)
+		}
+		zeroNullPositionsInt(out, nulls)
+		c := column.NewIntFamily("", column.Int64, out)
+		c.SetNulls(nulls)
+		return c, nil
+	}
+
+	var out []float64
+	var nulls []bool
 	switch {
-	case l.Type() == column.String && r.Type() == column.String:
-		ls, rs := l.Strings(), r.Strings()
-		for i := 0; i < n; i++ {
-			if l.IsNull(i) || r.IsNull(i) {
-				appendBool(false)
-				continue
-			}
-			var c int
-			switch {
-			case ls[i] < rs[i]:
-				c = -1
-			case ls[i] > rs[i]:
-				c = 1
-			}
-			appendBool(cmpToBool(c))
-		}
-	case hasFloat(l, r):
-		for i := 0; i < n; i++ {
-			if l.IsNull(i) || r.IsNull(i) {
-				appendBool(false)
-				continue
-			}
-			lv, rv := numAsFloat(l, i), numAsFloat(r, i)
-			var c int
-			switch {
-			case lv < rv:
-				c = -1
-			case lv > rv:
-				c = 1
-			}
-			appendBool(cmpToBool(c))
-		}
-	default: // integer-family on both sides
-		li, ri := l.Int64s(), r.Int64s()
-		for i := 0; i < n; i++ {
-			if l.IsNull(i) || r.IsNull(i) {
-				appendBool(false)
-				continue
-			}
-			var c int
-			switch {
-			case li[i] < ri[i]:
-				c = -1
-			case li[i] > ri[i]:
-				c = 1
-			}
-			appendBool(cmpToBool(c))
-		}
+	case l.scalar:
+		out = arithConstFloats(op, asFloats(r.col), l.val.AsFloat(), true)
+		nulls = copyNulls(r.col.Nulls())
+	case r.scalar:
+		out = arithConstFloats(op, asFloats(l.col), r.val.AsFloat(), false)
+		nulls = copyNulls(l.col.Nulls())
+	default:
+		out = arithColsFloats(op, asFloats(l.col), asFloats(r.col))
+		nulls = orNulls(l.col.Nulls(), r.col.Nulls(), n)
 	}
-	return out, nil
-}
-
-func evalArith(op sql.BinaryOp, l, r *column.Column) (*column.Column, error) {
-	if !l.Type().Numeric() || !r.Type().Numeric() {
-		return nil, fmt.Errorf("exec: arithmetic over %v and %v", l.Type(), r.Type())
-	}
-	n := l.Len()
-	// Integer arithmetic stays integral except division, which is float (so
-	// averages like SUM(x)/COUNT(*) behave as users expect).
-	if l.Type() != column.Float64 && r.Type() != column.Float64 && op != sql.OpDiv {
-		out := column.New("", column.Int64)
-		li, ri := l.Int64s(), r.Int64s()
-		for i := 0; i < n; i++ {
-			if l.IsNull(i) || r.IsNull(i) {
-				out.AppendNull()
-				continue
-			}
-			switch op {
-			case sql.OpAdd:
-				out.AppendInt64(li[i] + ri[i])
-			case sql.OpSub:
-				out.AppendInt64(li[i] - ri[i])
-			case sql.OpMul:
-				out.AppendInt64(li[i] * ri[i])
-			}
-		}
-		return out, nil
-	}
-	out := column.New("", column.Float64)
-	for i := 0; i < n; i++ {
-		if l.IsNull(i) || r.IsNull(i) {
-			out.AppendNull()
-			continue
-		}
-		lv, rv := numAsFloat(l, i), numAsFloat(r, i)
-		switch op {
-		case sql.OpAdd:
-			out.AppendFloat64(lv + rv)
-		case sql.OpSub:
-			out.AppendFloat64(lv - rv)
-		case sql.OpMul:
-			out.AppendFloat64(lv * rv)
-		case sql.OpDiv:
-			if rv == 0 {
-				out.AppendFloat64(math.NaN())
-			} else {
-				out.AppendFloat64(lv / rv)
-			}
-		}
-	}
-	return out, nil
+	zeroNullPositionsFloat(out, nulls)
+	c := column.NewFloat64s("", out)
+	c.SetNulls(nulls)
+	return c, nil
 }
 
 // EvalPredicate evaluates a boolean expression and returns the selection
 // vector of rows where it is true.
 func EvalPredicate(e sql.Expr, b *column.Batch) ([]int32, error) {
+	return evalPredSel(e, b, nil)
+}
+
+// evalPredSel evaluates e as a predicate over the candidate rows sel (nil =
+// all rows), returning the ascending subset where e is true. Conjunctions
+// chain the selection vector through both sides; disjunctions merge the two
+// sides' selections; comparisons run the typed kernels directly. Anything
+// without a specialized path evaluates to a full Bool column and keeps the
+// true candidates, which preserves row-at-a-time semantics exactly.
+func evalPredSel(e sql.Expr, b *column.Batch, sel []int32) ([]int32, error) {
+	n := b.NumRows()
+	switch x := e.(type) {
+	case *sql.Binary:
+		switch {
+		case x.Op == sql.OpAnd:
+			lsel, err := evalPredSel(x.L, b, sel)
+			if err != nil || len(lsel) == 0 {
+				return lsel, err
+			}
+			return evalPredSel(x.R, b, lsel)
+		case x.Op == sql.OpOr:
+			lsel, err := evalPredSel(x.L, b, sel)
+			if err != nil {
+				return nil, err
+			}
+			rsel, err := evalPredSel(x.R, b, sel)
+			if err != nil {
+				return nil, err
+			}
+			return selUnion(lsel, rsel), nil
+		case x.Op.Comparison():
+			l, err := evalOperand(x.L, b)
+			if err != nil {
+				return nil, err
+			}
+			r, err := evalOperand(x.R, b)
+			if err != nil {
+				return nil, err
+			}
+			out, err := evalCmpSel(x.Op, l, r, sel, n)
+			if err != nil {
+				return nil, fmt.Errorf("exec: %s: %w", x, err)
+			}
+			return out, nil
+		case x.Op == sql.OpLike:
+			l, err := evalOperand(x.L, b)
+			if err != nil {
+				return nil, err
+			}
+			r, err := evalOperand(x.R, b)
+			if err != nil {
+				return nil, err
+			}
+			if !l.scalar && r.scalar && l.typ() == column.String {
+				if r.val.Type != column.String {
+					return nil, fmt.Errorf("exec: LIKE needs strings, got %v and %v", l.typ(), r.typ())
+				}
+				if r.val.Null {
+					return []int32{}, nil
+				}
+				cand := selNotNull(l.col.Nulls(), sel, n)
+				return selLikeConst(l.col.Strings(), r.val.S, cand), nil
+			}
+			// Column pattern or scalar subject: generic fallback below.
+		}
+	case *sql.IsNull:
+		inner, err := Eval(x.X, b)
+		if err != nil {
+			return nil, err
+		}
+		nulls := inner.Nulls()
+		if x.Not && nulls == nil {
+			if sel == nil {
+				return selAll(n), nil
+			}
+			return sel, nil
+		}
+		out := make([]int32, 0, selLen(sel, n))
+		if nulls == nil {
+			return out, nil // no nulls anywhere: IS NULL selects nothing
+		}
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				if nulls[i] != x.Not {
+					out = append(out, int32(i))
+				}
+			}
+		} else {
+			for _, s := range sel {
+				if nulls[s] != x.Not {
+					out = append(out, s)
+				}
+			}
+		}
+		return out, nil
+	}
+
 	c, err := Eval(e, b)
 	if err != nil {
 		return nil, err
@@ -423,27 +680,30 @@ func EvalPredicate(e sql.Expr, b *column.Batch) ([]int32, error) {
 	if c.Type() != column.Bool {
 		return nil, fmt.Errorf("exec: predicate %s has type %v, want BOOLEAN", e, c.Type())
 	}
-	var sel []int32
-	for i, v := range c.Int64s() {
-		if v != 0 && !c.IsNull(i) {
-			sel = append(sel, int32(i))
-		}
-	}
-	return sel, nil
+	return selTrueRows(c.Int64s(), c.Nulls(), sel), nil
 }
 
 // Filter returns the batch restricted to rows satisfying all predicates.
+// Predicates compose a single selection vector — each narrows the candidate
+// rows of the next — and the batch is gathered once at the end (or returned
+// untouched when every row passes).
 func Filter(b *column.Batch, preds []sql.Expr) (*column.Batch, error) {
 	if len(preds) == 0 {
 		return b, nil
 	}
-	cur := b
+	var sel []int32 // nil = all rows
 	for _, p := range preds {
-		sel, err := EvalPredicate(p, cur)
+		s, err := evalPredSel(p, b, sel)
 		if err != nil {
 			return nil, err
 		}
-		cur = cur.Gather(sel)
+		sel = s
+		if len(sel) == 0 {
+			break
+		}
 	}
-	return cur, nil
+	if len(sel) == b.NumRows() {
+		return b, nil
+	}
+	return b.Gather(sel), nil
 }

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/column"
 )
@@ -94,6 +93,8 @@ func joinIntKeys(lkc, rkc []*column.Column, ln, rn int) (lsel, rsel []int32) {
 		k := key(rkc, i)
 		ht[k] = append(ht[k], int32(i))
 	}
+	lsel = make([]int32, 0, ln)
+	rsel = make([]int32, 0, ln)
 	for i := 0; i < ln; i++ {
 		if nullKey(lkc, i) {
 			continue
@@ -106,28 +107,34 @@ func joinIntKeys(lkc, rkc []*column.Column, ln, rn int) (lsel, rsel []int32) {
 	return lsel, rsel
 }
 
+// joinGenericKeys hashes arbitrary key tuples through the same reused
+// byte-buffer encoding the aggregator uses: probe-side map lookups with a
+// string(buf) index expression do not allocate; only build-side inserts
+// copy the key.
 func joinGenericKeys(lkc, rkc []*column.Column, ln, rn int) (lsel, rsel []int32) {
-	key := func(cols []*column.Column, i int) string {
-		var sb strings.Builder
-		for _, c := range cols {
-			sb.WriteString(c.Value(i).String())
-			sb.WriteByte(0)
-		}
-		return sb.String()
-	}
+	buf := make([]byte, 0, 16*len(rkc))
 	ht := make(map[string][]int32, rn)
 	for i := 0; i < rn; i++ {
 		if nullKey(rkc, i) {
 			continue
 		}
-		k := key(rkc, i)
-		ht[k] = append(ht[k], int32(i))
+		buf = buf[:0]
+		for _, c := range rkc {
+			buf = appendRowKey(buf, c, i)
+		}
+		ht[string(buf)] = append(ht[string(buf)], int32(i))
 	}
+	lsel = make([]int32, 0, ln)
+	rsel = make([]int32, 0, ln)
 	for i := 0; i < ln; i++ {
 		if nullKey(lkc, i) {
 			continue
 		}
-		for _, ri := range ht[key(lkc, i)] {
+		buf = buf[:0]
+		for _, c := range lkc {
+			buf = appendRowKey(buf, c, i)
+		}
+		for _, ri := range ht[string(buf)] {
 			lsel = append(lsel, int32(i))
 			rsel = append(rsel, ri)
 		}

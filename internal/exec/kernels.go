@@ -1,0 +1,707 @@
+package exec
+
+// Typed vector kernels for the execution engine. Two families:
+//
+//   - selection kernels (selCmpConst, selCmpCols, selNotNull, ...) narrow a
+//     candidate selection vector — ascending []int32 row indices, nil
+//     meaning "all rows" — without materializing intermediate columns;
+//   - arithmetic kernels (arithConstInts, arithColsFloats, ...) write
+//     full-width results into preallocated slices instead of growing
+//     columns value by value.
+//
+// Comparison kernels require their candidate rows to be null-free: callers
+// run selNotNull first, which is a no-op returning the input when the
+// column has a nil null vector (the common case).
+
+import (
+	"math"
+
+	"repro/internal/column"
+	"repro/internal/sql"
+)
+
+// nan is hoisted so the division kernels' inner loops avoid a call.
+var nan = math.NaN()
+
+// orderedVal constrains the element types the generic comparison kernels
+// cover: int64 (also Bool and Timestamp storage) and string. Float columns
+// route to selCmpConstFloats/selCmpColsFloats, which preserve the engine's
+// NaN-as-equal three-way convention.
+type orderedVal interface {
+	~int64 | ~string
+}
+
+// selLen returns the number of candidate rows described by sel (nil = all n).
+func selLen(sel []int32, n int) int {
+	if sel == nil {
+		return n
+	}
+	return len(sel)
+}
+
+// selAll materializes the identity selection vector over n rows.
+func selAll(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// selNotNull narrows the candidate rows to the non-null ones. A nil null
+// vector (the null-free fast path) returns sel unchanged with no work.
+func selNotNull(nulls []bool, sel []int32, n int) []int32 {
+	if nulls == nil {
+		return sel
+	}
+	if sel == nil {
+		out := make([]int32, 0, n)
+		for i := 0; i < n; i++ {
+			if !nulls[i] {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	out := make([]int32, 0, len(sel))
+	for _, s := range sel {
+		if !nulls[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// selUnion merges two ascending selection vectors (OR composition).
+func selUnion(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// selTrueRows selects the candidate rows where a Bool vector is true and
+// non-null (the fallback for predicates with no specialized kernel).
+func selTrueRows(vals []int64, nulls []bool, sel []int32) []int32 {
+	cand := selNotNull(nulls, sel, len(vals))
+	out := make([]int32, 0, selLen(cand, len(vals)))
+	if cand == nil {
+		for i, v := range vals {
+			if v != 0 {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, s := range cand {
+		if vals[s] != 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// flipCmp mirrors a comparison so a constant left operand can use the
+// column-vs-constant kernels: c op v  ==  v flip(op) c.
+func flipCmp(op sql.BinaryOp) sql.BinaryOp {
+	switch op {
+	case sql.OpLt:
+		return sql.OpGt
+	case sql.OpLe:
+		return sql.OpGe
+	case sql.OpGt:
+		return sql.OpLt
+	case sql.OpGe:
+		return sql.OpLe
+	default: // Eq, Ne are symmetric
+		return op
+	}
+}
+
+// cmpTruth resolves a three-way comparison result against an operator.
+func cmpTruth(op sql.BinaryOp, c int) bool {
+	switch op {
+	case sql.OpEq:
+		return c == 0
+	case sql.OpNe:
+		return c != 0
+	case sql.OpLt:
+		return c < 0
+	case sql.OpLe:
+		return c <= 0
+	case sql.OpGt:
+		return c > 0
+	default: // OpGe
+		return c >= 0
+	}
+}
+
+// selCmpConst selects the candidate rows where vals[s] op c holds. The
+// per-operator loops carry no per-row closure or branch beyond the
+// comparison itself; candidates must already be null-free.
+func selCmpConst[T orderedVal](op sql.BinaryOp, vals []T, c T, sel []int32) []int32 {
+	out := make([]int32, 0, selLen(sel, len(vals)))
+	if sel == nil {
+		switch op {
+		case sql.OpEq:
+			for i, v := range vals {
+				if v == c {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpNe:
+			for i, v := range vals {
+				if v != c {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpLt:
+			for i, v := range vals {
+				if v < c {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpLe:
+			for i, v := range vals {
+				if v <= c {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpGt:
+			for i, v := range vals {
+				if v > c {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpGe:
+			for i, v := range vals {
+				if v >= c {
+					out = append(out, int32(i))
+				}
+			}
+		}
+		return out
+	}
+	switch op {
+	case sql.OpEq:
+		for _, s := range sel {
+			if vals[s] == c {
+				out = append(out, s)
+			}
+		}
+	case sql.OpNe:
+		for _, s := range sel {
+			if vals[s] != c {
+				out = append(out, s)
+			}
+		}
+	case sql.OpLt:
+		for _, s := range sel {
+			if vals[s] < c {
+				out = append(out, s)
+			}
+		}
+	case sql.OpLe:
+		for _, s := range sel {
+			if vals[s] <= c {
+				out = append(out, s)
+			}
+		}
+	case sql.OpGt:
+		for _, s := range sel {
+			if vals[s] > c {
+				out = append(out, s)
+			}
+		}
+	case sql.OpGe:
+		for _, s := range sel {
+			if vals[s] >= c {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// selCmpCols selects the candidate rows where l[s] op r[s] holds;
+// candidates must be null-free in both columns.
+func selCmpCols[T orderedVal](op sql.BinaryOp, l, r []T, sel []int32) []int32 {
+	out := make([]int32, 0, selLen(sel, len(l)))
+	if sel == nil {
+		switch op {
+		case sql.OpEq:
+			for i, v := range l {
+				if v == r[i] {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpNe:
+			for i, v := range l {
+				if v != r[i] {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpLt:
+			for i, v := range l {
+				if v < r[i] {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpLe:
+			for i, v := range l {
+				if v <= r[i] {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpGt:
+			for i, v := range l {
+				if v > r[i] {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpGe:
+			for i, v := range l {
+				if v >= r[i] {
+					out = append(out, int32(i))
+				}
+			}
+		}
+		return out
+	}
+	switch op {
+	case sql.OpEq:
+		for _, s := range sel {
+			if l[s] == r[s] {
+				out = append(out, s)
+			}
+		}
+	case sql.OpNe:
+		for _, s := range sel {
+			if l[s] != r[s] {
+				out = append(out, s)
+			}
+		}
+	case sql.OpLt:
+		for _, s := range sel {
+			if l[s] < r[s] {
+				out = append(out, s)
+			}
+		}
+	case sql.OpLe:
+		for _, s := range sel {
+			if l[s] <= r[s] {
+				out = append(out, s)
+			}
+		}
+	case sql.OpGt:
+		for _, s := range sel {
+			if l[s] > r[s] {
+				out = append(out, s)
+			}
+		}
+	case sql.OpGe:
+		for _, s := range sel {
+			if l[s] >= r[s] {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// selCmpConstFloats is selCmpConst for float operands, phrased entirely in
+// terms of < and > so NaN behaves like the three-way Compare convention the
+// rest of the engine uses (NaN is neither less nor greater than anything,
+// hence "equal" to everything): Eq/Le/Ge hold against NaN, Ne/Lt/Gt do not.
+// Using the generic kernel here would silently flip those results to IEEE
+// semantics and disagree with Sort and column.Compare.
+func selCmpConstFloats(op sql.BinaryOp, vals []float64, c float64, sel []int32) []int32 {
+	out := make([]int32, 0, selLen(sel, len(vals)))
+	if sel == nil {
+		switch op {
+		case sql.OpEq:
+			for i, v := range vals {
+				if !(v < c) && !(v > c) {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpNe:
+			for i, v := range vals {
+				if v < c || v > c {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpLt:
+			for i, v := range vals {
+				if v < c {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpLe:
+			for i, v := range vals {
+				if !(v > c) {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpGt:
+			for i, v := range vals {
+				if v > c {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpGe:
+			for i, v := range vals {
+				if !(v < c) {
+					out = append(out, int32(i))
+				}
+			}
+		}
+		return out
+	}
+	switch op {
+	case sql.OpEq:
+		for _, s := range sel {
+			if v := vals[s]; !(v < c) && !(v > c) {
+				out = append(out, s)
+			}
+		}
+	case sql.OpNe:
+		for _, s := range sel {
+			if v := vals[s]; v < c || v > c {
+				out = append(out, s)
+			}
+		}
+	case sql.OpLt:
+		for _, s := range sel {
+			if vals[s] < c {
+				out = append(out, s)
+			}
+		}
+	case sql.OpLe:
+		for _, s := range sel {
+			if !(vals[s] > c) {
+				out = append(out, s)
+			}
+		}
+	case sql.OpGt:
+		for _, s := range sel {
+			if vals[s] > c {
+				out = append(out, s)
+			}
+		}
+	case sql.OpGe:
+		for _, s := range sel {
+			if !(vals[s] < c) {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// selCmpColsFloats is selCmpCols with the same NaN-as-equal convention as
+// selCmpConstFloats.
+func selCmpColsFloats(op sql.BinaryOp, l, r []float64, sel []int32) []int32 {
+	out := make([]int32, 0, selLen(sel, len(l)))
+	if sel == nil {
+		switch op {
+		case sql.OpEq:
+			for i, v := range l {
+				if !(v < r[i]) && !(v > r[i]) {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpNe:
+			for i, v := range l {
+				if v < r[i] || v > r[i] {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpLt:
+			for i, v := range l {
+				if v < r[i] {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpLe:
+			for i, v := range l {
+				if !(v > r[i]) {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpGt:
+			for i, v := range l {
+				if v > r[i] {
+					out = append(out, int32(i))
+				}
+			}
+		case sql.OpGe:
+			for i, v := range l {
+				if !(v < r[i]) {
+					out = append(out, int32(i))
+				}
+			}
+		}
+		return out
+	}
+	switch op {
+	case sql.OpEq:
+		for _, s := range sel {
+			if v := l[s]; !(v < r[s]) && !(v > r[s]) {
+				out = append(out, s)
+			}
+		}
+	case sql.OpNe:
+		for _, s := range sel {
+			if v := l[s]; v < r[s] || v > r[s] {
+				out = append(out, s)
+			}
+		}
+	case sql.OpLt:
+		for _, s := range sel {
+			if l[s] < r[s] {
+				out = append(out, s)
+			}
+		}
+	case sql.OpLe:
+		for _, s := range sel {
+			if !(l[s] > r[s]) {
+				out = append(out, s)
+			}
+		}
+	case sql.OpGt:
+		for _, s := range sel {
+			if l[s] > r[s] {
+				out = append(out, s)
+			}
+		}
+	case sql.OpGe:
+		for _, s := range sel {
+			if !(l[s] < r[s]) {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// selLikeConst selects the null-free candidate rows matching a constant
+// LIKE pattern.
+func selLikeConst(vals []string, pat string, sel []int32) []int32 {
+	out := make([]int32, 0, selLen(sel, len(vals)))
+	if sel == nil {
+		for i, v := range vals {
+			if matchLike(v, pat) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, s := range sel {
+		if matchLike(vals[s], pat) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// selToBools scatters a selection vector into a full-width Bool column
+// (non-selected rows false), for comparisons in non-predicate contexts.
+func selToBools(sel []int32, n int) *column.Column {
+	out := make([]int64, n)
+	for _, s := range sel {
+		out[s] = 1
+	}
+	return column.NewIntFamily("", column.Bool, out)
+}
+
+// asFloats returns the column's values as a float64 vector, converting
+// integer-family storage in one pass (Float64 columns return their raw
+// vector with no copy).
+func asFloats(c *column.Column) []float64 {
+	if c.Type() == column.Float64 {
+		return c.Float64s()
+	}
+	ints := c.Int64s()
+	out := make([]float64, len(ints))
+	for i, v := range ints {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// orNulls combines two optional null vectors (result null where either
+// operand is null); nil when neither side has nulls.
+func orNulls(a, b []bool, n int) []bool {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := make([]bool, n)
+	copy(out, a)
+	for i, v := range b {
+		if v {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// arithConstInts computes vals op c element-wise into a preallocated slice
+// (c op vals when constLeft). Division is routed to the float kernels by
+// the caller.
+func arithConstInts(op sql.BinaryOp, vals []int64, c int64, constLeft bool) []int64 {
+	out := make([]int64, len(vals))
+	switch op {
+	case sql.OpAdd:
+		for i, v := range vals {
+			out[i] = v + c
+		}
+	case sql.OpMul:
+		for i, v := range vals {
+			out[i] = v * c
+		}
+	case sql.OpSub:
+		if constLeft {
+			for i, v := range vals {
+				out[i] = c - v
+			}
+		} else {
+			for i, v := range vals {
+				out[i] = v - c
+			}
+		}
+	}
+	return out
+}
+
+// arithConstFloats is arithConstInts for float operands, plus division
+// (x/0 yields NaN, matching the row-at-a-time engine).
+func arithConstFloats(op sql.BinaryOp, vals []float64, c float64, constLeft bool) []float64 {
+	out := make([]float64, len(vals))
+	switch op {
+	case sql.OpAdd:
+		for i, v := range vals {
+			out[i] = v + c
+		}
+	case sql.OpMul:
+		for i, v := range vals {
+			out[i] = v * c
+		}
+	case sql.OpSub:
+		if constLeft {
+			for i, v := range vals {
+				out[i] = c - v
+			}
+		} else {
+			for i, v := range vals {
+				out[i] = v - c
+			}
+		}
+	case sql.OpDiv:
+		if constLeft {
+			for i, v := range vals {
+				if v == 0 {
+					out[i] = nan
+				} else {
+					out[i] = c / v
+				}
+			}
+		} else if c == 0 {
+			for i := range vals {
+				out[i] = nan
+			}
+		} else {
+			for i, v := range vals {
+				out[i] = v / c
+			}
+		}
+	}
+	return out
+}
+
+// arithColsInts computes l op r element-wise for integer operands.
+func arithColsInts(op sql.BinaryOp, l, r []int64) []int64 {
+	out := make([]int64, len(l))
+	switch op {
+	case sql.OpAdd:
+		for i, v := range l {
+			out[i] = v + r[i]
+		}
+	case sql.OpSub:
+		for i, v := range l {
+			out[i] = v - r[i]
+		}
+	case sql.OpMul:
+		for i, v := range l {
+			out[i] = v * r[i]
+		}
+	}
+	return out
+}
+
+// arithColsFloats computes l op r element-wise for float operands.
+func arithColsFloats(op sql.BinaryOp, l, r []float64) []float64 {
+	out := make([]float64, len(l))
+	switch op {
+	case sql.OpAdd:
+		for i, v := range l {
+			out[i] = v + r[i]
+		}
+	case sql.OpSub:
+		for i, v := range l {
+			out[i] = v - r[i]
+		}
+	case sql.OpMul:
+		for i, v := range l {
+			out[i] = v * r[i]
+		}
+	case sql.OpDiv:
+		for i, v := range l {
+			if r[i] == 0 {
+				out[i] = nan
+			} else {
+				out[i] = v / r[i]
+			}
+		}
+	}
+	return out
+}
+
+// zeroNullPositions resets values at null positions so kernel outputs match
+// the append-based engine exactly (nulls stored as zero values).
+func zeroNullPositionsInt(vals []int64, nulls []bool) {
+	if nulls == nil {
+		return
+	}
+	for i, isNull := range nulls {
+		if isNull {
+			vals[i] = 0
+		}
+	}
+}
+
+func zeroNullPositionsFloat(vals []float64, nulls []bool) {
+	if nulls == nil {
+		return
+	}
+	for i, isNull := range nulls {
+		if isNull {
+			vals[i] = 0
+		}
+	}
+}

@@ -14,58 +14,107 @@ type SortKey struct {
 	Desc bool
 }
 
+// sortKeyData is one key column unpacked into raw vectors so the comparator
+// avoids boxing a Value pair per comparison.
+type sortKeyData struct {
+	desc  bool
+	typ   column.Type
+	ints  []int64
+	fls   []float64
+	strs  []string
+	nulls []bool
+}
+
+// compareRows orders rows ia and iz under one key (-1, 0, 1), with nulls
+// sorting before everything (matching column.Compare).
+func (k *sortKeyData) compareRows(ia, iz int) int {
+	if k.nulls != nil {
+		an, zn := k.nulls[ia], k.nulls[iz]
+		if an || zn {
+			switch {
+			case an && zn:
+				return 0
+			case an:
+				return -1
+			default:
+				return 1
+			}
+		}
+	}
+	switch k.typ {
+	case column.Float64:
+		a, z := k.fls[ia], k.fls[iz]
+		switch {
+		case a < z:
+			return -1
+		case a > z:
+			return 1
+		}
+	case column.String:
+		a, z := k.strs[ia], k.strs[iz]
+		switch {
+		case a < z:
+			return -1
+		case a > z:
+			return 1
+		}
+	default:
+		a, z := k.ints[ia], k.ints[iz]
+		switch {
+		case a < z:
+			return -1
+		case a > z:
+			return 1
+		}
+	}
+	return 0
+}
+
 // Sort returns the batch reordered by the keys (stable).
 func Sort(b *column.Batch, keys []SortKey) (*column.Batch, error) {
 	if len(keys) == 0 || b.NumRows() <= 1 {
 		return b, nil
 	}
-	keyCols := make([]*column.Column, len(keys))
+	keyData := make([]sortKeyData, len(keys))
 	for i, k := range keys {
 		c, err := Eval(k.Expr, b)
 		if err != nil {
 			return nil, err
 		}
-		keyCols[i] = c
+		keyData[i] = sortKeyData{
+			desc:  k.Desc,
+			typ:   c.Type(),
+			ints:  c.Int64s(),
+			fls:   c.Float64s(),
+			strs:  c.Strings(),
+			nulls: c.Nulls(),
+		}
 	}
-	sel := make([]int32, b.NumRows())
-	for i := range sel {
-		sel[i] = int32(i)
-	}
-	var sortErr error
+	sel := selAll(b.NumRows())
 	sort.SliceStable(sel, func(a, z int) bool {
 		ia, iz := int(sel[a]), int(sel[z])
-		for ki, kc := range keyCols {
-			c, err := column.Compare(kc.Value(ia), kc.Value(iz))
-			if err != nil {
-				sortErr = err
-				return false
-			}
+		for ki := range keyData {
+			c := keyData[ki].compareRows(ia, iz)
 			if c == 0 {
 				continue
 			}
-			if keys[ki].Desc {
+			if keyData[ki].desc {
 				return c > 0
 			}
 			return c < 0
 		}
 		return false
 	})
-	if sortErr != nil {
-		return nil, fmt.Errorf("exec: sort: %w", sortErr)
-	}
 	return b.Gather(sel), nil
 }
 
-// Limit returns at most n leading rows of the batch.
+// Limit returns at most n leading rows of the batch as a prefix view (no
+// gather, no copying; the result shares the input's column vectors).
 func Limit(b *column.Batch, n int64) *column.Batch {
 	if n < 0 || int64(b.NumRows()) <= n {
 		return b
 	}
-	sel := make([]int32, n)
-	for i := range sel {
-		sel[i] = int32(i)
-	}
-	return b.Gather(sel)
+	return b.Slice(int(n))
 }
 
 // Project evaluates each expression over the batch and returns them as a

@@ -1,0 +1,636 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/column"
+	"repro/internal/sql"
+)
+
+// ---------------------------------------------------------------------------
+// Row-at-a-time oracle: a deliberately naive Value-boxing interpreter with
+// the engine's SQL semantics (comparisons over null operands are false,
+// AND/OR treat null as false, aggregates skip nulls). The vectorized
+// kernels are checked against it on randomized batches.
+// ---------------------------------------------------------------------------
+
+func oracleEval(t *testing.T, e sql.Expr, b *column.Batch, row int) column.Value {
+	t.Helper()
+	switch x := e.(type) {
+	case *sql.Literal:
+		return x.Val
+	case *sql.ColumnRef:
+		c, ok := b.Col(x.Name)
+		if !ok {
+			t.Fatalf("oracle: unknown column %q", x.Name)
+		}
+		return c.Value(row)
+	case *sql.Unary:
+		v := oracleEval(t, x.X, b, row)
+		if v.Null {
+			return column.NewNull(v.Type)
+		}
+		if x.Op == "NOT" {
+			return column.NewBool(v.I == 0)
+		}
+		if v.Type == column.Float64 {
+			return column.NewFloat64(-v.F)
+		}
+		return column.NewInt64(-v.I)
+	case *sql.IsNull:
+		v := oracleEval(t, x.X, b, row)
+		return column.NewBool(v.Null != x.Not)
+	case *sql.Binary:
+		switch x.Op {
+		case sql.OpAnd, sql.OpOr:
+			l := oracleEval(t, x.L, b, row)
+			r := oracleEval(t, x.R, b, row)
+			lv, rv := l.AsBool(), r.AsBool()
+			if x.Op == sql.OpAnd {
+				return column.NewBool(lv && rv)
+			}
+			return column.NewBool(lv || rv)
+		case sql.OpLike:
+			l := oracleEval(t, x.L, b, row)
+			r := oracleEval(t, x.R, b, row)
+			return column.NewBool(!l.Null && !r.Null && matchLike(l.S, r.S))
+		}
+		l := oracleEval(t, x.L, b, row)
+		r := oracleEval(t, x.R, b, row)
+		if x.Op.Comparison() {
+			if l.Null || r.Null {
+				return column.NewBool(false)
+			}
+			l, r = oracleCoerce(t, l, r)
+			c, err := column.Compare(l, r)
+			if err != nil {
+				t.Fatalf("oracle: compare: %v", err)
+			}
+			return column.NewBool(cmpTruth(x.Op, c))
+		}
+		// Arithmetic.
+		intResult := l.Type != column.Float64 && r.Type != column.Float64 && x.Op != sql.OpDiv
+		if l.Null || r.Null {
+			if intResult {
+				return column.NewNull(column.Int64)
+			}
+			return column.NewNull(column.Float64)
+		}
+		if intResult {
+			switch x.Op {
+			case sql.OpAdd:
+				return column.NewInt64(l.I + r.I)
+			case sql.OpSub:
+				return column.NewInt64(l.I - r.I)
+			default:
+				return column.NewInt64(l.I * r.I)
+			}
+		}
+		lf, rf := l.AsFloat(), r.AsFloat()
+		switch x.Op {
+		case sql.OpAdd:
+			return column.NewFloat64(lf + rf)
+		case sql.OpSub:
+			return column.NewFloat64(lf - rf)
+		case sql.OpMul:
+			return column.NewFloat64(lf * rf)
+		default:
+			if rf == 0 {
+				return column.NewFloat64(math.NaN())
+			}
+			return column.NewFloat64(lf / rf)
+		}
+	}
+	t.Fatalf("oracle: unsupported expression %T", e)
+	return column.Value{}
+}
+
+func oracleCoerce(t *testing.T, l, r column.Value) (column.Value, column.Value) {
+	t.Helper()
+	parse := func(v column.Value) column.Value {
+		ns, err := column.ParseTimestamp(v.S)
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		return column.NewTimestamp(ns)
+	}
+	if l.Type == column.Timestamp && r.Type == column.String {
+		return l, parse(r)
+	}
+	if l.Type == column.String && r.Type == column.Timestamp {
+		return parse(l), r
+	}
+	return l, r
+}
+
+// oracleFilter returns the rows where every predicate is true.
+func oracleFilter(t *testing.T, b *column.Batch, preds []sql.Expr) []int32 {
+	t.Helper()
+	sel := []int32{}
+	for row := 0; row < b.NumRows(); row++ {
+		keep := true
+		for _, p := range preds {
+			if !oracleEval(t, p, b, row).AsBool() {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			sel = append(sel, int32(row))
+		}
+	}
+	return sel
+}
+
+// ---------------------------------------------------------------------------
+// Null handling in every comparison operator
+// ---------------------------------------------------------------------------
+
+var allCmpOps = []sql.BinaryOp{sql.OpEq, sql.OpNe, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe}
+
+// nullsBatch builds columns of every type family with nulls at fixed
+// positions (rows 1 and 4 of 6).
+func nullsBatch() *column.Batch {
+	ic := column.New("i", column.Int64)
+	fc := column.New("f", column.Float64)
+	sc := column.New("s", column.String)
+	i2 := column.New("i2", column.Int64)
+	for row := 0; row < 6; row++ {
+		if row == 1 || row == 4 {
+			ic.AppendNull()
+			fc.AppendNull()
+			sc.AppendNull()
+		} else {
+			ic.AppendInt64(int64(row))
+			fc.AppendFloat64(float64(row) / 2)
+			sc.AppendString(string(rune('a' + row)))
+		}
+		if row == 2 {
+			i2.AppendNull()
+		} else {
+			i2.AppendInt64(3)
+		}
+	}
+	return column.MustNewBatch(ic, fc, sc, i2)
+}
+
+func TestComparisonNullHandlingEveryOp(t *testing.T) {
+	b := nullsBatch()
+	cases := []struct {
+		name string
+		l, r sql.Expr
+	}{
+		{"int-const", &sql.ColumnRef{Name: "i"}, &sql.Literal{Val: column.NewInt64(3)}},
+		{"const-int", &sql.Literal{Val: column.NewInt64(3)}, &sql.ColumnRef{Name: "i"}},
+		{"float-const", &sql.ColumnRef{Name: "f"}, &sql.Literal{Val: column.NewFloat64(1)}},
+		{"int-floatconst", &sql.ColumnRef{Name: "i"}, &sql.Literal{Val: column.NewFloat64(2.5)}},
+		{"string-const", &sql.ColumnRef{Name: "s"}, &sql.Literal{Val: column.NewString("c")}},
+		{"col-col", &sql.ColumnRef{Name: "i"}, &sql.ColumnRef{Name: "i2"}},
+		{"col-col-mixed", &sql.ColumnRef{Name: "f"}, &sql.ColumnRef{Name: "i2"}},
+		{"null-const", &sql.ColumnRef{Name: "i"}, &sql.Literal{Val: column.NewNull(column.Int64)}},
+	}
+	for _, tc := range cases {
+		for _, op := range allCmpOps {
+			e := &sql.Binary{Op: op, L: tc.l, R: tc.r}
+			t.Run(fmt.Sprintf("%s/%s", tc.name, op), func(t *testing.T) {
+				got, err := EvalPredicate(e, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := oracleFilter(t, b, []sql.Expr{e})
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("EvalPredicate(%s) = %v, oracle says %v", e, got, want)
+				}
+				// A null operand must never be selected, whatever the op.
+				for _, s := range got {
+					for _, c := range []string{"i", "f", "s", "i2"} {
+						col, _ := b.Col(c)
+						if usesColumn(e, c) && col.IsNull(int(s)) {
+							t.Fatalf("row %d selected despite null %s", s, c)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func usesColumn(e sql.Expr, name string) bool {
+	switch x := e.(type) {
+	case *sql.ColumnRef:
+		return x.Name == name
+	case *sql.Binary:
+		return usesColumn(x.L, name) || usesColumn(x.R, name)
+	case *sql.Unary:
+		return usesColumn(x.X, name)
+	case *sql.IsNull:
+		return usesColumn(x.X, name)
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Selection-vector composition
+// ---------------------------------------------------------------------------
+
+func TestSelUnion(t *testing.T) {
+	got := selUnion([]int32{1, 3, 5}, []int32{2, 3, 6})
+	want := []int32{1, 2, 3, 5, 6}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("selUnion = %v, want %v", got, want)
+	}
+	if out := selUnion(nil, []int32{0, 2}); fmt.Sprint(out) != fmt.Sprint([]int32{0, 2}) {
+		t.Fatalf("selUnion with empty side = %v", out)
+	}
+}
+
+func TestSelNotNull(t *testing.T) {
+	nulls := []bool{false, true, false, true, false}
+	if got := selNotNull(nulls, nil, 5); fmt.Sprint(got) != fmt.Sprint([]int32{0, 2, 4}) {
+		t.Fatalf("selNotNull full = %v", got)
+	}
+	if got := selNotNull(nulls, []int32{1, 2, 3}, 5); fmt.Sprint(got) != fmt.Sprint([]int32{2}) {
+		t.Fatalf("selNotNull sel = %v", got)
+	}
+	sel := []int32{0, 3}
+	if got := selNotNull(nil, sel, 5); fmt.Sprint(got) != fmt.Sprint(sel) {
+		t.Fatal("nil nulls must return sel unchanged")
+	}
+}
+
+// TestSelectionComposition checks that chaining predicates through
+// evalPredSel narrows candidates exactly like intersecting independent
+// evaluations, and that OR merges stay sorted and deduplicated.
+func TestSelectionComposition(t *testing.T) {
+	b := benchBatch(1000)
+	p1 := mustExpr(t, "v > 0")
+	p2 := mustExpr(t, "file_id < 32")
+	p3 := mustExpr(t, "station = 'ISK' OR station = 'HGN'")
+
+	s1, err := EvalPredicate(p1, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s12, err := evalPredSel(p2, b, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent evaluation then intersection.
+	s2, err := EvalPredicate(p2, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSet := make(map[int32]bool, len(s2))
+	for _, s := range s2 {
+		inSet[s] = true
+	}
+	var want []int32
+	for _, s := range s1 {
+		if inSet[s] {
+			want = append(want, s)
+		}
+	}
+	if fmt.Sprint(s12) != fmt.Sprint(want) {
+		t.Fatalf("composed sel %v != intersection %v", s12, want)
+	}
+
+	s123, err := evalPredSel(p3, b, s12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(s123); i++ {
+		if s123[i] <= s123[i-1] {
+			t.Fatalf("OR result not strictly ascending at %d: %v", i, s123[i-1:i+1])
+		}
+	}
+	// The composed pipeline must agree with Filter over all three.
+	fb, err := Filter(b, []sql.Expr{p1, p2, p3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.NumRows() != len(s123) {
+		t.Fatalf("Filter rows %d != composed sel %d", fb.NumRows(), len(s123))
+	}
+}
+
+func TestFilterAllRowsPassReturnsInput(t *testing.T) {
+	b := benchBatch(100)
+	out, err := Filter(b, []sql.Expr{mustExpr(t, "file_id >= 0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != b {
+		t.Fatal("Filter should return the input batch unchanged when every row passes")
+	}
+}
+
+func TestLimitSharesVectors(t *testing.T) {
+	c := column.New("x", column.Int64)
+	c.AppendInt64(1)
+	c.AppendNull()
+	c.AppendInt64(3)
+	b := column.MustNewBatch(c)
+	out := Limit(b, 2)
+	if out.NumRows() != 2 {
+		t.Fatalf("Limit rows = %d", out.NumRows())
+	}
+	oc, _ := out.Col("x")
+	if oc.Value(0).I != 1 || !oc.IsNull(1) {
+		t.Fatalf("Limit prefix mismatch: %v, null=%v", oc.Value(0), oc.IsNull(1))
+	}
+	if &oc.Int64s()[0] != &c.Int64s()[0] {
+		t.Fatal("Limit must share the underlying vector, not copy it")
+	}
+	if Limit(b, 5) != b {
+		t.Fatal("Limit larger than batch must return the batch itself")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Property test: vectorized Filter and Aggregate vs the oracle on random
+// batches with nulls.
+// ---------------------------------------------------------------------------
+
+// randNullBatch builds a batch with every type family and ~15% nulls.
+func randNullBatch(rng *rand.Rand, n int) *column.Batch {
+	id := column.New("id", column.Int64)
+	id2 := column.New("id2", column.Int64)
+	v := column.New("v", column.Float64)
+	s := column.New("s", column.String)
+	ts := column.New("ts", column.Timestamp)
+	words := []string{"alpha", "beta", "gamma", "", "a%b", "a_b"}
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.15 {
+			id.AppendNull()
+		} else {
+			id.AppendInt64(rng.Int63n(7) - 3)
+		}
+		id2.AppendInt64(rng.Int63n(7) - 3)
+		switch {
+		case rng.Float64() < 0.15:
+			v.AppendNull()
+		case rng.Float64() < 0.08:
+			// NaN compares "equal" to everything under the engine's
+			// three-way convention; keep the kernels honest about it.
+			v.AppendFloat64(math.NaN())
+		default:
+			v.AppendFloat64(float64(rng.Intn(9))/2 - 2)
+		}
+		if rng.Float64() < 0.15 {
+			s.AppendNull()
+		} else {
+			s.AppendString(words[rng.Intn(len(words))])
+		}
+		ts.AppendInt64(rng.Int63n(5) * 1_000_000_000)
+	}
+	return column.MustNewBatch(id, id2, v, s, ts)
+}
+
+func randPredExpr(rng *rand.Rand, depth int) sql.Expr {
+	op := allCmpOps[rng.Intn(len(allCmpOps))]
+	max := 10
+	if depth <= 0 {
+		max = 7 // leaves only
+	}
+	switch rng.Intn(max) {
+	case 0:
+		return &sql.Binary{Op: op, L: &sql.ColumnRef{Name: "id"}, R: &sql.Literal{Val: column.NewInt64(rng.Int63n(7) - 3)}}
+	case 1:
+		return &sql.Binary{Op: op, L: &sql.Literal{Val: column.NewFloat64(float64(rng.Intn(9))/2 - 2)}, R: &sql.ColumnRef{Name: "v"}}
+	case 2:
+		return &sql.Binary{Op: op, L: &sql.ColumnRef{Name: "s"}, R: &sql.Literal{Val: column.NewString("beta")}}
+	case 3:
+		return &sql.Binary{Op: op, L: &sql.ColumnRef{Name: "ts"}, R: &sql.Literal{Val: column.NewString("1970-01-01 00:00:02")}}
+	case 4:
+		return &sql.Binary{Op: op, L: &sql.ColumnRef{Name: "id"}, R: &sql.ColumnRef{Name: "id2"}}
+	case 5:
+		pats := []string{"%a%", "a_b", "be%", "%"}
+		return &sql.Binary{Op: sql.OpLike, L: &sql.ColumnRef{Name: "s"}, R: &sql.Literal{Val: column.NewString(pats[rng.Intn(len(pats))])}}
+	case 6:
+		cols := []string{"id", "v", "s", "ts"}
+		return &sql.IsNull{X: &sql.ColumnRef{Name: cols[rng.Intn(len(cols))]}, Not: rng.Intn(2) == 0}
+	case 7:
+		return &sql.Binary{Op: sql.OpAnd, L: randPredExpr(rng, depth-1), R: randPredExpr(rng, depth-1)}
+	case 8:
+		return &sql.Binary{Op: sql.OpOr, L: randPredExpr(rng, depth-1), R: randPredExpr(rng, depth-1)}
+	default:
+		return &sql.Unary{Op: "NOT", X: randPredExpr(rng, depth-1)}
+	}
+}
+
+func batchesEqual(a, b *column.Batch) (string, bool) {
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		return fmt.Sprintf("shape %dx%d vs %dx%d", a.NumRows(), a.NumCols(), b.NumRows(), b.NumCols()), false
+	}
+	for r := 0; r < a.NumRows(); r++ {
+		for c := 0; c < a.NumCols(); c++ {
+			av, bv := a.ColAt(c).Value(r), b.ColAt(c).Value(r)
+			if av.String() != bv.String() {
+				return fmt.Sprintf("row %d col %s: %v vs %v", r, a.ColAt(c).Name(), av, bv), false
+			}
+		}
+	}
+	return "", true
+}
+
+func TestFilterMatchesOracleOnRandomBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := rng.Intn(120)
+		b := randNullBatch(rng, n)
+		preds := make([]sql.Expr, 1+rng.Intn(3))
+		for i := range preds {
+			preds[i] = randPredExpr(rng, 2)
+		}
+		got, err := Filter(b, preds)
+		if err != nil {
+			t.Fatalf("iter %d: Filter(%v): %v", iter, preds, err)
+		}
+		want := b.Gather(oracleFilter(t, b, preds))
+		if diff, ok := batchesEqual(got, want); !ok {
+			t.Fatalf("iter %d: Filter(%v) diverges from oracle: %s", iter, preds, diff)
+		}
+	}
+}
+
+// oracleAggregate reimplements grouping the naive way: string-encoded group
+// keys and boxed Value accumulators.
+func oracleAggregate(t *testing.T, b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) [][]string {
+	t.Helper()
+	type ostate struct {
+		count  int64
+		sum    float64
+		intSum int64
+		min    column.Value
+		max    column.Value
+		seen   map[string]bool
+		any    bool
+	}
+	type ogroup struct {
+		firstRow int
+		states   []*ostate
+	}
+	groups := map[string]*ogroup{}
+	var order []string
+	n := b.NumRows()
+	for row := 0; row < n; row++ {
+		var sb strings.Builder
+		for _, g := range groupBy {
+			v := oracleEval(t, g, b, row)
+			if v.Null {
+				sb.WriteString("\x00N")
+			} else {
+				sb.WriteString(v.String())
+			}
+			sb.WriteByte(0)
+		}
+		k := sb.String()
+		og, ok := groups[k]
+		if !ok {
+			og = &ogroup{firstRow: row, states: make([]*ostate, len(aggs))}
+			for i := range aggs {
+				og.states[i] = &ostate{}
+			}
+			groups[k] = og
+			order = append(order, k)
+		}
+		for i, spec := range aggs {
+			st := og.states[i]
+			if spec.Star {
+				st.count++
+				continue
+			}
+			v := oracleEval(t, spec.Arg, b, row)
+			if v.Null {
+				continue
+			}
+			if spec.Distinct {
+				if st.seen == nil {
+					st.seen = map[string]bool{}
+				}
+				if st.seen[v.String()] {
+					continue
+				}
+				st.seen[v.String()] = true
+			}
+			st.count++
+			switch v.Type {
+			case column.Float64:
+				st.sum += v.F
+			case column.String:
+			default:
+				st.intSum += v.I
+				st.sum += float64(v.I)
+			}
+			if !st.any {
+				st.min, st.max = v, v
+				st.any = true
+			} else {
+				if c, err := column.Compare(v, st.min); err == nil && c < 0 {
+					st.min = v
+				}
+				if c, err := column.Compare(v, st.max); err == nil && c > 0 {
+					st.max = v
+				}
+			}
+		}
+	}
+	if len(groupBy) == 0 && len(order) == 0 {
+		og := &ogroup{firstRow: -1, states: make([]*ostate, len(aggs))}
+		for i := range aggs {
+			og.states[i] = &ostate{}
+		}
+		groups[""] = og
+		order = append(order, "")
+	}
+	var rows [][]string
+	for _, k := range order {
+		og := groups[k]
+		var cells []string
+		for _, g := range groupBy {
+			cells = append(cells, oracleEval(t, g, b, og.firstRow).String())
+		}
+		for i, spec := range aggs {
+			st := og.states[i]
+			switch spec.Func {
+			case "COUNT":
+				cells = append(cells, column.NewInt64(st.count).String())
+			case "AVG":
+				if st.count == 0 {
+					cells = append(cells, "NULL")
+				} else {
+					cells = append(cells, column.NewFloat64(st.sum/float64(st.count)).String())
+				}
+			case "SUM":
+				if st.count == 0 {
+					cells = append(cells, "NULL")
+				} else if st.any && st.min.Type == column.Float64 {
+					cells = append(cells, column.NewFloat64(st.sum).String())
+				} else {
+					cells = append(cells, column.NewInt64(st.intSum).String())
+				}
+			case "MIN":
+				if !st.any {
+					cells = append(cells, "NULL")
+				} else {
+					cells = append(cells, st.min.String())
+				}
+			case "MAX":
+				if !st.any {
+					cells = append(cells, "NULL")
+				} else {
+					cells = append(cells, st.max.String())
+				}
+			}
+		}
+		rows = append(rows, cells)
+	}
+	return rows
+}
+
+func TestAggregateMatchesOracleOnRandomBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	groupings := [][]sql.Expr{
+		nil, // global aggregate
+		{&sql.ColumnRef{Name: "id"}},
+		{&sql.ColumnRef{Name: "s"}},
+		{&sql.ColumnRef{Name: "ts"}},
+		{&sql.ColumnRef{Name: "id"}, &sql.ColumnRef{Name: "s"}},
+		{&sql.ColumnRef{Name: "id"}, &sql.ColumnRef{Name: "id2"}},
+		{&sql.ColumnRef{Name: "v"}},
+	}
+	for iter := 0; iter < 120; iter++ {
+		n := rng.Intn(100)
+		b := randNullBatch(rng, n)
+		groupBy := groupings[rng.Intn(len(groupings))]
+		aggs := []AggSpec{
+			{Func: "COUNT", Star: true, OutName: "cnt"},
+			{Func: "SUM", Arg: &sql.ColumnRef{Name: "id2"}, OutName: "sum_id2"},
+			{Func: "AVG", Arg: &sql.ColumnRef{Name: "v"}, OutName: "avg_v"},
+			{Func: "MIN", Arg: &sql.ColumnRef{Name: "s"}, OutName: "min_s"},
+			{Func: "MAX", Arg: &sql.ColumnRef{Name: "ts"}, OutName: "max_ts"},
+			{Func: "COUNT", Arg: &sql.ColumnRef{Name: "id"}, Distinct: true, OutName: "cd_id"},
+			{Func: "COUNT", Arg: &sql.ColumnRef{Name: "v"}, Distinct: true, OutName: "cd_v"},
+		}
+		got, err := Aggregate(b, groupBy, aggs)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		want := oracleAggregate(t, b, groupBy, aggs)
+		if got.NumRows() != len(want) {
+			t.Fatalf("iter %d (groupBy=%v): %d groups, oracle has %d", iter, groupBy, got.NumRows(), len(want))
+		}
+		for r := 0; r < got.NumRows(); r++ {
+			for c := 0; c < got.NumCols(); c++ {
+				if gv := got.ColAt(c).Value(r).String(); gv != want[r][c] {
+					t.Fatalf("iter %d (groupBy=%v): row %d col %s = %s, oracle says %s",
+						iter, groupBy, r, got.ColAt(c).Name(), gv, want[r][c])
+				}
+			}
+		}
+	}
+}
