@@ -35,6 +35,7 @@ func main() {
 	modeStr := flag.String("mode", "lazy", "warehouse mode: lazy, eager or external")
 	gen := flag.Bool("gen", false, "generate a demo repository into -repo if it is empty or missing")
 	cache := flag.Int64("cache", 0, "recycler cache budget in bytes (0 = default 256MiB)")
+	workers := flag.Int("workers", 0, "query-execution workers (0 = GOMAXPROCS, 1 = serial engine)")
 	flag.Parse()
 
 	if *repoDir == "" {
@@ -68,7 +69,7 @@ func main() {
 
 	start := time.Now()
 	w, err := warehouse.Open(*repoDir, warehouse.Options{
-		Mode: mode, ETL: etl.Options{CacheBudget: *cache},
+		Mode: mode, Workers: *workers, ETL: etl.Options{CacheBudget: *cache},
 	})
 	if err != nil {
 		fatal(err)

@@ -98,6 +98,22 @@ func (b *Batch) Slice(n int) *Batch {
 	return out
 }
 
+// Range returns a view of rows [lo, hi). Column vectors are shared with b
+// (O(1) per column, no copying); callers must not append to either batch
+// afterwards. Morsel-driven execution evaluates predicates over such views.
+func (b *Batch) Range(lo, hi int) *Batch {
+	if lo == 0 && hi >= b.NumRows() {
+		return b
+	}
+	out := &Batch{byName: make(map[string]int, len(b.cols))}
+	for _, c := range b.cols {
+		rc := c.Range(lo, hi)
+		out.byName[rc.Name()] = len(out.cols)
+		out.cols = append(out.cols, rc)
+	}
+	return out
+}
+
 // Gather builds a new batch of the selected rows.
 func (b *Batch) Gather(sel []int32) *Batch {
 	out := &Batch{byName: make(map[string]int, len(b.cols))}

@@ -221,6 +221,29 @@ func (c *Column) Slice(n int) *Column {
 	return cp
 }
 
+// Range returns a view of rows [lo, hi). The underlying vectors are shared
+// with c, not copied, so this is O(1); callers must not append to either
+// column afterwards. This is how the morsel-driven executor hands each
+// worker its row window.
+func (c *Column) Range(lo, hi int) *Column {
+	if lo == 0 && hi >= c.Len() {
+		return c
+	}
+	cp := &Column{name: c.name, typ: c.typ}
+	switch c.typ {
+	case Float64:
+		cp.fls = c.fls[lo:hi]
+	case String:
+		cp.strs = c.strs[lo:hi]
+	default:
+		cp.ints = c.ints[lo:hi]
+	}
+	if c.nulls != nil {
+		cp.nulls = c.nulls[lo:hi]
+	}
+	return cp
+}
+
 // Gather builds a new column containing the rows selected by sel, in order.
 func (c *Column) Gather(sel []int32) *Column {
 	out := New(c.name, c.typ)

@@ -88,49 +88,58 @@ func aggOutType(fn string, in column.Type) (column.Type, error) {
 // composite or string keys are encoded into a reused byte buffer with
 // fixed-width numeric encoding, whose map[string] lookups do not allocate.
 func Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*column.Batch, error) {
-	// Evaluate group keys and aggregate arguments once, vectorized.
-	keyCols := make([]*column.Column, len(groupBy))
-	for i, g := range groupBy {
-		c, err := Eval(g, b)
-		if err != nil {
-			return nil, err
-		}
-		keyCols[i] = c
-	}
-	args := make([]aggArg, len(aggs))
-	for i, a := range aggs {
-		if a.Star {
-			args[i] = aggArg{star: true}
-			continue
-		}
-		c, err := Eval(a.Arg, b)
-		if err != nil {
-			return nil, err
-		}
-		args[i] = aggArg{
-			distinct: a.Distinct,
-			typ:      c.Type(),
-			ints:     c.Int64s(),
-			fls:      c.Float64s(),
-			strs:     c.Strings(),
-			nulls:    c.Nulls(),
-		}
-	}
-
-	var groups []aggGroup
-	addGroup := func(row int) int {
-		groups = append(groups, aggGroup{firstRow: int32(row), states: make([]aggState, len(aggs))})
-		return len(groups) - 1
+	keyCols, args, err := evalAggInputs(b, groupBy, aggs)
+	if err != nil {
+		return nil, err
 	}
 
 	n := b.NumRows()
-	if len(groupBy) == 1 && keyCols[0].Type() != column.Float64 && keyCols[0].Type() != column.String {
+	var groups []aggGroup
+	if len(groupBy) > 0 {
+		groups = groupRows(keyCols, args, len(aggs), n, intKeyed(groupBy, keyCols), nil, 0, 0)
+	} else {
+		// Global aggregate: a single group over all rows.
+		groups = []aggGroup{{firstRow: 0, states: make([]aggState, len(aggs))}}
+		if n == 0 {
+			groups[0].firstRow = -1
+		}
+		states := groups[0].states
+		for row := 0; row < n; row++ {
+			updateAggStates(states, args, row)
+		}
+	}
+
+	return buildAggOutput(keyCols, groupBy, args, aggs, groups)
+}
+
+// intKeyed reports whether the grouping takes the integer-keyed fast path:
+// a single key of an integer-family type, hashed as the raw int64.
+func intKeyed(groupBy []sql.Expr, keyCols []*column.Column) bool {
+	return len(groupBy) == 1 && keyCols[0].Type() != column.Float64 && keyCols[0].Type() != column.String
+}
+
+// groupRows scans rows [0, n) in order and builds the group table — the
+// one grouping implementation both engines share. With a nil hashes every
+// row is processed (the serial path); otherwise only rows whose key hash
+// lands in shard (of nshards) are, which is how the parallel engine gives
+// each worker sole ownership of its groups while preserving the serial
+// per-group update order.
+func groupRows(keyCols []*column.Column, args []aggArg, naggs, n int, intKey bool, hashes []uint64, nshards, shard uint64) []aggGroup {
+	var groups []aggGroup
+	addGroup := func(row int) int {
+		groups = append(groups, aggGroup{firstRow: int32(row), states: make([]aggState, naggs)})
+		return len(groups) - 1
+	}
+	if intKey {
 		// Integer-keyed fast path: the raw int64 is the hash key.
 		ints := keyCols[0].Int64s()
 		nulls := keyCols[0].Nulls()
 		idx := make(map[int64]int, 64)
 		nullGroup := -1
 		for row := 0; row < n; row++ {
+			if hashes != nil && hashes[row]%nshards != shard {
+				continue
+			}
 			var gi int
 			if nulls != nil && nulls[row] {
 				if nullGroup < 0 {
@@ -148,38 +157,69 @@ func Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*column.Bat
 			}
 			updateAggStates(groups[gi].states, args, row)
 		}
-	} else if len(groupBy) > 0 {
-		// Generic path: encode the key tuple into a reused byte buffer.
-		// Map lookups with a string(buf) index expression do not allocate;
-		// the key string is only copied when a new group is inserted.
-		idx := make(map[string]int, 64)
-		buf := make([]byte, 0, 16*len(keyCols))
-		for row := 0; row < n; row++ {
-			buf = buf[:0]
-			for _, kc := range keyCols {
-				buf = appendRowKey(buf, kc, row)
-			}
-			gi, ok := idx[string(buf)]
-			if !ok {
-				gi = addGroup(row)
-				idx[string(buf)] = gi
-			}
-			updateAggStates(groups[gi].states, args, row)
+		return groups
+	}
+	// Generic path: encode the key tuple into a reused byte buffer. Map
+	// lookups with a string(buf) index expression do not allocate; the key
+	// string is only copied when a new group is inserted.
+	idx := make(map[string]int, 64)
+	buf := make([]byte, 0, 16*len(keyCols))
+	for row := 0; row < n; row++ {
+		if hashes != nil && hashes[row]%nshards != shard {
+			continue
 		}
-	} else {
-		// Global aggregate: a single group over all rows.
-		addGroup(0)
-		if n == 0 {
-			groups[0].firstRow = -1
+		buf = buf[:0]
+		for _, kc := range keyCols {
+			buf = appendRowKey(buf, kc, row)
 		}
-		states := groups[0].states
-		for row := 0; row < n; row++ {
-			updateAggStates(states, args, row)
+		gi, ok := idx[string(buf)]
+		if !ok {
+			gi = addGroup(row)
+			idx[string(buf)] = gi
+		}
+		updateAggStates(groups[gi].states, args, row)
+	}
+	return groups
+}
+
+// evalAggInputs evaluates the group-key expressions and unpacks the
+// aggregate arguments into raw vectors, once per batch, vectorized.
+func evalAggInputs(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) ([]*column.Column, []aggArg, error) {
+	keyCols := make([]*column.Column, len(groupBy))
+	for i, g := range groupBy {
+		c, err := Eval(g, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		keyCols[i] = c
+	}
+	args := make([]aggArg, len(aggs))
+	for i, a := range aggs {
+		if a.Star {
+			args[i] = aggArg{star: true}
+			continue
+		}
+		c, err := Eval(a.Arg, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		args[i] = aggArg{
+			distinct: a.Distinct,
+			typ:      c.Type(),
+			ints:     c.Int64s(),
+			fls:      c.Float64s(),
+			strs:     c.Strings(),
+			nulls:    c.Nulls(),
 		}
 	}
+	return keyCols, args, nil
+}
 
-	// Assemble output columns: group keys gather from each group's first
-	// row; aggregate results fill preallocated vectors from the states.
+// buildAggOutput assembles the result batch: group keys gather from each
+// group's first row; aggregate results fill preallocated vectors from the
+// states. groups must be in output order (first appearance, i.e. ascending
+// firstRow).
+func buildAggOutput(keyCols []*column.Column, groupBy []sql.Expr, args []aggArg, aggs []AggSpec, groups []aggGroup) (*column.Batch, error) {
 	var outCols []*column.Column
 	if len(groupBy) > 0 {
 		firstRows := make([]int32, len(groups))

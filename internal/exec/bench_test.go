@@ -125,6 +125,79 @@ func BenchmarkSortByTimestamp(b *testing.B) {
 	}
 }
 
+// benchWorkers is the worker-count axis of the parallel benchmarks;
+// workers=1 runs the serial engine and is the no-regression baseline.
+var benchWorkers = []int{1, 2, 8}
+
+// BenchmarkFilterConjunctionParallel is BenchmarkFilterConjunction at 1M
+// rows across the morsel-driven pool (workers=1 = serial path).
+func BenchmarkFilterConjunctionParallel(b *testing.B) {
+	batch := benchBatch(1_000_000)
+	pred := benchPred(b, "station = 'ISK' AND v > 0 AND t < '1970-01-02'")
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := NewPool(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.EvalPredicate(pred, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAggregateGroupedParallel shards the string-keyed group table at
+// 1M rows; the int-keyed variant covers the map[int64] fast path.
+func BenchmarkAggregateGroupedParallel(b *testing.B) {
+	batch := benchBatch(1_000_000)
+	aggs := []AggSpec{
+		{Func: "COUNT", Star: true, OutName: "COUNT(*)"},
+		{Func: "AVG", Arg: &sql.ColumnRef{Name: "v"}, OutName: "AVG(v)"},
+		{Func: "MIN", Arg: &sql.ColumnRef{Name: "v"}, OutName: "MIN(v)"},
+		{Func: "MAX", Arg: &sql.ColumnRef{Name: "v"}, OutName: "MAX(v)"},
+	}
+	for _, key := range []string{"station", "file_id"} {
+		groupBy := []sql.Expr{&sql.ColumnRef{Name: key}}
+		for _, w := range benchWorkers {
+			b.Run(fmt.Sprintf("key=%s/workers=%d", key, w), func(b *testing.B) {
+				p := NewPool(w)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Aggregate(batch, groupBy, aggs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkHashJoinParallel probes 1M left rows against a 64-row build
+// side across the pool; the gather of both outputs is also parallel.
+func BenchmarkHashJoinParallel(b *testing.B) {
+	left := benchBatch(1_000_000)
+	rid := make([]int64, 64)
+	for i := range rid {
+		rid[i] = int64(i)
+	}
+	right := column.MustNewBatch(
+		column.NewInt64s("rid", rid),
+		column.NewStrings("tag", make([]string, 64)),
+	)
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := NewPool(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.HashJoin(left, right, []string{"file_id"}, []string{"rid"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkLikePattern(b *testing.B) {
 	batch := benchBatch(100_000)
 	pred := benchPred(b, "station LIKE '%S%'")

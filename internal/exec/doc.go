@@ -30,4 +30,39 @@
 // Aggregate hashes group keys without boxing: a single integer-family key
 // indexes a map[int64] directly, and composite or string keys are encoded
 // into a reused fixed-width byte buffer whose map lookups do not allocate.
+//
+// # Morsel-driven parallelism
+//
+// Pool is the parallel layer over the same kernels. An operator invocation
+// partitions its input into contiguous row-range morsels; workers claim
+// morsel indices from an atomic cursor (dynamic stealing, so a selective
+// range and an unselective one still balance) and run the unchanged serial
+// kernels over a Batch.Range view of their [lo, hi) window. The serial
+// functions remain the reference implementation — a nil or 1-worker Pool
+// routes straight to them — and the oracle test suite runs every operator
+// against both engines across worker counts and morsel sizes.
+//
+// Determinism guarantee: parallel output is bit-identical to serial
+// output, for every operator, at every worker count and morsel size.
+// Each operator earns it structurally rather than by locking:
+//
+//   - Filter evaluates predicates per morsel and concatenates the
+//     per-range ascending selection vectors in range order, which is
+//     exactly the serial engine's single vector; the final gather writes
+//     disjoint output windows per worker into preallocated vectors.
+//   - Aggregate shards the group table by key hash instead of splitting
+//     rows: a first parallel pass hashes every row's key, then each worker
+//     scans all rows but owns only the groups in its hash shard, applying
+//     updates in global row order. Every group's state — including
+//     order-sensitive float sums — is built by one worker in the serial
+//     update order, and the merge sorts groups by first-appearance row,
+//     the serial output order. Global (ungrouped) aggregates stay serial.
+//   - HashJoin builds its table serially, probes disjoint left ranges
+//     concurrently (the table is read-only during the probe), and
+//     concatenates per-range match lists in range order — the serial
+//     probe order.
+//
+// Workers hold no state between invocations and pools are safe for
+// concurrent use by many queries; nothing in the engine mutates shared
+// data during a parallel phase except each worker's own output slot.
 package exec

@@ -15,6 +15,26 @@ import (
 // output order) follows the left input, which keeps metadata-first plans
 // producing deterministically ordered intermediates.
 func HashJoin(left, right *column.Batch, leftKeys, rightKeys []string) (*column.Batch, error) {
+	jt, err := buildJoinTable(left, right, leftKeys, rightKeys)
+	if err != nil {
+		return nil, err
+	}
+	lsel, rsel := jt.probeRange(0, left.NumRows())
+	return assembleJoin(left, right, rightKeys, lsel, rsel, nil)
+}
+
+// joinTable is the build side of a hash join plus the probe-side key
+// columns: everything a probe over any [lo, hi) window of left rows needs.
+// Probing is read-only and safe for concurrent use by morsel workers.
+type joinTable struct {
+	lkc, rkc []*column.Column
+	intKeys  bool
+	intHT    map[[2]int64][]int32 // up to two integer-family key columns
+	genHT    map[string][]int32   // byte-encoded key tuples
+}
+
+// buildJoinTable validates the key lists and hashes the right (build) side.
+func buildJoinTable(left, right *column.Batch, leftKeys, rightKeys []string) (*joinTable, error) {
 	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
 		return nil, fmt.Errorf("exec: join needs matching non-empty key lists, got %v and %v", leftKeys, rightKeys)
 	}
@@ -28,7 +48,7 @@ func HashJoin(left, right *column.Batch, leftKeys, rightKeys []string) (*column.
 	}
 
 	// Fast path: up to two integer-family key columns pack into a [2]int64.
-	intKeys := true
+	intKeys := len(lkc) <= 2
 	for i := range lkc {
 		if !intFamily(lkc[i].Type()) || !intFamily(rkc[i].Type()) {
 			intKeys = false
@@ -36,15 +56,78 @@ func HashJoin(left, right *column.Batch, leftKeys, rightKeys []string) (*column.
 		}
 	}
 
-	var lsel, rsel []int32
-	if intKeys && len(lkc) <= 2 {
-		lsel, rsel = joinIntKeys(lkc, rkc, left.NumRows(), right.NumRows())
-	} else {
-		lsel, rsel = joinGenericKeys(lkc, rkc, left.NumRows(), right.NumRows())
+	jt := &joinTable{lkc: lkc, rkc: rkc, intKeys: intKeys}
+	rn := right.NumRows()
+	if intKeys {
+		jt.intHT = make(map[[2]int64][]int32, rn)
+		for i := 0; i < rn; i++ {
+			if nullKey(rkc, i) {
+				continue
+			}
+			k := packIntKey(rkc, i)
+			jt.intHT[k] = append(jt.intHT[k], int32(i))
+		}
+		return jt, nil
 	}
+	// Generic build: hash arbitrary key tuples through the same reused
+	// byte-buffer encoding the aggregator uses; only inserts copy the key.
+	buf := make([]byte, 0, 16*len(rkc))
+	jt.genHT = make(map[string][]int32, rn)
+	for i := 0; i < rn; i++ {
+		if nullKey(rkc, i) {
+			continue
+		}
+		buf = buf[:0]
+		for _, c := range rkc {
+			buf = appendRowKey(buf, c, i)
+		}
+		jt.genHT[string(buf)] = append(jt.genHT[string(buf)], int32(i))
+	}
+	return jt, nil
+}
 
-	out := left.Gather(lsel)
-	rightOut := right.Gather(rsel)
+// probeRange probes left rows [lo, hi) in ascending order, returning the
+// matched (left, right) row-index pairs. Probe-side map lookups with a
+// string(buf) index expression do not allocate. Concatenating the results
+// of adjacent ranges reproduces the full serial probe exactly.
+func (jt *joinTable) probeRange(lo, hi int) (lsel, rsel []int32) {
+	lsel = make([]int32, 0, hi-lo)
+	rsel = make([]int32, 0, hi-lo)
+	if jt.intKeys {
+		for i := lo; i < hi; i++ {
+			if nullKey(jt.lkc, i) {
+				continue
+			}
+			for _, ri := range jt.intHT[packIntKey(jt.lkc, i)] {
+				lsel = append(lsel, int32(i))
+				rsel = append(rsel, ri)
+			}
+		}
+		return lsel, rsel
+	}
+	buf := make([]byte, 0, 16*len(jt.lkc))
+	for i := lo; i < hi; i++ {
+		if nullKey(jt.lkc, i) {
+			continue
+		}
+		buf = buf[:0]
+		for _, c := range jt.lkc {
+			buf = appendRowKey(buf, c, i)
+		}
+		for _, ri := range jt.genHT[string(buf)] {
+			lsel = append(lsel, int32(i))
+			rsel = append(rsel, ri)
+		}
+	}
+	return lsel, rsel
+}
+
+// assembleJoin gathers both sides by the matched row pairs (in parallel
+// when a pool is supplied) and appends the right columns minus the right
+// keys to the left columns.
+func assembleJoin(left, right *column.Batch, rightKeys []string, lsel, rsel []int32, p *Pool) (*column.Batch, error) {
+	out := p.gather(left, lsel)
+	rightOut := p.gather(right, rsel)
 	skip := make(map[string]bool, len(rightKeys))
 	for _, k := range rightKeys {
 		skip[k] = true
@@ -61,6 +144,15 @@ func HashJoin(left, right *column.Batch, leftKeys, rightKeys []string) (*column.
 	return out, nil
 }
 
+// packIntKey packs up to two integer-family key values into a [2]int64.
+func packIntKey(cols []*column.Column, i int) [2]int64 {
+	var k [2]int64
+	for j, c := range cols {
+		k[j] = c.Int64s()[i]
+	}
+	return k
+}
+
 func keyColumns(b *column.Batch, names []string) ([]*column.Column, error) {
 	out := make([]*column.Column, len(names))
 	for i, n := range names {
@@ -75,71 +167,6 @@ func keyColumns(b *column.Batch, names []string) ([]*column.Column, error) {
 
 func intFamily(t column.Type) bool {
 	return t == column.Int64 || t == column.Timestamp || t == column.Bool
-}
-
-func joinIntKeys(lkc, rkc []*column.Column, ln, rn int) (lsel, rsel []int32) {
-	key := func(cols []*column.Column, i int) [2]int64 {
-		var k [2]int64
-		for j, c := range cols {
-			k[j] = c.Int64s()[i]
-		}
-		return k
-	}
-	ht := make(map[[2]int64][]int32, rn)
-	for i := 0; i < rn; i++ {
-		if nullKey(rkc, i) {
-			continue
-		}
-		k := key(rkc, i)
-		ht[k] = append(ht[k], int32(i))
-	}
-	lsel = make([]int32, 0, ln)
-	rsel = make([]int32, 0, ln)
-	for i := 0; i < ln; i++ {
-		if nullKey(lkc, i) {
-			continue
-		}
-		for _, ri := range ht[key(lkc, i)] {
-			lsel = append(lsel, int32(i))
-			rsel = append(rsel, ri)
-		}
-	}
-	return lsel, rsel
-}
-
-// joinGenericKeys hashes arbitrary key tuples through the same reused
-// byte-buffer encoding the aggregator uses: probe-side map lookups with a
-// string(buf) index expression do not allocate; only build-side inserts
-// copy the key.
-func joinGenericKeys(lkc, rkc []*column.Column, ln, rn int) (lsel, rsel []int32) {
-	buf := make([]byte, 0, 16*len(rkc))
-	ht := make(map[string][]int32, rn)
-	for i := 0; i < rn; i++ {
-		if nullKey(rkc, i) {
-			continue
-		}
-		buf = buf[:0]
-		for _, c := range rkc {
-			buf = appendRowKey(buf, c, i)
-		}
-		ht[string(buf)] = append(ht[string(buf)], int32(i))
-	}
-	lsel = make([]int32, 0, ln)
-	rsel = make([]int32, 0, ln)
-	for i := 0; i < ln; i++ {
-		if nullKey(lkc, i) {
-			continue
-		}
-		buf = buf[:0]
-		for _, c := range lkc {
-			buf = appendRowKey(buf, c, i)
-		}
-		for _, ri := range ht[string(buf)] {
-			lsel = append(lsel, int32(i))
-			rsel = append(rsel, ri)
-		}
-	}
-	return lsel, rsel
 }
 
 // nullKey reports whether any key column is null at row i (null keys never

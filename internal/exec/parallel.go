@@ -1,0 +1,445 @@
+package exec
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/column"
+	"repro/internal/sql"
+)
+
+// DefaultMorselRows is the row-range granularity the pool hands to workers.
+// Large enough that per-morsel dispatch cost vanishes against kernel work,
+// small enough that an uneven predicate (one selective range, one not)
+// still load-balances across workers by stealing.
+const DefaultMorselRows = 16384
+
+// Pool is the morsel-driven parallel execution layer. An operator
+// invocation partitions its input batch into contiguous row-range morsels;
+// workers pull morsel indices from a shared atomic cursor (dynamic
+// stealing, no static assignment) and run the ordinary serial kernels over
+// their [lo, hi) window. Per-morsel results are placed by morsel index and
+// concatenated in order, so every operator's output is bit-identical to
+// the serial engine's — see doc.go for the determinism argument.
+//
+// A nil *Pool and a 1-worker pool both mean the serial engine: every
+// method delegates to the plain function of the same name, which is kept
+// alive as the oracle the parallel paths are tested against. Pools hold no
+// goroutines between calls and are safe for concurrent use by multiple
+// queries.
+type Pool struct {
+	workers int
+	morsel  int // rows per morsel; 0 = DefaultMorselRows (tests shrink it)
+}
+
+// NewPool returns a pool with the given worker count. workers <= 0 selects
+// GOMAXPROCS; workers == 1 yields the serial engine.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's worker count (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// morselRows returns the configured morsel size.
+func (p *Pool) morselRows() int {
+	if p.morsel > 0 {
+		return p.morsel
+	}
+	return DefaultMorselRows
+}
+
+// serialFor reports whether n rows should run on the serial engine: no
+// pool, a single worker, or an input that fits in one morsel (parallelism
+// would be pure overhead).
+func (p *Pool) serialFor(n int) bool {
+	return p == nil || p.workers <= 1 || n <= p.morselRows()
+}
+
+// morselCount returns the number of morsels covering n rows.
+func (p *Pool) morselCount(n int) int {
+	mr := p.morselRows()
+	return (n + mr - 1) / mr
+}
+
+// morselBounds returns the row window [lo, hi) of morsel mi over n rows.
+func (p *Pool) morselBounds(mi, n int) (lo, hi int) {
+	mr := p.morselRows()
+	lo = mi * mr
+	hi = lo + mr
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// run executes fn(0) .. fn(tasks-1), each exactly once, across the pool's
+// workers. Workers claim task indices from an atomic cursor; fn must write
+// only to its own task's output slot, which is what makes the result
+// deterministic regardless of scheduling.
+func (p *Pool) run(tasks int, fn func(int)) {
+	w := p.workers
+	if w > tasks {
+		w = tasks
+	}
+	if w <= 1 {
+		for i := 0; i < tasks; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= tasks {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// firstError returns the lowest-indexed non-nil error, so a failing
+// parallel operator reports the same error the serial engine would (the
+// earliest row range's).
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// concatSel concatenates per-morsel selection vectors in morsel order,
+// which reproduces the serial engine's single ascending vector (each part
+// holds batch-absolute indices of a disjoint, increasing row range).
+func concatSel(parts [][]int32) []int32 {
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	out := make([]int32, 0, total)
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+// Filter is the morsel-driven Filter: each worker evaluates the full
+// predicate list over a row-range view of the batch, producing that
+// range's ascending selection vector; the per-range vectors are offset and
+// concatenated in range order, which reproduces the serial engine's single
+// selection vector exactly. The final gather also runs on the pool.
+func (p *Pool) Filter(b *column.Batch, preds []sql.Expr) (*column.Batch, error) {
+	if len(preds) == 0 {
+		return b, nil
+	}
+	n := b.NumRows()
+	if p.serialFor(n) {
+		return Filter(b, preds)
+	}
+	mcount := p.morselCount(n)
+	parts := make([][]int32, mcount)
+	errs := make([]error, mcount)
+	p.run(mcount, func(mi int) {
+		lo, hi := p.morselBounds(mi, n)
+		view := b.Range(lo, hi)
+		// Exactly the serial Filter loop over the view; every evalPredSel
+		// success returns a materialized vector, so (like serial Filter)
+		// sel is non-nil from the first predicate on.
+		var sel []int32
+		for _, pred := range preds {
+			s, err := evalPredSel(pred, view, sel)
+			if err != nil {
+				errs[mi] = err
+				return
+			}
+			sel = s
+			if len(sel) == 0 {
+				break
+			}
+		}
+		for i := range sel {
+			sel[i] += int32(lo)
+		}
+		parts[mi] = sel
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	sel := concatSel(parts)
+	if len(sel) == n {
+		return b, nil // every row passes: same no-copy fast path as serial
+	}
+	return p.gather(b, sel), nil
+}
+
+// EvalPredicate is the morsel-driven EvalPredicate, for callers that want
+// the selection vector itself.
+func (p *Pool) EvalPredicate(e sql.Expr, b *column.Batch) ([]int32, error) {
+	n := b.NumRows()
+	if p.serialFor(n) {
+		return EvalPredicate(e, b)
+	}
+	mcount := p.morselCount(n)
+	parts := make([][]int32, mcount)
+	errs := make([]error, mcount)
+	p.run(mcount, func(mi int) {
+		lo, hi := p.morselBounds(mi, n)
+		sel, err := evalPredSel(e, b.Range(lo, hi), nil)
+		if err != nil {
+			errs[mi] = err
+			return
+		}
+		if sel == nil {
+			sel = selAll(hi - lo)
+		}
+		for i := range sel {
+			sel[i] += int32(lo)
+		}
+		parts[mi] = sel
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return concatSel(parts), nil
+}
+
+// gather is Batch.Gather parallelized over chunks of the selection vector:
+// output vectors are preallocated and every worker writes a disjoint row
+// window of each column, so the result is identical to the serial gather.
+func (p *Pool) gather(b *column.Batch, sel []int32) *column.Batch {
+	if p.serialFor(len(sel)) {
+		return b.Gather(sel)
+	}
+	nc := b.NumCols()
+	type colOut struct {
+		src   *column.Column
+		ints  []int64
+		fls   []float64
+		strs  []string
+		nulls []bool
+	}
+	outs := make([]colOut, nc)
+	for ci := 0; ci < nc; ci++ {
+		c := b.ColAt(ci)
+		o := colOut{src: c}
+		switch c.Type() {
+		case column.Float64:
+			o.fls = make([]float64, len(sel))
+		case column.String:
+			o.strs = make([]string, len(sel))
+		default:
+			o.ints = make([]int64, len(sel))
+		}
+		if c.Nulls() != nil {
+			o.nulls = make([]bool, len(sel))
+		}
+		outs[ci] = o
+	}
+	mcount := p.morselCount(len(sel))
+	p.run(mcount, func(mi int) {
+		lo, hi := p.morselBounds(mi, len(sel))
+		for ci := range outs {
+			o := &outs[ci]
+			switch o.src.Type() {
+			case column.Float64:
+				src := o.src.Float64s()
+				for i := lo; i < hi; i++ {
+					o.fls[i] = src[sel[i]]
+				}
+			case column.String:
+				src := o.src.Strings()
+				for i := lo; i < hi; i++ {
+					o.strs[i] = src[sel[i]]
+				}
+			default:
+				src := o.src.Int64s()
+				for i := lo; i < hi; i++ {
+					o.ints[i] = src[sel[i]]
+				}
+			}
+			if o.nulls != nil {
+				src := o.src.Nulls()
+				for i := lo; i < hi; i++ {
+					o.nulls[i] = src[sel[i]]
+				}
+			}
+		}
+	})
+	cols := make([]*column.Column, nc)
+	for ci, o := range outs {
+		var c *column.Column
+		switch o.src.Type() {
+		case column.Float64:
+			c = column.NewFloat64s(o.src.Name(), o.fls)
+		case column.String:
+			c = column.NewStrings(o.src.Name(), o.strs)
+		default:
+			c = column.NewIntFamily(o.src.Name(), o.src.Type(), o.ints)
+		}
+		c.SetNulls(o.nulls)
+		cols[ci] = c
+	}
+	return column.MustNewBatch(cols...)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate
+// ---------------------------------------------------------------------------
+
+// nullKeyHash shards all null keys of the integer fast path into one group
+// table; the shard worker still tells null rows apart via the null bitmap.
+const nullKeyHash = uint64(0x9E3779B97F4A7C15)
+
+// mix64 is the splitmix64 finalizer: a cheap, deterministic scrambler that
+// spreads dense integer keys (ids, timestamps) uniformly across shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// fnv1a is the 64-bit FNV-1a hash of the encoded key tuple. Deterministic
+// across runs (unlike runtime map hashing), which keeps shard assignment —
+// and therefore nothing observable — stable.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Aggregate is the sharded Aggregate. Rather than splitting rows across
+// workers (which would reorder float accumulation and lose bit-identity),
+// the group table is sharded by key hash: a first parallel pass hashes
+// every row's key into a vector, then each worker scans all rows but owns
+// only the groups whose hash lands in its shard, applying updates in
+// global row order. Every group's state is thus built by exactly one
+// worker in exactly the serial engine's update order. The merge
+// concatenates the shards' groups and sorts by first-appearance row, which
+// is the serial output order.
+//
+// Global aggregates (no GROUP BY) stay serial: a single accumulator has no
+// shards, and splitting it would change float summation order.
+func (p *Pool) Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*column.Batch, error) {
+	n := b.NumRows()
+	if len(groupBy) == 0 || p.serialFor(n) {
+		return Aggregate(b, groupBy, aggs)
+	}
+	keyCols, args, err := evalAggInputs(b, groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+
+	intKey := intKeyed(groupBy, keyCols)
+	hashes := make([]uint64, n)
+	mcount := p.morselCount(n)
+	if intKey {
+		ints := keyCols[0].Int64s()
+		nulls := keyCols[0].Nulls()
+		p.run(mcount, func(mi int) {
+			lo, hi := p.morselBounds(mi, n)
+			for i := lo; i < hi; i++ {
+				if nulls != nil && nulls[i] {
+					hashes[i] = nullKeyHash
+				} else {
+					hashes[i] = mix64(uint64(ints[i]))
+				}
+			}
+		})
+	} else {
+		p.run(mcount, func(mi int) {
+			lo, hi := p.morselBounds(mi, n)
+			buf := make([]byte, 0, 16*len(keyCols))
+			for i := lo; i < hi; i++ {
+				buf = buf[:0]
+				for _, kc := range keyCols {
+					buf = appendRowKey(buf, kc, i)
+				}
+				hashes[i] = fnv1a(buf)
+			}
+		})
+	}
+
+	nshards := uint64(p.workers)
+	shards := make([][]aggGroup, p.workers)
+	p.run(p.workers, func(w int) {
+		shards[w] = groupRows(keyCols, args, len(aggs), n, intKey, hashes, nshards, uint64(w))
+	})
+
+	// Deterministic merge: output order is first appearance, i.e. ascending
+	// first row; each group exists in exactly one shard.
+	var groups []aggGroup
+	for _, s := range shards {
+		groups = append(groups, s...)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].firstRow < groups[j].firstRow })
+	return buildAggOutput(keyCols, groupBy, args, aggs, groups)
+}
+
+// ---------------------------------------------------------------------------
+// HashJoin
+// ---------------------------------------------------------------------------
+
+// HashJoin is the morsel-driven HashJoin: the build side hashes serially
+// (it is the smaller input in every plan this engine produces), then
+// workers probe disjoint left row ranges against the shared read-only
+// table and the per-range match lists concatenate in range order — the
+// serial probe order. Both output gathers run on the pool.
+func (p *Pool) HashJoin(left, right *column.Batch, leftKeys, rightKeys []string) (*column.Batch, error) {
+	ln := left.NumRows()
+	if p.serialFor(ln) {
+		return HashJoin(left, right, leftKeys, rightKeys)
+	}
+	jt, err := buildJoinTable(left, right, leftKeys, rightKeys)
+	if err != nil {
+		return nil, err
+	}
+	mcount := p.morselCount(ln)
+	lparts := make([][]int32, mcount)
+	rparts := make([][]int32, mcount)
+	p.run(mcount, func(mi int) {
+		lo, hi := p.morselBounds(mi, ln)
+		lparts[mi], rparts[mi] = jt.probeRange(lo, hi)
+	})
+	return assembleJoin(left, right, rightKeys, concatSel(lparts), concatSel(rparts), p)
+}
+
+// ---------------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------------
+
+// Sort delegates to the serial Sort: a parallel merge sort is a ROADMAP
+// follow-on, and routing it through the pool now keeps call sites and the
+// oracle suite uniform across operators.
+func (p *Pool) Sort(b *column.Batch, keys []SortKey) (*column.Batch, error) {
+	return Sort(b, keys)
+}

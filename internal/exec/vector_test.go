@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 
@@ -437,23 +438,96 @@ func batchesEqual(a, b *column.Batch) (string, bool) {
 	return "", true
 }
 
+// testEngines is the execution matrix every oracle test runs against: the
+// serial reference plus morsel-driven pools across worker counts {1, 2, 8}
+// and small odd morsel sizes (7, 13, 61) that split null runs and 8/64-row
+// bitmap word boundaries mid-word. A nil pool exercises the plain serial
+// functions through the same nil-safe method calls.
+func testEngines() []struct {
+	name string
+	pool *Pool
+} {
+	return []struct {
+		name string
+		pool *Pool
+	}{
+		{"serial", nil},
+		{"workers=1", NewPool(1)},
+		{"workers=2,morsel=13", &Pool{workers: 2, morsel: 13}},
+		{"workers=8,morsel=7", &Pool{workers: 8, morsel: 7}},
+		{"workers=8,morsel=61", &Pool{workers: 8, morsel: 61}},
+	}
+}
+
+// bitIdenticalBatches compares two batches down to raw vector contents:
+// names, types, null positions, and values compared as int64 bits, float
+// bits (math.Float64bits, so NaN payloads and signed zeros must agree) and
+// exact strings. This is the "parallel output is bit-identical to serial"
+// guarantee, stronger than the stringly batchesEqual used against oracles.
+func bitIdenticalBatches(a, b *column.Batch) (string, bool) {
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		return fmt.Sprintf("shape %dx%d vs %dx%d", a.NumRows(), a.NumCols(), b.NumRows(), b.NumCols()), false
+	}
+	for c := 0; c < a.NumCols(); c++ {
+		ac, bc := a.ColAt(c), b.ColAt(c)
+		if ac.Name() != bc.Name() || ac.Type() != bc.Type() {
+			return fmt.Sprintf("col %d: %s %v vs %s %v", c, ac.Name(), ac.Type(), bc.Name(), bc.Type()), false
+		}
+		for r := 0; r < a.NumRows(); r++ {
+			if ac.IsNull(r) != bc.IsNull(r) {
+				return fmt.Sprintf("col %s row %d: null %v vs %v", ac.Name(), r, ac.IsNull(r), bc.IsNull(r)), false
+			}
+			if ac.IsNull(r) {
+				continue
+			}
+			switch ac.Type() {
+			case column.Float64:
+				av, bv := ac.Float64s()[r], bc.Float64s()[r]
+				if math.Float64bits(av) != math.Float64bits(bv) {
+					return fmt.Sprintf("col %s row %d: %x vs %x", ac.Name(), r, math.Float64bits(av), math.Float64bits(bv)), false
+				}
+			case column.String:
+				if ac.Strings()[r] != bc.Strings()[r] {
+					return fmt.Sprintf("col %s row %d: %q vs %q", ac.Name(), r, ac.Strings()[r], bc.Strings()[r]), false
+				}
+			default:
+				if ac.Int64s()[r] != bc.Int64s()[r] {
+					return fmt.Sprintf("col %s row %d: %d vs %d", ac.Name(), r, ac.Int64s()[r], bc.Int64s()[r]), false
+				}
+			}
+		}
+	}
+	return "", true
+}
+
 func TestFilterMatchesOracleOnRandomBatches(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
-	for iter := 0; iter < 200; iter++ {
-		n := rng.Intn(120)
-		b := randNullBatch(rng, n)
-		preds := make([]sql.Expr, 1+rng.Intn(3))
-		for i := range preds {
-			preds[i] = randPredExpr(rng, 2)
-		}
-		got, err := Filter(b, preds)
-		if err != nil {
-			t.Fatalf("iter %d: Filter(%v): %v", iter, preds, err)
-		}
-		want := b.Gather(oracleFilter(t, b, preds))
-		if diff, ok := batchesEqual(got, want); !ok {
-			t.Fatalf("iter %d: Filter(%v) diverges from oracle: %s", iter, preds, diff)
-		}
+	for _, eng := range testEngines() {
+		t.Run(eng.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			for iter := 0; iter < 200; iter++ {
+				n := rng.Intn(120)
+				b := randNullBatch(rng, n)
+				preds := make([]sql.Expr, 1+rng.Intn(3))
+				for i := range preds {
+					preds[i] = randPredExpr(rng, 2)
+				}
+				got, err := eng.pool.Filter(b, preds)
+				if err != nil {
+					t.Fatalf("iter %d: Filter(%v): %v", iter, preds, err)
+				}
+				want := b.Gather(oracleFilter(t, b, preds))
+				if diff, ok := batchesEqual(got, want); !ok {
+					t.Fatalf("iter %d: Filter(%v) diverges from oracle: %s", iter, preds, diff)
+				}
+				serial, err := Filter(b, preds)
+				if err != nil {
+					t.Fatalf("iter %d: serial Filter(%v): %v", iter, preds, err)
+				}
+				if diff, ok := bitIdenticalBatches(got, serial); !ok {
+					t.Fatalf("iter %d: Filter(%v) not bit-identical to serial: %s", iter, preds, diff)
+				}
+			}
+		})
 	}
 }
 
@@ -593,7 +667,6 @@ func oracleAggregate(t *testing.T, b *column.Batch, groupBy []sql.Expr, aggs []A
 }
 
 func TestAggregateMatchesOracleOnRandomBatches(t *testing.T) {
-	rng := rand.New(rand.NewSource(23))
 	groupings := [][]sql.Expr{
 		nil, // global aggregate
 		{&sql.ColumnRef{Name: "id"}},
@@ -603,34 +676,261 @@ func TestAggregateMatchesOracleOnRandomBatches(t *testing.T) {
 		{&sql.ColumnRef{Name: "id"}, &sql.ColumnRef{Name: "id2"}},
 		{&sql.ColumnRef{Name: "v"}},
 	}
-	for iter := 0; iter < 120; iter++ {
-		n := rng.Intn(100)
-		b := randNullBatch(rng, n)
-		groupBy := groupings[rng.Intn(len(groupings))]
-		aggs := []AggSpec{
-			{Func: "COUNT", Star: true, OutName: "cnt"},
-			{Func: "SUM", Arg: &sql.ColumnRef{Name: "id2"}, OutName: "sum_id2"},
-			{Func: "AVG", Arg: &sql.ColumnRef{Name: "v"}, OutName: "avg_v"},
-			{Func: "MIN", Arg: &sql.ColumnRef{Name: "s"}, OutName: "min_s"},
-			{Func: "MAX", Arg: &sql.ColumnRef{Name: "ts"}, OutName: "max_ts"},
-			{Func: "COUNT", Arg: &sql.ColumnRef{Name: "id"}, Distinct: true, OutName: "cd_id"},
-			{Func: "COUNT", Arg: &sql.ColumnRef{Name: "v"}, Distinct: true, OutName: "cd_v"},
-		}
-		got, err := Aggregate(b, groupBy, aggs)
-		if err != nil {
-			t.Fatalf("iter %d: %v", iter, err)
-		}
-		want := oracleAggregate(t, b, groupBy, aggs)
-		if got.NumRows() != len(want) {
-			t.Fatalf("iter %d (groupBy=%v): %d groups, oracle has %d", iter, groupBy, got.NumRows(), len(want))
-		}
-		for r := 0; r < got.NumRows(); r++ {
-			for c := 0; c < got.NumCols(); c++ {
-				if gv := got.ColAt(c).Value(r).String(); gv != want[r][c] {
-					t.Fatalf("iter %d (groupBy=%v): row %d col %s = %s, oracle says %s",
-						iter, groupBy, r, got.ColAt(c).Name(), gv, want[r][c])
+	for _, eng := range testEngines() {
+		t.Run(eng.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(23))
+			for iter := 0; iter < 120; iter++ {
+				n := rng.Intn(100)
+				b := randNullBatch(rng, n)
+				groupBy := groupings[rng.Intn(len(groupings))]
+				aggs := []AggSpec{
+					{Func: "COUNT", Star: true, OutName: "cnt"},
+					{Func: "SUM", Arg: &sql.ColumnRef{Name: "id2"}, OutName: "sum_id2"},
+					{Func: "AVG", Arg: &sql.ColumnRef{Name: "v"}, OutName: "avg_v"},
+					{Func: "MIN", Arg: &sql.ColumnRef{Name: "s"}, OutName: "min_s"},
+					{Func: "MAX", Arg: &sql.ColumnRef{Name: "ts"}, OutName: "max_ts"},
+					{Func: "COUNT", Arg: &sql.ColumnRef{Name: "id"}, Distinct: true, OutName: "cd_id"},
+					{Func: "COUNT", Arg: &sql.ColumnRef{Name: "v"}, Distinct: true, OutName: "cd_v"},
+				}
+				got, err := eng.pool.Aggregate(b, groupBy, aggs)
+				if err != nil {
+					t.Fatalf("iter %d: %v", iter, err)
+				}
+				want := oracleAggregate(t, b, groupBy, aggs)
+				if got.NumRows() != len(want) {
+					t.Fatalf("iter %d (groupBy=%v): %d groups, oracle has %d", iter, groupBy, got.NumRows(), len(want))
+				}
+				for r := 0; r < got.NumRows(); r++ {
+					for c := 0; c < got.NumCols(); c++ {
+						if gv := got.ColAt(c).Value(r).String(); gv != want[r][c] {
+							t.Fatalf("iter %d (groupBy=%v): row %d col %s = %s, oracle says %s",
+								iter, groupBy, r, got.ColAt(c).Name(), gv, want[r][c])
+						}
+					}
+				}
+				serial, err := Aggregate(b, groupBy, aggs)
+				if err != nil {
+					t.Fatalf("iter %d: serial Aggregate: %v", iter, err)
+				}
+				if diff, ok := bitIdenticalBatches(got, serial); !ok {
+					t.Fatalf("iter %d (groupBy=%v): Aggregate not bit-identical to serial: %s", iter, groupBy, diff)
 				}
 			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Oracle-checked HashJoin: a naive nested-loop join over boxed values, the
+// row-at-a-time reference the hash paths (int-packed and byte-encoded) are
+// checked against on randomized batches, across both engines.
+// ---------------------------------------------------------------------------
+
+// randJoinRight builds a right-side batch whose key columns draw from the
+// same small domains as randNullBatch's, so joins hit all multiplicities
+// (no match, one match, many matches).
+func randJoinRight(rng *rand.Rand, n int) *column.Batch {
+	rid := column.New("rid", column.Int64)
+	rid2 := column.New("rid2", column.Int64)
+	rs := column.New("rs", column.String)
+	rts := column.New("rts", column.Timestamp)
+	rv := column.New("rv", column.Float64)
+	words := []string{"alpha", "beta", "gamma", "", "a%b", "a_b"}
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.15 {
+			rid.AppendNull()
+		} else {
+			rid.AppendInt64(rng.Int63n(7) - 3)
 		}
+		rid2.AppendInt64(rng.Int63n(7) - 3)
+		if rng.Float64() < 0.15 {
+			rs.AppendNull()
+		} else {
+			rs.AppendString(words[rng.Intn(len(words))])
+		}
+		rts.AppendInt64(rng.Int63n(5) * 1_000_000_000)
+		if rng.Float64() < 0.15 {
+			rv.AppendNull()
+		} else {
+			rv.AppendFloat64(float64(rng.Intn(9)) / 2)
+		}
+	}
+	return column.MustNewBatch(rid, rid2, rs, rts, rv)
+}
+
+// oracleJoinSel computes the inner equi-join match pairs by brute force:
+// left rows in order, right matches in right-row order, null keys never
+// matching — exactly the serial HashJoin's output order contract.
+func oracleJoinSel(t *testing.T, left, right *column.Batch, lk, rk []string) (lsel, rsel []int32) {
+	t.Helper()
+	lkc, err := keyColumns(left, lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rkc, err := keyColumns(right, rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsel, rsel = []int32{}, []int32{}
+	for li := 0; li < left.NumRows(); li++ {
+		if nullKey(lkc, li) {
+			continue
+		}
+		for ri := 0; ri < right.NumRows(); ri++ {
+			if nullKey(rkc, ri) {
+				continue
+			}
+			match := true
+			for j := range lkc {
+				c, err := column.Compare(lkc[j].Value(li), rkc[j].Value(ri))
+				if err != nil || c != 0 {
+					match = false
+					break
+				}
+			}
+			if match {
+				lsel = append(lsel, int32(li))
+				rsel = append(rsel, int32(ri))
+			}
+		}
+	}
+	return lsel, rsel
+}
+
+// oracleJoinBatch assembles the expected join output from the match pairs
+// using only Batch.Gather: left columns, then right columns minus the right
+// keys.
+func oracleJoinBatch(t *testing.T, left, right *column.Batch, rk []string, lsel, rsel []int32) *column.Batch {
+	t.Helper()
+	out := left.Gather(lsel)
+	rightOut := right.Gather(rsel)
+	drop := make(map[string]bool, len(rk))
+	for _, k := range rk {
+		drop[k] = true
+	}
+	for i := 0; i < rightOut.NumCols(); i++ {
+		c := rightOut.ColAt(i)
+		if drop[c.Name()] {
+			continue
+		}
+		if err := out.AddColumn(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestHashJoinMatchesOracleOnRandomBatches(t *testing.T) {
+	keyConfigs := []struct {
+		name   string
+		lk, rk []string
+	}{
+		{"int1", []string{"id"}, []string{"rid"}},                             // packed [2]int64 fast path
+		{"int2", []string{"id", "id2"}, []string{"rid", "rid2"}},              // two packed int keys
+		{"string", []string{"s"}, []string{"rs"}},                             // byte-encoded
+		{"int+string", []string{"id", "s"}, []string{"rid", "rs"}},            // composite byte-encoded
+		{"int3", []string{"id", "id2", "ts"}, []string{"rid", "rid2", "rts"}}, // >2 int keys: byte-encoded
+		{"timestamp", []string{"ts"}, []string{"rts"}},                        // int-family fast path
+	}
+	for _, eng := range testEngines() {
+		t.Run(eng.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(41))
+			for iter := 0; iter < 80; iter++ {
+				left := randNullBatch(rng, rng.Intn(120))
+				right := randJoinRight(rng, rng.Intn(80))
+				kc := keyConfigs[rng.Intn(len(keyConfigs))]
+				got, err := eng.pool.HashJoin(left, right, kc.lk, kc.rk)
+				if err != nil {
+					t.Fatalf("iter %d (%s): %v", iter, kc.name, err)
+				}
+				lsel, rsel := oracleJoinSel(t, left, right, kc.lk, kc.rk)
+				want := oracleJoinBatch(t, left, right, kc.rk, lsel, rsel)
+				if diff, ok := batchesEqual(got, want); !ok {
+					t.Fatalf("iter %d (%s): HashJoin diverges from oracle: %s", iter, kc.name, diff)
+				}
+				serial, err := HashJoin(left, right, kc.lk, kc.rk)
+				if err != nil {
+					t.Fatalf("iter %d (%s): serial HashJoin: %v", iter, kc.name, err)
+				}
+				if diff, ok := bitIdenticalBatches(got, serial); !ok {
+					t.Fatalf("iter %d (%s): HashJoin not bit-identical to serial: %s", iter, kc.name, diff)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Oracle-checked Sort: a stable sort over boxed values with column.Compare
+// (nulls first, NaN tying with everything), mirroring the engine's
+// comparator semantics through an independent row-at-a-time path.
+// ---------------------------------------------------------------------------
+
+func oracleSortBatch(t *testing.T, b *column.Batch, keys []SortKey) *column.Batch {
+	t.Helper()
+	n := b.NumRows()
+	// Box every key value up front; keys may be arbitrary expressions.
+	vals := make([][]column.Value, len(keys))
+	for ki, k := range keys {
+		vals[ki] = make([]column.Value, n)
+		for row := 0; row < n; row++ {
+			vals[ki][row] = oracleEval(t, k.Expr, b, row)
+		}
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, z int) bool {
+		ia, iz := idx[a], idx[z]
+		for ki := range keys {
+			c, err := column.Compare(vals[ki][ia], vals[ki][iz])
+			if err != nil {
+				t.Fatalf("oracle sort: %v", err)
+			}
+			if c == 0 {
+				continue
+			}
+			if keys[ki].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return b.Gather(idx)
+}
+
+func TestSortMatchesOracleOnRandomBatches(t *testing.T) {
+	keyConfigs := [][]SortKey{
+		{{Expr: &sql.ColumnRef{Name: "ts"}}},
+		{{Expr: &sql.ColumnRef{Name: "id"}, Desc: true}},
+		{{Expr: &sql.ColumnRef{Name: "s"}}, {Expr: &sql.ColumnRef{Name: "id"}}},
+		{{Expr: &sql.ColumnRef{Name: "v"}}, {Expr: &sql.ColumnRef{Name: "ts"}, Desc: true}},
+		{{Expr: &sql.ColumnRef{Name: "id"}}, {Expr: &sql.ColumnRef{Name: "v"}}, {Expr: &sql.ColumnRef{Name: "s"}, Desc: true}},
+	}
+	for _, eng := range testEngines() {
+		t.Run(eng.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(59))
+			for iter := 0; iter < 80; iter++ {
+				b := randNullBatch(rng, rng.Intn(120))
+				keys := keyConfigs[rng.Intn(len(keyConfigs))]
+				got, err := eng.pool.Sort(b, keys)
+				if err != nil {
+					t.Fatalf("iter %d: %v", iter, err)
+				}
+				want := oracleSortBatch(t, b, keys)
+				if diff, ok := batchesEqual(got, want); !ok {
+					t.Fatalf("iter %d: Sort diverges from oracle: %s", iter, diff)
+				}
+				serial, err := Sort(b, keys)
+				if err != nil {
+					t.Fatalf("iter %d: serial Sort: %v", iter, err)
+				}
+				if diff, ok := bitIdenticalBatches(got, serial); !ok {
+					t.Fatalf("iter %d: Sort not bit-identical to serial: %s", iter, diff)
+				}
+			}
+		})
 	}
 }

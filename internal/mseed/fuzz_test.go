@@ -1,0 +1,96 @@
+package mseed
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSteimDecode asserts the decoder's crash-safety contract: arbitrary
+// payload bytes, sample counts and codec flags must produce a slice or an
+// error, never a panic, and a successful decode must return exactly the
+// declared number of samples. The seed corpus covers valid Steim1/Steim2
+// payloads (so mutation starts from structurally plausible frames), short
+// frames, corrupt control words and both byte orders.
+func FuzzSteimDecode(f *testing.F) {
+	// Valid payloads from the encoder, both levels and byte orders.
+	samples := []int32{12, 12, 13, 10, -4, 100000, 99997, -70000, 0, 1, 2, 3, 5, 8, 13, 21}
+	for _, steim2 := range []bool{false, true} {
+		packings := steim1Packings
+		if steim2 {
+			packings = steim2Packings
+		}
+		for _, order := range []binary.ByteOrder{binary.BigEndian, binary.LittleEndian} {
+			enc, n, err := steimEncode(samples, samples[0], 4, packings, order)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(enc, uint16(n), steim2, order == binary.BigEndian)
+		}
+	}
+	// Structurally broken inputs.
+	f.Add([]byte{}, uint16(1), false, true)
+	f.Add(make([]byte, steimFrameSize-1), uint16(4), true, true)    // short frame
+	f.Add(make([]byte, steimFrameSize), uint16(0xFFFF), true, true) // declares far more than present
+	hostile := make([]byte, steimFrameSize)
+	for i := range hostile {
+		hostile[i] = 0xFF // every control code set, dnib 3 everywhere
+	}
+	f.Add(hostile, uint16(64), true, false)
+
+	f.Fuzz(func(t *testing.T, payload []byte, numSamples uint16, steim2, bigEndian bool) {
+		order := binary.ByteOrder(binary.LittleEndian)
+		if bigEndian {
+			order = binary.BigEndian
+		}
+		out, err := steimDecode(payload, int(numSamples), steim2, order)
+		if err != nil {
+			return
+		}
+		if len(out) != int(numSamples) {
+			t.Fatalf("decode returned %d samples, header declared %d", len(out), numSamples)
+		}
+	})
+}
+
+// FuzzDecodeRecord drives the full record path — header parse, blockette
+// walk, payload decode — over arbitrary byte buffers. The record layer is
+// what untrusted repository files actually hit first, so it must be as
+// panic-free as the codec underneath it.
+func FuzzDecodeRecord(f *testing.F) {
+	// A valid record as the structural seed.
+	h := &Header{
+		SeqNo:          1,
+		Quality:        QualityUnknown,
+		Network:        "NL",
+		Station:        "HGN",
+		Channel:        "BHZ",
+		Start:          BTime{Year: 2010, Doy: 12, Hour: 22},
+		RateFactor:     40,
+		RateMultiplier: 1,
+		Encoding:       EncodingSteim2,
+		RecordLength:   512,
+	}
+	buf, _, err := EncodeRecord(h, []int32{1, 2, 3, 5, 8, 13, 21, 34}, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf)
+	f.Add([]byte{})
+	f.Add(make([]byte, fixedHeaderSize))
+	trunc := make([]byte, len(buf)/2)
+	copy(trunc, buf)
+	f.Add(trunc)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, samples, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		if h == nil {
+			t.Fatal("nil header with nil error")
+		}
+		if len(samples) != h.NumSamples {
+			t.Fatalf("decoded %d samples, header declares %d", len(samples), h.NumSamples)
+		}
+	})
+}

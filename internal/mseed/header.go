@@ -308,6 +308,11 @@ func parseHeader(buf []byte) (*Header, error) {
 	if h.RecordLength == 0 {
 		return nil, ErrNoBlockette1000
 	}
+	// A corrupt data offset must fail here, not as a slice panic when the
+	// payload window buf[DataOffset:RecordLength] is taken (fuzz finding).
+	if h.DataOffset > h.RecordLength {
+		return nil, fmt.Errorf("%w: data offset %d beyond record length %d", ErrBadHeader, h.DataOffset, h.RecordLength)
+	}
 	// The declared word order must agree with the heuristic that located the
 	// blockette; records written by this package are always consistent.
 	if h.BigEndian != (order == binary.ByteOrder(binary.BigEndian)) {

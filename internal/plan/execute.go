@@ -41,6 +41,10 @@ type Env struct {
 	Store  *catalog.Store
 	Source ExtractSource // required for Lazy/External plans
 	Obs    Observer      // defaults to NopObserver
+	// Pool is the morsel-driven worker pool operators run on. nil (or a
+	// 1-worker pool) selects the serial engine; output is bit-identical
+	// either way.
+	Pool *exec.Pool
 }
 
 func (e *Env) obs() Observer {
@@ -71,7 +75,7 @@ func Execute(n Node, env *Env) (*column.Batch, error) {
 			}
 		}
 		rows := b.NumRows()
-		b, err = exec.Filter(b, x.Preds)
+		b, err = env.Pool.Filter(b, x.Preds)
 		if err != nil {
 			return nil, fmt.Errorf("plan: scan %s: %w", x.Table, err)
 		}
@@ -91,7 +95,7 @@ func Execute(n Node, env *Env) (*column.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := exec.HashJoin(l, r, x.LKeys, x.RKeys)
+		out, err := env.Pool.HashJoin(l, r, x.LKeys, x.RKeys)
 		if err != nil {
 			return nil, err
 		}
@@ -103,7 +107,7 @@ func Execute(n Node, env *Env) (*column.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := exec.Filter(in, x.Preds)
+		out, err := env.Pool.Filter(in, x.Preds)
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +138,7 @@ func Execute(n Node, env *Env) (*column.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := exec.Aggregate(in, x.GroupBy, x.Aggs)
+		out, err := env.Pool.Aggregate(in, x.GroupBy, x.Aggs)
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +157,7 @@ func Execute(n Node, env *Env) (*column.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		return exec.Sort(in, x.Keys)
+		return env.Pool.Sort(in, x.Keys)
 
 	case *Limit:
 		in, err := Execute(x.Child, env)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/column"
 	"repro/internal/etl"
+	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/repo"
 	"repro/internal/sql"
@@ -33,6 +34,11 @@ const (
 type Options struct {
 	Mode Mode
 	ETL  etl.Options
+	// Workers is the query-execution worker count for the morsel-driven
+	// parallel engine (scans, sharded aggregation, join probes). 0 means
+	// GOMAXPROCS; 1 selects the serial engine. Results are bit-identical
+	// at every setting.
+	Workers int
 	// KeepLog bounds the in-memory operation log (entries); 0 means the
 	// default of 10000.
 	KeepLog int
@@ -101,6 +107,7 @@ type Warehouse struct {
 	rp     *repo.Repository
 	store  *catalog.Store
 	engine *etl.Engine
+	pool   *exec.Pool
 	init   InitStats
 
 	logMu   sync.Mutex
@@ -130,6 +137,7 @@ func Open(dir string, opts Options) (*Warehouse, error) {
 		rp:      rp,
 		store:   store,
 		engine:  etl.New(rp, store, opts.ETL),
+		pool:    exec.NewPool(opts.Workers),
 		keepLog: keep,
 	}
 	if err := w.initialLoad(); err != nil {
@@ -235,7 +243,7 @@ func (w *Warehouse) Query(q string) (*Result, error) {
 		Optimized: plan.Render(plans.Root),
 	}
 	obs := &observer{w: w, trace: &tr, touched: make(map[string]bool)}
-	env := &plan.Env{Store: w.store, Source: w.engine, Obs: obs}
+	env := &plan.Env{Store: w.store, Source: w.engine, Obs: obs, Pool: w.pool}
 	batch, err := plan.Execute(plans.Root, env)
 	if err != nil {
 		return nil, err
@@ -293,6 +301,7 @@ func (w *Warehouse) Refresh() (etl.Stats, error) {
 // Stats summarizes the warehouse state.
 type Stats struct {
 	Mode         Mode
+	Workers      int
 	Queries      int64
 	FilesRows    int
 	RecordsRows  int
@@ -309,6 +318,7 @@ func (w *Warehouse) Stats() Stats {
 	cs := w.engine.Cache().Stats()
 	return Stats{
 		Mode:         w.mode,
+		Workers:      w.pool.Workers(),
 		Queries:      w.queries,
 		FilesRows:    w.store.Rows(catalog.TableFiles),
 		RecordsRows:  w.store.Rows(catalog.TableRecords),

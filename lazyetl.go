@@ -12,6 +12,10 @@
 // table access (query-time extraction without metadata pruning) as a
 // baseline.
 //
+// Query execution is morsel-driven parallel: Options.Workers sets the
+// worker count (0 = GOMAXPROCS, 1 = the serial engine); results are
+// bit-identical at every setting.
+//
 // Quickstart:
 //
 //	files, _ := lazyetl.GenerateRepository(lazyetl.RepoConfig{Dir: dir, Seed: 1})
@@ -28,6 +32,7 @@
 package lazyetl
 
 import (
+	"repro/internal/etl"
 	"repro/internal/seisgen"
 	"repro/internal/seismic"
 	"repro/internal/warehouse"
@@ -40,6 +45,8 @@ type (
 	Warehouse = warehouse.Warehouse
 	// Options configures Open.
 	Options = warehouse.Options
+	// ETLOptions configures the extraction engine (Options.ETL).
+	ETLOptions = etl.Options
 	// Mode selects eager, lazy or external-table operation.
 	Mode = warehouse.Mode
 	// Result is a query answer with its plan trace and touched-file list.
@@ -78,7 +85,9 @@ const (
 )
 
 // Open scans the mSEED repository under dir and initializes a warehouse in
-// the requested mode.
+// the requested mode. Options.Workers controls the morsel-driven parallel
+// query engine (0 = GOMAXPROCS, 1 = serial); Options.ETL.Parallelism
+// separately controls extraction parallelism.
 func Open(dir string, opts Options) (*Warehouse, error) {
 	return warehouse.Open(dir, opts)
 }

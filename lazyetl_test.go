@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -90,6 +91,76 @@ func TestPublicAPIModesAgree(t *testing.T) {
 	}
 	if answers[lazyetl.Eager] != answers[lazyetl.Lazy] || answers[lazyetl.Lazy] != answers[lazyetl.External] {
 		t.Errorf("modes disagree:\n%v", answers)
+	}
+}
+
+// TestPublicAPIConcurrentQueryStress hammers one warehouse — morsel-driven
+// parallel query engine plus parallel extraction — from many client
+// goroutines at once, checking every answer against references computed up
+// front. Queries serialize on the warehouse mutex by design, so this
+// probes client-facing concurrency (log appends, stats counters, cache
+// churn between queries) plus each query's internal worker fan-out under
+// `go test -race`; engine-level pool sharing across simultaneous callers
+// is covered by exec's TestPoolSharedAcrossGoroutines.
+func TestPublicAPIConcurrentQueryStress(t *testing.T) {
+	dir := genRepo(t, lazyetl.RepoConfig{})
+	w, err := lazyetl.Open(dir, lazyetl.Options{
+		Mode:    lazyetl.Lazy,
+		Workers: 4,
+		ETL:     lazyetl.ETLOptions{Parallelism: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		lazyetl.Figure1Q2,
+		`SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK'`,
+		`SELECT F.channel, COUNT(*), MIN(D.sample_value) FROM mseed.dataview
+		 WHERE F.network = 'NL' GROUP BY F.channel`,
+		`SELECT station, COUNT(*) FROM mseed.files GROUP BY station ORDER BY station`,
+		`SELECT file_id, COUNT(*) FROM mseed.records GROUP BY file_id ORDER BY file_id LIMIT 5`,
+	}
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := w.Query(q)
+		if err != nil {
+			t.Fatalf("reference %q: %v", q, err)
+		}
+		want[i] = res.Batch.String()
+	}
+
+	const clients, rounds = 8, 6
+	var wg sync.WaitGroup
+	errs := make(chan string, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				qi := (g + i) % len(queries)
+				res, err := w.Query(queries[qi])
+				if err != nil {
+					errs <- queries[qi] + ": " + err.Error()
+					return
+				}
+				if got := res.Batch.String(); got != want[qi] {
+					errs <- "mismatch for " + queries[qi] + ":\nwant:\n" + want[qi] + "\ngot:\n" + got
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	st := w.Stats()
+	if st.Queries != int64(len(queries)+clients*rounds) {
+		t.Errorf("query counter = %d, want %d", st.Queries, len(queries)+clients*rounds)
+	}
+	if st.Workers != 4 {
+		t.Errorf("workers = %d, want 4", st.Workers)
 	}
 }
 
