@@ -264,6 +264,10 @@ func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, r
 		fmt.Printf("extraction: %d records extracted, %d cache reads, %d files opened, %d bytes read\n",
 			st.Extraction.Extractions, st.Extraction.CacheReads,
 			st.Extraction.FilesTouched, st.Extraction.BytesRead)
+		fmt.Printf("exec: %d joins (%d partitions, %d parallel builds, %d build + %d probe rows -> %d matches), %d radix + %d comparator sorts (%d rows, %d runs merged)\n",
+			st.Exec.JoinBuilds, st.Exec.JoinBuildPartitions, st.Exec.JoinParallelBuilds,
+			st.Exec.JoinBuildRows, st.Exec.JoinProbeRows, st.Exec.JoinMatches,
+			st.Exec.RadixSorts, st.Exec.ComparatorSorts, st.Exec.SortRows, st.Exec.SortRunsMerged)
 		fmt.Printf("queries: %d\n", st.Queries)
 	case `\compare`:
 		if rest == "" {

@@ -3,7 +3,6 @@ package exec
 import (
 	"encoding/binary"
 	"fmt"
-	"math"
 
 	"repro/internal/column"
 	"repro/internal/sql"
@@ -96,7 +95,7 @@ func Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*column.Bat
 	n := b.NumRows()
 	var groups []aggGroup
 	if len(groupBy) > 0 {
-		groups = groupRows(keyCols, args, len(aggs), n, intKeyed(groupBy, keyCols), nil, 0, 0)
+		groups = groupRows(keyCols, args, len(aggs), n, intKeyed(groupBy, keyCols), nil, 0, 0, nil)
 	} else {
 		// Global aggregate: a single group over all rows.
 		groups = []aggGroup{{firstRow: 0, states: make([]aggState, len(aggs))}}
@@ -118,13 +117,50 @@ func intKeyed(groupBy []sql.Expr, keyCols []*column.Column) bool {
 	return len(groupBy) == 1 && keyCols[0].Type() != column.Float64 && keyCols[0].Type() != column.String
 }
 
+// encodedRows persists per-row key encodings produced by a parallel hash
+// pass: one byte arena per morsel plus each row's start offset within its
+// arena (a row's end is the next row's start, or the arena's end for the
+// last row of a morsel). Shard workers and partition builders read keys
+// back with row() instead of encoding every row a second time.
+type encodedRows struct {
+	n      int
+	morsel int
+	arenas [][]byte
+	offs   []uint32
+}
+
+func newEncodedRows(n, morselRows, mcount int) *encodedRows {
+	return &encodedRows{
+		n:      n,
+		morsel: morselRows,
+		arenas: make([][]byte, mcount),
+		offs:   make([]uint32, n),
+	}
+}
+
+// row returns row i's encoded key without copying.
+func (e *encodedRows) row(i int) []byte {
+	mi := i / e.morsel
+	arena := e.arenas[mi]
+	hi := (mi + 1) * e.morsel
+	if hi > e.n {
+		hi = e.n
+	}
+	if i+1 < hi {
+		return arena[e.offs[i]:e.offs[i+1]]
+	}
+	return arena[e.offs[i]:]
+}
+
 // groupRows scans rows [0, n) in order and builds the group table — the
 // one grouping implementation both engines share. With a nil hashes every
 // row is processed (the serial path); otherwise only rows whose key hash
 // lands in shard (of nshards) are, which is how the parallel engine gives
 // each worker sole ownership of its groups while preserving the serial
-// per-group update order.
-func groupRows(keyCols []*column.Column, args []aggArg, naggs, n int, intKey bool, hashes []uint64, nshards, shard uint64) []aggGroup {
+// per-group update order. A non-nil enc supplies the rows' pre-encoded
+// keys from the hash pass (generic path only); with enc nil each selected
+// row is encoded here.
+func groupRows(keyCols []*column.Column, args []aggArg, naggs, n int, intKey bool, hashes []uint64, nshards, shard uint64, enc *encodedRows) []aggGroup {
 	var groups []aggGroup
 	addGroup := func(row int) int {
 		groups = append(groups, aggGroup{firstRow: int32(row), states: make([]aggState, naggs)})
@@ -168,14 +204,20 @@ func groupRows(keyCols []*column.Column, args []aggArg, naggs, n int, intKey boo
 		if hashes != nil && hashes[row]%nshards != shard {
 			continue
 		}
-		buf = buf[:0]
-		for _, kc := range keyCols {
-			buf = appendRowKey(buf, kc, row)
+		var key []byte
+		if enc != nil {
+			key = enc.row(row)
+		} else {
+			buf = buf[:0]
+			for _, kc := range keyCols {
+				buf = appendRowKey(buf, kc, row)
+			}
+			key = buf
 		}
-		gi, ok := idx[string(buf)]
+		gi, ok := idx[string(key)]
 		if !ok {
 			gi = addGroup(row)
-			idx[string(buf)] = gi
+			idx[string(key)] = gi
 		}
 		updateAggStates(groups[gi].states, args, row)
 	}
@@ -247,6 +289,9 @@ func buildAggOutput(keyCols []*column.Column, groupBy []sql.Expr, args []aggArg,
 // appendRowKey encodes one key column's value at row into buf: a tag byte,
 // then a fixed-width little-endian payload for numerics or a length-prefixed
 // payload for strings (so composite keys cannot collide across columns).
+// Float values encode their canonicalized bits (floatKeyBits), so every
+// key consumer — GROUP BY, COUNT(DISTINCT), JOIN — agrees with the
+// comparison kernels that all NaNs are one value and -0 equals +0.
 func appendRowKey(buf []byte, c *column.Column, row int) []byte {
 	if c.IsNull(row) {
 		return append(buf, 'N')
@@ -254,7 +299,7 @@ func appendRowKey(buf []byte, c *column.Column, row int) []byte {
 	switch c.Type() {
 	case column.Float64:
 		buf = append(buf, 'f')
-		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Float64s()[row]))
+		return binary.LittleEndian.AppendUint64(buf, floatKeyBits(c.Float64s()[row]))
 	case column.String:
 		s := c.Strings()[row]
 		buf = append(buf, 's')
@@ -281,7 +326,7 @@ func updateAggStates(states []aggState, args []aggArg, row int) {
 		switch a.typ {
 		case column.Float64:
 			v := a.fls[row]
-			if a.distinct && !distinctBits(st, math.Float64bits(v)) {
+			if a.distinct && !distinctBits(st, floatKeyBits(v)) {
 				continue
 			}
 			st.count++

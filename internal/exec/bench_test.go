@@ -198,6 +198,129 @@ func BenchmarkHashJoinParallel(b *testing.B) {
 	}
 }
 
+// joinBuildBatch is a 1M-row build side with zipf-ish duplicate int keys,
+// the shape the flat-table build is optimized for.
+func joinBuildBatch(n int) *column.Batch {
+	rng := rand.New(rand.NewSource(29))
+	keys := make([]int64, n)
+	payload := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(int64(n / 8)) // ~8 rows per key
+		payload[i] = int64(i)
+	}
+	return column.MustNewBatch(
+		column.NewInt64s("rid", keys),
+		column.NewInt64s("payload", payload),
+	)
+}
+
+// BenchmarkJoinBuildParallel measures only the build phase of the flat
+// open-addressing join table over 1M rows: serial single-table at
+// workers=1, radix-partitioned across the pool otherwise.
+func BenchmarkJoinBuildParallel(b *testing.B) {
+	right := joinBuildBatch(1_000_000)
+	left := column.MustNewBatch(column.NewInt64s("id", []int64{1}))
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var p *Pool
+			if w > 1 {
+				p = NewPool(w)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := buildJoinTable(left, right, []string{"id"}, []string{"rid"}, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJoinBuildMap is the pre-refactor map[[2]int64][]int32 build with
+// its per-key slice allocations, kept as the allocs/op baseline the flat
+// table is compared against.
+func BenchmarkJoinBuildMap(b *testing.B) {
+	right := joinBuildBatch(1_000_000)
+	keys := right.ColAt(0).Int64s()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht := make(map[[2]int64][]int32, len(keys))
+		for row, k := range keys {
+			ht[[2]int64{k, 0}] = append(ht[[2]int64{k, 0}], int32(row))
+		}
+	}
+}
+
+// orderByBatch is 1M rows keyed by a shuffled timestamp, the paper's
+// ORDER BY sample_time case.
+func orderByBatch(n int) *column.Batch {
+	rng := rand.New(rand.NewSource(31))
+	ts := make([]int64, n)
+	v := make([]float64, n)
+	for i := range ts {
+		ts[i] = rng.Int63n(int64(n)) * 25_000_000
+		v[i] = float64(i)
+	}
+	return column.MustNewBatch(
+		column.NewTimestamps("ts", ts),
+		column.NewFloat64s("v", v),
+	)
+}
+
+// BenchmarkOrderByTimestamp sorts 1M rows by a timestamp key: the radix
+// path serially at workers=1, independently sorted morsels plus parallel
+// merge otherwise.
+func BenchmarkOrderByTimestamp(b *testing.B) {
+	batch := orderByBatch(1_000_000)
+	keys := []SortKey{{Expr: &sql.ColumnRef{Name: "ts"}}}
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := NewPool(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Sort(batch, keys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOrderByMultiKeyParallel sorts 1M rows by a (float, timestamp)
+// key pair — the comparator path, where the pool sorts morsel runs
+// independently and merges them pairwise.
+func BenchmarkOrderByMultiKeyParallel(b *testing.B) {
+	batch := orderByBatch(1_000_000)
+	keys := []SortKey{
+		{Expr: &sql.ColumnRef{Name: "v"}, Desc: true},
+		{Expr: &sql.ColumnRef{Name: "ts"}},
+	}
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := NewPool(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Sort(batch, keys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOrderByTimestampComparator forces the pre-refactor comparator
+// path over the same input, the baseline the radix sort is compared to.
+func BenchmarkOrderByTimestampComparator(b *testing.B) {
+	batch := orderByBatch(1_000_000)
+	c, _ := batch.Col("ts")
+	k := sortKeyData{typ: c.Type(), ints: c.Int64s()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel := selAll(batch.NumRows())
+		comparatorSortSel([]sortKeyData{k}, sel)
+	}
+}
+
 func BenchmarkLikePattern(b *testing.B) {
 	batch := benchBatch(100_000)
 	pred := benchPred(b, "station LIKE '%S%'")

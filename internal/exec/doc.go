@@ -31,6 +31,25 @@
 // indexes a map[int64] directly, and composite or string keys are encoded
 // into a reused fixed-width byte buffer whose map lookups do not allocate.
 //
+// # Cache-conscious join and sort structures
+//
+// HashJoin builds a flat open-addressing table (hashtable.go) instead of a
+// Go map: linear probing over parallel slot arrays holding each key's
+// first build row, with duplicate-key rows chained through one shared
+// next []int32 linked head-to-tail — no per-key slice, no per-insert
+// allocation, and probe traffic that touches two flat arrays instead of
+// chasing map buckets. Up to two integer-family key columns pack into a
+// [2]int64 (null-free Float64 keys join this path by canonicalized
+// bit-cast); other key shapes byte-encode into a per-partition arena.
+//
+// Sort (radixsort.go) specializes the common single integer/timestamp key
+// to an LSD radix sort over bias-mapped uint64s — null rows split off in
+// input order (leading ascending, trailing descending), eight byte-digit
+// counting passes with uniform digits skipped — and falls back to a
+// sort.SliceStable comparator for float, string and multi-key orderings.
+// Both are stable under the same total preorder, so they produce the same
+// permutation the comparator always did.
+//
 // # Morsel-driven parallelism
 //
 // Pool is the parallel layer over the same kernels. An operator invocation
@@ -51,16 +70,35 @@
 //     exactly the serial engine's single vector; the final gather writes
 //     disjoint output windows per worker into preallocated vectors.
 //   - Aggregate shards the group table by key hash instead of splitting
-//     rows: a first parallel pass hashes every row's key, then each worker
-//     scans all rows but owns only the groups in its hash shard, applying
-//     updates in global row order. Every group's state — including
-//     order-sensitive float sums — is built by one worker in the serial
-//     update order, and the merge sorts groups by first-appearance row,
-//     the serial output order. Global (ungrouped) aggregates stay serial.
-//   - HashJoin builds its table serially, probes disjoint left ranges
-//     concurrently (the table is read-only during the probe), and
-//     concatenates per-range match lists in range order — the serial
-//     probe order.
+//     rows: a first parallel pass hashes every row's key (persisting each
+//     generic key's encoding in a per-morsel arena, reused by the owning
+//     shard instead of a second encode), then each worker scans all rows
+//     but owns only the groups in its hash shard, applying updates in
+//     global row order. Every group's state — including order-sensitive
+//     float sums — is built by one worker in the serial update order, and
+//     the merge sorts groups by first-appearance row, the serial output
+//     order. Global (ungrouped) aggregates stay serial.
+//   - HashJoin radix-partitions its build side on the high bits of the
+//     key hash: hash-and-count per morsel, a prefix sum that lays each
+//     partition's rows out in morsel (hence ascending row) order, a
+//     scatter into those disjoint windows, and one private flat-table
+//     build per partition in that order. Every key lives in exactly one
+//     partition and every chain links build rows ascending — the same
+//     chains the serial single-table build produces — so probe output is
+//     independent of the partition count and of which worker built what.
+//     Probes then cover disjoint left ranges concurrently (the table is
+//     read-only during the probe) and per-range match lists concatenate
+//     in range order — the serial probe order.
+//   - Sort splits comparator-ordered inputs into independently sorted
+//     morsel runs and merges them pairwise in fixed tree shape; the runs
+//     hold ascending disjoint row ranges and ties take the left run, so
+//     merging stable runs stably reproduces the whole-input stable sort.
+//     Radix-eligible keys sort as one whole-batch run instead (linear
+//     radix passes beat log-rounds of comparator merges) with only the
+//     gather parallel — trivially the serial permutation. Float keys that
+//     contain a NaN also sort as one run: NaN ties with everything under
+//     the engine's comparison convention, which is not transitive, so
+//     merge-of-runs is not guaranteed to equal the single stable sort.
 //
 // Workers hold no state between invocations and pools are safe for
 // concurrent use by many queries; nothing in the engine mutates shared

@@ -6,6 +6,18 @@ import (
 	"repro/internal/column"
 )
 
+// JoinStats describes how one hash join executed: the shape of the build
+// (flat-table partitions, parallel or serial) and the probe volume. The
+// planner reports it through the observer and the warehouse aggregates it.
+type JoinStats struct {
+	IntKeys       bool // packed-int64 fast path (vs byte-encoded keys)
+	Partitions    int  // build partition count (1 = serial single table)
+	ParallelBuild bool
+	BuildRows     int
+	ProbeRows     int
+	Matches       int
+}
+
 // HashJoin performs an inner equi-join of left and right on the named key
 // columns (leftKeys[i] pairs with rightKeys[i]). The output contains all
 // left columns followed by all right columns except the right key columns
@@ -15,26 +27,46 @@ import (
 // output order) follows the left input, which keeps metadata-first plans
 // producing deterministically ordered intermediates.
 func HashJoin(left, right *column.Batch, leftKeys, rightKeys []string) (*column.Batch, error) {
-	jt, err := buildJoinTable(left, right, leftKeys, rightKeys)
+	b, _, err := hashJoinWithStats(left, right, leftKeys, rightKeys, nil)
+	return b, err
+}
+
+// hashJoinWithStats is the shared serial implementation behind HashJoin and
+// the pool's serial delegation; pool is only used for the final gathers.
+func hashJoinWithStats(left, right *column.Batch, leftKeys, rightKeys []string, p *Pool) (*column.Batch, JoinStats, error) {
+	jt, err := buildJoinTable(left, right, leftKeys, rightKeys, nil)
 	if err != nil {
-		return nil, err
+		return nil, JoinStats{}, err
 	}
 	lsel, rsel := jt.probeRange(0, left.NumRows())
-	return assembleJoin(left, right, rightKeys, lsel, rsel, nil)
+	jt.stats.ProbeRows = left.NumRows()
+	jt.stats.Matches = len(lsel)
+	out, err := assembleJoin(left, right, rightKeys, lsel, rsel, p)
+	return out, jt.stats, err
 }
 
 // joinTable is the build side of a hash join plus the probe-side key
 // columns: everything a probe over any [lo, hi) window of left rows needs.
+// The table is the flat open-addressing structure of hashtable.go — slot
+// arrays per partition plus one chained next row index — not a Go map.
 // Probing is read-only and safe for concurrent use by morsel workers.
 type joinTable struct {
 	lkc, rkc []*column.Column
 	intKeys  bool
-	intHT    map[[2]int64][]int32 // up to two integer-family key columns
-	genHT    map[string][]int32   // byte-encoded key tuples
+	lpk, rpk []packedKeyCol // int-path packing adapters (intKeys only)
+
+	parts []joinPart
+	shift uint    // partition = hash >> shift (64 when single-table)
+	next  []int32 // next build row with the same key, -1 terminates
+
+	stats JoinStats
 }
 
-// buildJoinTable validates the key lists and hashes the right (build) side.
-func buildJoinTable(left, right *column.Batch, leftKeys, rightKeys []string) (*joinTable, error) {
+// buildJoinTable validates the key lists and builds the flat table over the
+// right (build) side: serially into a single partition table when pool is
+// nil or the build side is small, radix-partitioned across the pool's
+// workers otherwise. Either way the probe output is identical.
+func buildJoinTable(left, right *column.Batch, leftKeys, rightKeys []string, p *Pool) (*joinTable, error) {
 	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
 		return nil, fmt.Errorf("exec: join needs matching non-empty key lists, got %v and %v", leftKeys, rightKeys)
 	}
@@ -47,49 +79,77 @@ func buildJoinTable(left, right *column.Batch, leftKeys, rightKeys []string) (*j
 		return nil, err
 	}
 
-	// Fast path: up to two integer-family key columns pack into a [2]int64.
+	// Fast path: up to two key columns pack into a [2]int64 when each pair
+	// is integer-family on both sides, or null-free Float64 on both sides
+	// (bit-cast through floatKeyBits, so NaNs and signed zeros behave like
+	// the float comparison kernels).
 	intKeys := len(lkc) <= 2
 	for i := range lkc {
-		if !intFamily(lkc[i].Type()) || !intFamily(rkc[i].Type()) {
+		lt, rt := lkc[i].Type(), rkc[i].Type()
+		ok := (intFamily(lt) && intFamily(rt)) ||
+			(lt == column.Float64 && rt == column.Float64 && !lkc[i].HasNulls() && !rkc[i].HasNulls())
+		if !ok {
 			intKeys = false
 			break
 		}
 	}
 
-	jt := &joinTable{lkc: lkc, rkc: rkc, intKeys: intKeys}
-	rn := right.NumRows()
+	jt := &joinTable{
+		lkc:     lkc,
+		rkc:     rkc,
+		intKeys: intKeys,
+		next:    make([]int32, right.NumRows()),
+	}
 	if intKeys {
-		jt.intHT = make(map[[2]int64][]int32, rn)
-		for i := 0; i < rn; i++ {
-			if nullKey(rkc, i) {
-				continue
-			}
-			k := packIntKey(rkc, i)
-			jt.intHT[k] = append(jt.intHT[k], int32(i))
-		}
-		return jt, nil
+		jt.lpk = packKeyCols(lkc)
+		jt.rpk = packKeyCols(rkc)
 	}
-	// Generic build: hash arbitrary key tuples through the same reused
-	// byte-buffer encoding the aggregator uses; only inserts copy the key.
-	buf := make([]byte, 0, 16*len(rkc))
-	jt.genHT = make(map[string][]int32, rn)
-	for i := 0; i < rn; i++ {
-		if nullKey(rkc, i) {
-			continue
-		}
-		buf = buf[:0]
-		for _, c := range rkc {
-			buf = appendRowKey(buf, c, i)
-		}
-		jt.genHT[string(buf)] = append(jt.genHT[string(buf)], int32(i))
-	}
+	jt.stats = JoinStats{IntKeys: intKeys, Partitions: 1, BuildRows: right.NumRows()}
+	jt.buildTable(p)
 	return jt, nil
 }
 
+// packKeyCols builds the int-packing adapters for the fast path.
+func packKeyCols(cols []*column.Column) []packedKeyCol {
+	out := make([]packedKeyCol, len(cols))
+	for i, c := range cols {
+		if c.Type() == column.Float64 {
+			out[i] = packedKeyCol{fls: c.Float64s()}
+		} else {
+			out[i] = packedKeyCol{ints: c.Int64s()}
+		}
+	}
+	return out
+}
+
+// packRight packs build row i's key; packLeft packs probe row i's key.
+func (jt *joinTable) packRight(i int) (int64, int64) { return packKey(jt.rpk, i) }
+func (jt *joinTable) packLeft(i int) (int64, int64)  { return packKey(jt.lpk, i) }
+
+func packKey(cols []packedKeyCol, i int) (int64, int64) {
+	a := cols[0].at(i)
+	var b int64
+	if len(cols) > 1 {
+		b = cols[1].at(i)
+	}
+	return a, b
+}
+
+// encodeKey appends the row's key tuple to buf with the aggregator's
+// fixed-width encoding (appendRowKey canonicalizes float values, so the
+// generic path agrees with the bit-cast fast path on NaN and -0 keys).
+func (jt *joinTable) encodeKey(buf []byte, cols []*column.Column, row int) []byte {
+	for _, c := range cols {
+		buf = appendRowKey(buf, c, row)
+	}
+	return buf
+}
+
 // probeRange probes left rows [lo, hi) in ascending order, returning the
-// matched (left, right) row-index pairs. Probe-side map lookups with a
-// string(buf) index expression do not allocate. Concatenating the results
-// of adjacent ranges reproduces the full serial probe exactly.
+// matched (left, right) row-index pairs. Each key lives in exactly one
+// partition and each chain walks build rows in ascending order, so
+// concatenating the results of adjacent ranges reproduces the full serial
+// probe exactly, whatever partition count the build chose.
 func (jt *joinTable) probeRange(lo, hi int) (lsel, rsel []int32) {
 	lsel = make([]int32, 0, hi-lo)
 	rsel = make([]int32, 0, hi-lo)
@@ -98,7 +158,10 @@ func (jt *joinTable) probeRange(lo, hi int) (lsel, rsel []int32) {
 			if nullKey(jt.lkc, i) {
 				continue
 			}
-			for _, ri := range jt.intHT[packIntKey(jt.lkc, i)] {
+			a, b := jt.packLeft(i)
+			h := hashIntKey(a, b)
+			pt := &jt.parts[h>>jt.shift]
+			for ri := pt.lookupInt(h, a, b); ri >= 0; ri = jt.next[ri] {
 				lsel = append(lsel, int32(i))
 				rsel = append(rsel, ri)
 			}
@@ -110,11 +173,10 @@ func (jt *joinTable) probeRange(lo, hi int) (lsel, rsel []int32) {
 		if nullKey(jt.lkc, i) {
 			continue
 		}
-		buf = buf[:0]
-		for _, c := range jt.lkc {
-			buf = appendRowKey(buf, c, i)
-		}
-		for _, ri := range jt.genHT[string(buf)] {
+		buf = jt.encodeKey(buf[:0], jt.lkc, i)
+		h := fnv1a(buf)
+		pt := &jt.parts[h>>jt.shift]
+		for ri := pt.lookupGen(h, buf); ri >= 0; ri = jt.next[ri] {
 			lsel = append(lsel, int32(i))
 			rsel = append(rsel, ri)
 		}
@@ -142,15 +204,6 @@ func assembleJoin(left, right *column.Batch, rightKeys []string, lsel, rsel []in
 		}
 	}
 	return out, nil
-}
-
-// packIntKey packs up to two integer-family key values into a [2]int64.
-func packIntKey(cols []*column.Column, i int) [2]int64 {
-	var k [2]int64
-	for j, c := range cols {
-		k[j] = c.Int64s()[i]
-	}
-	return k
 }
 
 func keyColumns(b *column.Batch, names []string) ([]*column.Column, error) {

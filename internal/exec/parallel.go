@@ -362,6 +362,7 @@ func (p *Pool) Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*
 	intKey := intKeyed(groupBy, keyCols)
 	hashes := make([]uint64, n)
 	mcount := p.morselCount(n)
+	var enc *encodedRows
 	if intKey {
 		ints := keyCols[0].Int64s()
 		nulls := keyCols[0].Nulls()
@@ -376,23 +377,28 @@ func (p *Pool) Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*
 			}
 		})
 	} else {
+		// The hash pass persists each row's encoded key into its morsel's
+		// arena, so the owning shard reads it back instead of encoding the
+		// row a second time.
+		enc = newEncodedRows(n, p.morselRows(), mcount)
 		p.run(mcount, func(mi int) {
 			lo, hi := p.morselBounds(mi, n)
-			buf := make([]byte, 0, 16*len(keyCols))
+			buf := make([]byte, 0, 16*len(keyCols)*(hi-lo))
 			for i := lo; i < hi; i++ {
-				buf = buf[:0]
+				enc.offs[i] = uint32(len(buf))
 				for _, kc := range keyCols {
 					buf = appendRowKey(buf, kc, i)
 				}
-				hashes[i] = fnv1a(buf)
+				hashes[i] = fnv1a(buf[enc.offs[i]:])
 			}
+			enc.arenas[mi] = buf
 		})
 	}
 
 	nshards := uint64(p.workers)
 	shards := make([][]aggGroup, p.workers)
 	p.run(p.workers, func(w int) {
-		shards[w] = groupRows(keyCols, args, len(aggs), n, intKey, hashes, nshards, uint64(w))
+		shards[w] = groupRows(keyCols, args, len(aggs), n, intKey, hashes, nshards, uint64(w), enc)
 	})
 
 	// Deterministic merge: output order is first appearance, i.e. ascending
@@ -409,37 +415,104 @@ func (p *Pool) Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*
 // HashJoin
 // ---------------------------------------------------------------------------
 
-// HashJoin is the morsel-driven HashJoin: the build side hashes serially
-// (it is the smaller input in every plan this engine produces), then
-// workers probe disjoint left row ranges against the shared read-only
-// table and the per-range match lists concatenate in range order — the
-// serial probe order. Both output gathers run on the pool.
+// HashJoin is the morsel-driven HashJoin; see HashJoinWithStats.
 func (p *Pool) HashJoin(left, right *column.Batch, leftKeys, rightKeys []string) (*column.Batch, error) {
+	out, _, err := p.HashJoinWithStats(left, right, leftKeys, rightKeys)
+	return out, err
+}
+
+// HashJoinWithStats is the morsel-driven HashJoin: the flat open-addressing
+// build table is radix-partitioned across workers when the build side
+// exceeds one morsel (each partition built privately in serial row order,
+// so chains — and therefore probe output — match the serial single-table
+// build exactly), then workers probe disjoint left row ranges against the
+// read-only table and the per-range match lists concatenate in range order
+// — the serial probe order. Both output gathers run on the pool.
+func (p *Pool) HashJoinWithStats(left, right *column.Batch, leftKeys, rightKeys []string) (*column.Batch, JoinStats, error) {
 	ln := left.NumRows()
-	if p.serialFor(ln) {
-		return HashJoin(left, right, leftKeys, rightKeys)
+	if p.serialFor(ln) && p.serialFor(right.NumRows()) {
+		return hashJoinWithStats(left, right, leftKeys, rightKeys, p)
 	}
-	jt, err := buildJoinTable(left, right, leftKeys, rightKeys)
+	jt, err := buildJoinTable(left, right, leftKeys, rightKeys, p)
 	if err != nil {
-		return nil, err
+		return nil, JoinStats{}, err
 	}
-	mcount := p.morselCount(ln)
-	lparts := make([][]int32, mcount)
-	rparts := make([][]int32, mcount)
-	p.run(mcount, func(mi int) {
-		lo, hi := p.morselBounds(mi, ln)
-		lparts[mi], rparts[mi] = jt.probeRange(lo, hi)
-	})
-	return assembleJoin(left, right, rightKeys, concatSel(lparts), concatSel(rparts), p)
+	var lsel, rsel []int32
+	if p.serialFor(ln) {
+		lsel, rsel = jt.probeRange(0, ln)
+	} else {
+		mcount := p.morselCount(ln)
+		lparts := make([][]int32, mcount)
+		rparts := make([][]int32, mcount)
+		p.run(mcount, func(mi int) {
+			lo, hi := p.morselBounds(mi, ln)
+			lparts[mi], rparts[mi] = jt.probeRange(lo, hi)
+		})
+		lsel, rsel = concatSel(lparts), concatSel(rparts)
+	}
+	jt.stats.ProbeRows = ln
+	jt.stats.Matches = len(lsel)
+	out, err := assembleJoin(left, right, rightKeys, lsel, rsel, p)
+	return out, jt.stats, err
 }
 
 // ---------------------------------------------------------------------------
 // Sort
 // ---------------------------------------------------------------------------
 
-// Sort delegates to the serial Sort: a parallel merge sort is a ROADMAP
-// follow-on, and routing it through the pool now keeps call sites and the
-// oracle suite uniform across operators.
+// Sort is the morsel-driven Sort; see SortWithStats.
 func (p *Pool) Sort(b *column.Batch, keys []SortKey) (*column.Batch, error) {
-	return Sort(b, keys)
+	out, _, err := p.SortWithStats(b, keys)
+	return out, err
+}
+
+// SortWithStats is the morsel-driven Sort. Comparator-sorted keys (float,
+// string, multi-key) are sorted per contiguous morsel row range
+// independently — the same sortSel the serial engine runs — then the
+// sorted runs merge pairwise across the pool; stable runs merged with
+// left-run-wins ties reproduce the stable sort of the whole input, so the
+// output is bit-identical to the serial engine's at every worker count and
+// morsel size. A single integer-family key instead runs one whole-batch
+// LSD radix sort (merging cannot beat its linear passes) with the output
+// gather on the pool — the identical permutation by construction.
+func (p *Pool) SortWithStats(b *column.Batch, keys []SortKey) (*column.Batch, SortStats, error) {
+	n := b.NumRows()
+	if p.serialFor(n) {
+		return sortSerial(b, keys)
+	}
+	if len(keys) == 0 {
+		return b, SortStats{Strategy: SortStrategyNone, Rows: n}, nil
+	}
+	keyData, err := evalSortKeys(b, keys)
+	if err != nil {
+		return nil, SortStats{}, err
+	}
+	if radixEligible(keyData) || !mergeSafe(keyData) {
+		// Two reasons to sort as one run. (1) A radix-eligible key: LSD
+		// radix is a linear, branch-light pass over the whole input, and
+		// log-rounds of comparator merges over n rows cost more than the
+		// radix passes they would save — whole-batch radix wins outright
+		// (the output gather still runs on the pool). (2) A NaN in a float
+		// key ties with everything under the engine's comparison
+		// convention, so the key ordering is not transitive and merging
+		// independently sorted runs may legitimately produce a different
+		// permutation than one whole-input stable sort. Either way a
+		// single sortSel run is exactly the serial engine's permutation.
+		sel := selAll(n)
+		strategy := sortSel(keyData, sel)
+		return p.gather(b, sel), SortStats{Strategy: strategy, Runs: 1, Rows: n}, nil
+	}
+	mcount := p.morselCount(n)
+	sel := selAll(n)
+	bounds := make([]int, mcount+1)
+	p.run(mcount, func(mi int) {
+		lo, hi := p.morselBounds(mi, n)
+		bounds[mi+1] = hi
+		// Necessarily the comparator path: radix-eligible keys took the
+		// single-run branch above.
+		sortSel(keyData, sel[lo:hi])
+	})
+	sel = p.mergeRuns(keyData, sel, bounds)
+	st := SortStats{Strategy: SortStrategyComparator, Runs: mcount, Rows: n}
+	return p.gather(b, sel), st, nil
 }

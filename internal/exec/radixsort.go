@@ -1,0 +1,225 @@
+package exec
+
+// Key-specialized sorting for ORDER BY. A single integer-family key (the
+// common ORDER BY sample_time case) takes an LSD radix sort over bias-
+// mapped uint64 keys; float, string and multi-key sorts fall back to the
+// comparator sort. Both are stable sorts under the same total preorder
+// (nulls first ascending, last descending, matching sortKeyData.compareRows
+// with the Desc flip), so they produce the identical permutation — which
+// is also what makes the parallel morsel merge bit-identical to either.
+
+import "sort"
+
+// Sort strategy names, reported through SortStats.
+const (
+	SortStrategyRadix      = "radix"
+	SortStrategyComparator = "comparator"
+	SortStrategyNone       = "none" // no keys or <= 1 row
+)
+
+// radixEligible reports whether the key set takes the radix path: a single
+// integer-family key (int64, timestamp, bool share the int vector).
+func radixEligible(keyData []sortKeyData) bool {
+	return len(keyData) == 1 && keyData[0].ints != nil
+}
+
+// sortSel stably sorts sel — batch row indices — by the evaluated keys,
+// choosing the radix path when it applies, and reports the strategy used.
+func sortSel(keyData []sortKeyData, sel []int32) string {
+	if radixEligible(keyData) {
+		radixSortInts(&keyData[0], sel)
+		return SortStrategyRadix
+	}
+	comparatorSortSel(keyData, sel)
+	return SortStrategyComparator
+}
+
+// comparatorSortSel is the generic stable path: sort.SliceStable over the
+// unpacked key vectors.
+func comparatorSortSel(keyData []sortKeyData, sel []int32) {
+	sort.SliceStable(sel, func(a, z int) bool {
+		return lessRows(keyData, int(sel[a]), int(sel[z]))
+	})
+}
+
+// lessRows is the engine's ORDER BY ordering over unpacked keys: the first
+// non-tying key decides, with its Desc flag flipping the three-way result.
+func lessRows(keyData []sortKeyData, ia, iz int) bool {
+	for ki := range keyData {
+		c := keyData[ki].compareRows(ia, iz)
+		if c == 0 {
+			continue
+		}
+		if keyData[ki].desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+// mergeSafe reports whether the key ordering is a genuine total preorder,
+// which is what makes merge-of-sorted-runs equal the whole-input stable
+// sort. Integer and string keys always are; a float key is only unsafe
+// when it actually contains a NaN (NaN ties with everything under the
+// engine's convention, which is not transitive). Null positions store 0 in
+// the raw vector, so they never scan as NaN.
+func mergeSafe(keyData []sortKeyData) bool {
+	for ki := range keyData {
+		for _, v := range keyData[ki].fls {
+			if v != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// radixBias maps an int64 sort key to a uint64 whose unsigned order is the
+// ascending signed order (flip the sign bit); descending complements, so
+// one unsigned LSD sort covers both directions.
+func radixBias(v int64, desc bool) uint64 {
+	u := uint64(v) ^ (1 << 63)
+	if desc {
+		u = ^u
+	}
+	return u
+}
+
+// radixSortInts stably sorts sel by a single integer-family key: null rows
+// are split off in input order (nulls sort before everything ascending,
+// after everything descending — exactly compareRows under the Desc flip),
+// and the remaining rows run an 8-pass byte-digit LSD counting sort over
+// bias-mapped keys. Histograms for all eight digits are built in one scan
+// and uniform digits skip their pass, so nearly-sorted or small-range keys
+// (dense ids, timestamps) pay only the passes that discriminate.
+func radixSortInts(k *sortKeyData, sel []int32) {
+	n := len(sel)
+	if n <= 1 {
+		return
+	}
+	keys := make([]uint64, 0, n)
+	rows := make([]int32, 0, n)
+	var nullRows []int32
+	if k.nulls != nil {
+		for _, s := range sel {
+			if k.nulls[s] {
+				nullRows = append(nullRows, s)
+				continue
+			}
+			keys = append(keys, radixBias(k.ints[s], k.desc))
+			rows = append(rows, s)
+		}
+	} else {
+		for _, s := range sel {
+			keys = append(keys, radixBias(k.ints[s], k.desc))
+			rows = append(rows, s)
+		}
+	}
+
+	m := len(rows)
+	if m > 1 {
+		var hist [8][256]int32
+		for _, u := range keys {
+			hist[0][byte(u)]++
+			hist[1][byte(u>>8)]++
+			hist[2][byte(u>>16)]++
+			hist[3][byte(u>>24)]++
+			hist[4][byte(u>>32)]++
+			hist[5][byte(u>>40)]++
+			hist[6][byte(u>>48)]++
+			hist[7][byte(u>>56)]++
+		}
+		tmpK := make([]uint64, m)
+		tmpR := make([]int32, m)
+		for d := 0; d < 8; d++ {
+			h := &hist[d]
+			shift := uint(d * 8)
+			// A digit with one occupied bucket cannot reorder anything.
+			if h[byte(keys[0]>>shift)] == int32(m) {
+				continue
+			}
+			var offs [256]int32
+			var sum int32
+			for b := 0; b < 256; b++ {
+				offs[b] = sum
+				sum += h[b]
+			}
+			for j, u := range keys {
+				b := byte(u >> shift)
+				tmpK[offs[b]] = u
+				tmpR[offs[b]] = rows[j]
+				offs[b]++
+			}
+			keys, tmpK = tmpK, keys
+			rows, tmpR = tmpR, rows
+		}
+	}
+
+	// Reassemble: nulls lead ascending, trail descending, in input order
+	// either way (stability).
+	if k.desc {
+		copy(sel, rows)
+		copy(sel[m:], nullRows)
+	} else {
+		copy(sel, nullRows)
+		copy(sel[len(nullRows):], rows)
+	}
+}
+
+// mergeRuns merges adjacent sorted runs of sel pairwise until one run
+// remains, handing each pair merge of a round to a pool worker. bounds
+// holds the run boundaries (len(runs)+1 entries, first 0, last len(sel)).
+// The merge tree's shape depends only on the run count, every element of a
+// left run wins ties against the right run (runs hold ascending disjoint
+// row ranges), and merging stable runs stably yields the stable sort of
+// the whole — so the result is the serial sort's permutation exactly.
+func (p *Pool) mergeRuns(keyData []sortKeyData, sel []int32, bounds []int) []int32 {
+	buf := make([]int32, len(sel))
+	for len(bounds) > 2 {
+		pairs := (len(bounds) - 1) / 2
+		odd := (len(bounds)-1)%2 == 1
+		nb := make([]int, 0, pairs+2)
+		nb = append(nb, 0)
+		for pi := 0; pi < pairs; pi++ {
+			nb = append(nb, bounds[2*pi+2])
+		}
+		if odd {
+			nb = append(nb, bounds[len(bounds)-1])
+		}
+		p.run(pairs, func(pi int) {
+			lo, mid, hi := bounds[2*pi], bounds[2*pi+1], bounds[2*pi+2]
+			mergeTwo(keyData, sel, buf, lo, mid, hi)
+		})
+		if odd {
+			lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
+			copy(buf[lo:hi], sel[lo:hi])
+		}
+		sel, buf = buf, sel
+		bounds = nb
+	}
+	return sel
+}
+
+// mergeTwo stably merges the sorted runs src[lo:mid] and src[mid:hi] into
+// dst[lo:hi]: the right element is taken only when strictly less, so equal
+// keys keep left-run-first (row-ascending) order.
+func mergeTwo(keyData []sortKeyData, src, dst []int32, lo, mid, hi int) {
+	i, j := lo, mid
+	for w := lo; w < hi; w++ {
+		switch {
+		case i >= mid:
+			dst[w] = src[j]
+			j++
+		case j >= hi:
+			dst[w] = src[i]
+			i++
+		case lessRows(keyData, int(src[j]), int(src[i])):
+			dst[w] = src[j]
+			j++
+		default:
+			dst[w] = src[i]
+			i++
+		}
+	}
+}

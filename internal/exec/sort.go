@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/column"
 	"repro/internal/sql"
@@ -12,6 +11,15 @@ import (
 type SortKey struct {
 	Expr sql.Expr
 	Desc bool
+}
+
+// SortStats describes how one sort executed: the key strategy chosen
+// (radix vs comparator) and how many independently sorted morsel runs the
+// parallel path merged (1 means a single serial sort).
+type SortStats struct {
+	Strategy string
+	Runs     int
+	Rows     int
 }
 
 // sortKeyData is one key column unpacked into raw vectors so the comparator
@@ -70,11 +78,9 @@ func (k *sortKeyData) compareRows(ia, iz int) int {
 	return 0
 }
 
-// Sort returns the batch reordered by the keys (stable).
-func Sort(b *column.Batch, keys []SortKey) (*column.Batch, error) {
-	if len(keys) == 0 || b.NumRows() <= 1 {
-		return b, nil
-	}
+// evalSortKeys evaluates the ORDER BY expressions over the batch and
+// unpacks them for the sort paths.
+func evalSortKeys(b *column.Batch, keys []SortKey) ([]sortKeyData, error) {
 	keyData := make([]sortKeyData, len(keys))
 	for i, k := range keys {
 		c, err := Eval(k.Expr, b)
@@ -90,22 +96,31 @@ func Sort(b *column.Batch, keys []SortKey) (*column.Batch, error) {
 			nulls: c.Nulls(),
 		}
 	}
-	sel := selAll(b.NumRows())
-	sort.SliceStable(sel, func(a, z int) bool {
-		ia, iz := int(sel[a]), int(sel[z])
-		for ki := range keyData {
-			c := keyData[ki].compareRows(ia, iz)
-			if c == 0 {
-				continue
-			}
-			if keyData[ki].desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	return b.Gather(sel), nil
+	return keyData, nil
+}
+
+// Sort returns the batch reordered by the keys (stable). This is the
+// serial engine: one sortSel over the whole batch (radix for a single
+// integer-family key, comparator otherwise) — the oracle the parallel
+// morsel-merge path is tested against.
+func Sort(b *column.Batch, keys []SortKey) (*column.Batch, error) {
+	out, _, err := sortSerial(b, keys)
+	return out, err
+}
+
+// sortSerial is Sort plus the execution stats.
+func sortSerial(b *column.Batch, keys []SortKey) (*column.Batch, SortStats, error) {
+	n := b.NumRows()
+	if len(keys) == 0 || n <= 1 {
+		return b, SortStats{Strategy: SortStrategyNone, Rows: n}, nil
+	}
+	keyData, err := evalSortKeys(b, keys)
+	if err != nil {
+		return nil, SortStats{}, err
+	}
+	sel := selAll(n)
+	strategy := sortSel(keyData, sel)
+	return b.Gather(sel), SortStats{Strategy: strategy, Runs: 1, Rows: n}, nil
 }
 
 // Limit returns at most n leading rows of the batch as a prefix view (no

@@ -453,8 +453,11 @@ func testEngines() []struct {
 	}{
 		{"serial", nil},
 		{"workers=1", NewPool(1)},
+		{"workers=2,morsel=7", &Pool{workers: 2, morsel: 7}},
 		{"workers=2,morsel=13", &Pool{workers: 2, morsel: 13}},
+		{"workers=2,morsel=61", &Pool{workers: 2, morsel: 61}},
 		{"workers=8,morsel=7", &Pool{workers: 8, morsel: 7}},
+		{"workers=8,morsel=13", &Pool{workers: 8, morsel: 13}},
 		{"workers=8,morsel=61", &Pool{workers: 8, morsel: 61}},
 	}
 }
@@ -904,9 +907,14 @@ func oracleSortBatch(t *testing.T, b *column.Batch, keys []SortKey) *column.Batc
 func TestSortMatchesOracleOnRandomBatches(t *testing.T) {
 	keyConfigs := [][]SortKey{
 		{{Expr: &sql.ColumnRef{Name: "ts"}}},
+		{{Expr: &sql.ColumnRef{Name: "ts"}, Desc: true}}, // radix path, nulls trailing
 		{{Expr: &sql.ColumnRef{Name: "id"}, Desc: true}},
 		{{Expr: &sql.ColumnRef{Name: "s"}}, {Expr: &sql.ColumnRef{Name: "id"}}},
 		{{Expr: &sql.ColumnRef{Name: "v"}}, {Expr: &sql.ColumnRef{Name: "ts"}, Desc: true}},
+		// Descending multi-key mixes over the NaN/null-bearing float column.
+		{{Expr: &sql.ColumnRef{Name: "v"}, Desc: true}, {Expr: &sql.ColumnRef{Name: "id"}}},
+		{{Expr: &sql.ColumnRef{Name: "v"}, Desc: true}, {Expr: &sql.ColumnRef{Name: "s"}, Desc: true}},
+		{{Expr: &sql.ColumnRef{Name: "id"}, Desc: true}, {Expr: &sql.ColumnRef{Name: "v"}, Desc: true}, {Expr: &sql.ColumnRef{Name: "ts"}}},
 		{{Expr: &sql.ColumnRef{Name: "id"}}, {Expr: &sql.ColumnRef{Name: "v"}}, {Expr: &sql.ColumnRef{Name: "s"}, Desc: true}},
 	}
 	for _, eng := range testEngines() {
@@ -932,5 +940,425 @@ func TestSortMatchesOracleOnRandomBatches(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Map-based join oracle: the pre-refactor build structure — map[[2]int64]
+// and map[string] with per-key row slices — retained as the reference the
+// flat open-addressing table (serial and radix-partitioned) is checked
+// against. It shares the engine's key semantics: null keys never join,
+// float keys compare by canonicalized bits (floatKeyBits).
+// ---------------------------------------------------------------------------
+
+func oracleMapJoinSel(t *testing.T, left, right *column.Batch, lk, rk []string) (lsel, rsel []int32) {
+	t.Helper()
+	lkc, err := keyColumns(left, lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rkc, err := keyColumns(right, rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intKeys := len(lkc) <= 2
+	for i := range lkc {
+		lt, rt := lkc[i].Type(), rkc[i].Type()
+		ok := (intFamily(lt) && intFamily(rt)) ||
+			(lt == column.Float64 && rt == column.Float64 && !lkc[i].HasNulls() && !rkc[i].HasNulls())
+		if !ok {
+			intKeys = false
+			break
+		}
+	}
+	lsel, rsel = []int32{}, []int32{}
+	if intKeys {
+		lpk, rpk := packKeyCols(lkc), packKeyCols(rkc)
+		ht := make(map[[2]int64][]int32)
+		for i := 0; i < right.NumRows(); i++ {
+			if nullKey(rkc, i) {
+				continue
+			}
+			a, b := packKey(rpk, i)
+			ht[[2]int64{a, b}] = append(ht[[2]int64{a, b}], int32(i))
+		}
+		for i := 0; i < left.NumRows(); i++ {
+			if nullKey(lkc, i) {
+				continue
+			}
+			a, b := packKey(lpk, i)
+			for _, ri := range ht[[2]int64{a, b}] {
+				lsel = append(lsel, int32(i))
+				rsel = append(rsel, ri)
+			}
+		}
+		return lsel, rsel
+	}
+	encode := func(cols []*column.Column, row int) string {
+		var buf []byte
+		for _, c := range cols {
+			buf = appendRowKey(buf, c, row)
+		}
+		return string(buf)
+	}
+	ht := make(map[string][]int32)
+	for i := 0; i < right.NumRows(); i++ {
+		if nullKey(rkc, i) {
+			continue
+		}
+		ht[encode(rkc, i)] = append(ht[encode(rkc, i)], int32(i))
+	}
+	for i := 0; i < left.NumRows(); i++ {
+		if nullKey(lkc, i) {
+			continue
+		}
+		for _, ri := range ht[encode(lkc, i)] {
+			lsel = append(lsel, int32(i))
+			rsel = append(rsel, ri)
+		}
+	}
+	return lsel, rsel
+}
+
+// checkJoinAgainstMapOracle runs one join across every engine, asserting
+// the flat-table output equals the map oracle's and is bit-identical to
+// the serial flat-table build.
+func checkJoinAgainstMapOracle(t *testing.T, left, right *column.Batch, lk, rk []string) {
+	t.Helper()
+	lsel, rsel := oracleMapJoinSel(t, left, right, lk, rk)
+	want := oracleJoinBatch(t, left, right, rk, lsel, rsel)
+	serial, err := HashJoin(left, right, lk, rk)
+	if err != nil {
+		t.Fatalf("serial HashJoin: %v", err)
+	}
+	if diff, ok := bitIdenticalBatches(serial, want); !ok {
+		t.Fatalf("serial flat table diverges from map oracle: %s", diff)
+	}
+	for _, eng := range testEngines() {
+		got, err := eng.pool.HashJoin(left, right, lk, rk)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.name, err)
+		}
+		if diff, ok := bitIdenticalBatches(got, serial); !ok {
+			t.Fatalf("%s: not bit-identical to serial: %s", eng.name, diff)
+		}
+	}
+}
+
+// TestHashJoinZipfKeys stresses high-duplicate key distributions: zipf
+// keys give a few keys very long chains, which is where chain order (and
+// therefore partitioned-build determinism) matters most.
+func TestHashJoinZipfKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	zipf := rand.NewZipf(rng, 1.2, 1, 40)
+	mkCol := func(name string, n int, nullFrac float64) *column.Column {
+		c := column.New(name, column.Int64)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < nullFrac {
+				c.AppendNull()
+			} else {
+				c.AppendInt64(int64(zipf.Uint64()))
+			}
+		}
+		return c
+	}
+	left := column.MustNewBatch(
+		mkCol("id", 900, 0.1),
+		mkCol("id2", 900, 0),
+		column.NewInt64s("lrow", func() []int64 {
+			out := make([]int64, 900)
+			for i := range out {
+				out[i] = int64(i)
+			}
+			return out
+		}()),
+	)
+	right := column.MustNewBatch(
+		mkCol("rid", 400, 0.1),
+		mkCol("rid2", 400, 0),
+		column.NewInt64s("rrow", func() []int64 {
+			out := make([]int64, 400)
+			for i := range out {
+				out[i] = int64(i)
+			}
+			return out
+		}()),
+	)
+	t.Run("single", func(t *testing.T) {
+		checkJoinAgainstMapOracle(t, left, right, []string{"id"}, []string{"rid"})
+	})
+	t.Run("composite", func(t *testing.T) {
+		checkJoinAgainstMapOracle(t, left, right, []string{"id", "id2"}, []string{"rid", "rid2"})
+	})
+}
+
+// TestHashJoinAllNullKeys: a key column that is entirely null joins
+// nothing, on either side, through both key paths.
+func TestHashJoinAllNullKeys(t *testing.T) {
+	allNullInt := func(name string, n int) *column.Column {
+		c := column.New(name, column.Int64)
+		for i := 0; i < n; i++ {
+			c.AppendNull()
+		}
+		return c
+	}
+	allNullStr := func(name string, n int) *column.Column {
+		c := column.New(name, column.String)
+		for i := 0; i < n; i++ {
+			c.AppendNull()
+		}
+		return c
+	}
+	ints := func(name string, n int) *column.Column {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(i % 5)
+		}
+		return column.NewInt64s(name, vals)
+	}
+	strs := func(name string, n int) *column.Column {
+		vals := make([]string, n)
+		words := []string{"a", "b", "c"}
+		for i := range vals {
+			vals[i] = words[i%3]
+		}
+		return column.NewStrings(name, vals)
+	}
+	cases := []struct {
+		name        string
+		left, right *column.Batch
+		lk, rk      []string
+	}{
+		{"null-build-int", column.MustNewBatch(ints("id", 200)), column.MustNewBatch(allNullInt("rid", 100)), []string{"id"}, []string{"rid"}},
+		{"null-probe-int", column.MustNewBatch(allNullInt("id", 200)), column.MustNewBatch(ints("rid", 100)), []string{"id"}, []string{"rid"}},
+		{"null-both-int", column.MustNewBatch(allNullInt("id", 200)), column.MustNewBatch(allNullInt("rid", 100)), []string{"id"}, []string{"rid"}},
+		{"null-build-string", column.MustNewBatch(strs("s", 200)), column.MustNewBatch(allNullStr("rs", 100)), []string{"s"}, []string{"rs"}},
+		{"null-one-of-composite", column.MustNewBatch(ints("id", 200), strs("s", 200)),
+			column.MustNewBatch(ints("rid", 100), allNullStr("rs", 100)), []string{"id", "s"}, []string{"rid", "rs"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, eng := range testEngines() {
+				got, err := eng.pool.HashJoin(tc.left, tc.right, tc.lk, tc.rk)
+				if err != nil {
+					t.Fatalf("%s: %v", eng.name, err)
+				}
+				if got.NumRows() != 0 {
+					t.Fatalf("%s: all-null key joined %d rows, want 0", eng.name, got.NumRows())
+				}
+			}
+			checkJoinAgainstMapOracle(t, tc.left, tc.right, tc.lk, tc.rk)
+		})
+	}
+}
+
+// TestHashJoinFloatKeys covers the bit-cast Float64 fast path: null-free
+// float keys pack into the int fast path, canonicalized so every NaN
+// payload joins every other NaN and -0 joins +0 — on both the packed and
+// byte-encoded (nullable / composite) paths.
+func TestHashJoinFloatKeys(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	nanAlt := math.Float64frombits(0x7FF8000000000001) // non-canonical payload
+	pool := []float64{1.5, -2.25, 0, negZero, math.NaN(), nanAlt, 3.75, math.Inf(1), math.Inf(-1)}
+	rng := rand.New(rand.NewSource(131))
+	mk := func(name string, n int, nullFrac float64) *column.Column {
+		c := column.New(name, column.Float64)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < nullFrac {
+				c.AppendNull()
+			} else {
+				c.AppendFloat64(pool[rng.Intn(len(pool))])
+			}
+		}
+		return c
+	}
+	t.Run("nullfree-fastpath", func(t *testing.T) {
+		left := column.MustNewBatch(mk("f", 300, 0), mk("g", 300, 0))
+		right := column.MustNewBatch(mk("rf", 150, 0), mk("rg", 150, 0))
+		checkJoinAgainstMapOracle(t, left, right, []string{"f"}, []string{"rf"})
+		checkJoinAgainstMapOracle(t, left, right, []string{"f", "g"}, []string{"rf", "rg"})
+	})
+	t.Run("nullable-generic", func(t *testing.T) {
+		left := column.MustNewBatch(mk("f", 300, 0.2))
+		right := column.MustNewBatch(mk("rf", 150, 0.2))
+		checkJoinAgainstMapOracle(t, left, right, []string{"f"}, []string{"rf"})
+	})
+	t.Run("nan-and-zero-semantics", func(t *testing.T) {
+		left := column.MustNewBatch(column.NewFloat64s("f", []float64{math.NaN(), 0, 7}))
+		right := column.MustNewBatch(
+			column.NewFloat64s("rf", []float64{nanAlt, negZero, 8}),
+			column.NewStrings("tag", []string{"nan", "zero", "other"}),
+		)
+		got, err := HashJoin(left, right, []string{"f"}, []string{"rf"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumRows() != 2 {
+			t.Fatalf("NaN/zero join matched %d rows, want 2 (NaN=NaN, -0=+0)", got.NumRows())
+		}
+		tags, _ := got.Col("tag")
+		if tags.Strings()[0] != "nan" || tags.Strings()[1] != "zero" {
+			t.Fatalf("unexpected matches: %v", tags.Strings())
+		}
+		// The nullable (byte-encoded) path must agree on the same data.
+		ln := column.New("f", column.Float64)
+		ln.AppendFloat64(math.NaN())
+		ln.AppendFloat64(0)
+		ln.AppendNull()
+		left2 := column.MustNewBatch(ln)
+		got2, err := HashJoin(left2, right, []string{"f"}, []string{"rf"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got2.NumRows() != 2 {
+			t.Fatalf("generic-path NaN/zero join matched %d rows, want 2", got2.NumRows())
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Radix sort vs comparator: direct unit checks over full-range keys (the
+// random batches above only exercise small domains).
+// ---------------------------------------------------------------------------
+
+func TestRadixSortMatchesComparatorOnFullRangeKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(167))
+	for iter := 0; iter < 40; iter++ {
+		n := 1 + rng.Intn(400)
+		ints := make([]int64, n)
+		var nulls []bool
+		for i := range ints {
+			switch rng.Intn(8) {
+			case 0:
+				ints[i] = math.MinInt64
+			case 1:
+				ints[i] = math.MaxInt64
+			case 2:
+				ints[i] = 0
+			default:
+				ints[i] = rng.Int63() - rng.Int63()
+			}
+		}
+		if rng.Intn(2) == 0 {
+			nulls = make([]bool, n)
+			for i := range nulls {
+				if rng.Float64() < 0.2 {
+					nulls[i] = true
+					ints[i] = 0
+				}
+			}
+		}
+		for _, desc := range []bool{false, true} {
+			k := sortKeyData{desc: desc, typ: column.Int64, ints: ints, nulls: nulls}
+			radixSel := selAll(n)
+			radixSortInts(&k, radixSel)
+			cmpSel := selAll(n)
+			comparatorSortSel([]sortKeyData{k}, cmpSel)
+			if fmt.Sprint(radixSel) != fmt.Sprint(cmpSel) {
+				t.Fatalf("iter %d desc=%v: radix %v != comparator %v", iter, desc, radixSel, cmpSel)
+			}
+		}
+	}
+}
+
+// TestSortLargeParallel exercises the parallel sort at a size where the
+// comparator path actually splits into many morsel runs and merges them:
+// radix-eligible timestamp keys (whole-batch radix, parallel gather) and
+// comparator keys (string, NaN-free float multi-key) across every engine.
+func TestSortLargeParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	n := 5000
+	ts := column.New("ts", column.Timestamp)
+	s := column.New("s", column.String)
+	v := column.New("v", column.Float64)
+	words := []string{"alpha", "beta", "gamma", "delta", ""}
+	tag := make([]int64, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.05 {
+			ts.AppendNull()
+		} else {
+			ts.AppendInt64(rng.Int63n(1000) * 1_000_000_000)
+		}
+		if rng.Float64() < 0.05 {
+			s.AppendNull()
+		} else {
+			s.AppendString(words[rng.Intn(len(words))])
+		}
+		if rng.Float64() < 0.05 {
+			v.AppendNull()
+		} else {
+			v.AppendFloat64(float64(rng.Intn(40)) / 4)
+		}
+		tag[i] = int64(i)
+	}
+	b := column.MustNewBatch(ts, s, v, column.NewInt64s("tag", tag))
+	for _, desc := range []bool{false, true} {
+		checkSortEngines(t, b,
+			[]SortKey{{Expr: &sql.ColumnRef{Name: "ts"}, Desc: desc}},
+			fmt.Sprintf("radix desc=%v", desc))
+		checkSortEngines(t, b,
+			[]SortKey{{Expr: &sql.ColumnRef{Name: "s"}, Desc: desc}},
+			fmt.Sprintf("comparator-string desc=%v", desc))
+		checkSortEngines(t, b,
+			[]SortKey{{Expr: &sql.ColumnRef{Name: "v"}, Desc: desc}, {Expr: &sql.ColumnRef{Name: "ts"}}},
+			fmt.Sprintf("comparator-multikey desc=%v", desc))
+	}
+}
+
+// checkSortEngines asserts every engine's Sort is bit-identical to the
+// serial engine's and that the serial result matches the boxed oracle.
+func checkSortEngines(t *testing.T, b *column.Batch, keys []SortKey, label string) {
+	t.Helper()
+	serial, err := Sort(b, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracleSortBatch(t, b, keys)
+	if diff, ok := batchesEqual(serial, want); !ok {
+		t.Fatalf("%s: serial sort diverges from oracle: %s", label, diff)
+	}
+	for _, eng := range testEngines() {
+		got, err := eng.pool.Sort(b, keys)
+		if err != nil {
+			t.Fatalf("%s %s: %v", label, eng.name, err)
+		}
+		if diff, ok := bitIdenticalBatches(got, serial); !ok {
+			t.Fatalf("%s %s: not bit-identical to serial: %s", label, eng.name, diff)
+		}
+	}
+}
+
+// TestAggregateFloatKeyCanonicalization pins the engine-wide float key
+// equality: GROUP BY and COUNT(DISTINCT) collapse every NaN payload to one
+// value and -0 to +0, agreeing with the comparison kernels and the join
+// paths (floatKeyBits).
+func TestAggregateFloatKeyCanonicalization(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	nanAlt := math.Float64frombits(0x7FF8000000000001)
+	v := column.NewFloat64s("v", []float64{math.NaN(), nanAlt, 0, negZero, 1})
+	b := column.MustNewBatch(v)
+	groupBy := []sql.Expr{&sql.ColumnRef{Name: "v"}}
+	aggs := []AggSpec{
+		{Func: "COUNT", Star: true, OutName: "cnt"},
+		{Func: "COUNT", Arg: &sql.ColumnRef{Name: "v"}, Distinct: true, OutName: "cd"},
+	}
+	for _, eng := range testEngines() {
+		got, err := eng.pool.Aggregate(b, groupBy, aggs)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.name, err)
+		}
+		if got.NumRows() != 3 {
+			t.Fatalf("%s: %d groups, want 3 (NaN, 0, 1)", eng.name, got.NumRows())
+		}
+		cnt, _ := got.Col("cnt")
+		cd, _ := got.Col("cd")
+		if cnt.Int64s()[0] != 2 || cnt.Int64s()[1] != 2 || cnt.Int64s()[2] != 1 {
+			t.Fatalf("%s: group counts %v, want [2 2 1]", eng.name, cnt.Int64s())
+		}
+		for g := 0; g < 3; g++ {
+			if cd.Int64s()[g] != 1 {
+				t.Fatalf("%s: group %d distinct count %d, want 1", eng.name, g, cd.Int64s()[g])
+			}
+		}
 	}
 }

@@ -45,6 +45,9 @@ type Env struct {
 	// 1-worker pool) selects the serial engine; output is bit-identical
 	// either way.
 	Pool *exec.Pool
+	// Stats, when non-nil, accumulates operator-level counters (join build
+	// partitions, probe volumes, sort strategies) across queries.
+	Stats *ExecStats
 }
 
 func (e *Env) obs() Observer {
@@ -95,11 +98,22 @@ func Execute(n Node, env *Env) (*column.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := env.Pool.HashJoin(l, r, x.LKeys, x.RKeys)
+		out, js, err := env.Pool.HashJoinWithStats(l, r, x.LKeys, x.RKeys)
 		if err != nil {
 			return nil, err
 		}
-		obs.Event("join", fmt.Sprintf("%s: %d x %d -> %d rows", x.Describe(), l.NumRows(), r.NumRows(), out.NumRows()))
+		env.Stats.recordJoin(js)
+		build := "serial"
+		if js.ParallelBuild {
+			build = "parallel"
+		}
+		keyPath := "encoded"
+		if js.IntKeys {
+			keyPath = "packed-int"
+		}
+		obs.Event("join", fmt.Sprintf("%s: %d x %d -> %d rows (build: %d rows, %d partitions, %s, %s keys; probed %d rows)",
+			x.Describe(), l.NumRows(), r.NumRows(), out.NumRows(),
+			js.BuildRows, js.Partitions, build, keyPath, js.ProbeRows))
 		return out, nil
 
 	case *Filter:
@@ -157,7 +171,15 @@ func Execute(n Node, env *Env) (*column.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		return env.Pool.Sort(in, x.Keys)
+		out, ss, err := env.Pool.SortWithStats(in, x.Keys)
+		if err != nil {
+			return nil, err
+		}
+		env.Stats.recordSort(ss)
+		if ss.Strategy != exec.SortStrategyNone {
+			obs.Event("sort", fmt.Sprintf("%s sort of %d rows (%d runs)", ss.Strategy, ss.Rows, ss.Runs))
+		}
+		return out, nil
 
 	case *Limit:
 		in, err := Execute(x.Child, env)

@@ -1,0 +1,93 @@
+package plan
+
+import (
+	"sync/atomic"
+
+	"repro/internal/exec"
+)
+
+// ExecStats accumulates operator-level execution counters across queries.
+// Execute records into it when the Env carries one; all fields are atomic,
+// so one ExecStats may be shared by concurrent queries. The warehouse owns
+// one per instance and surfaces a Snapshot through its Stats.
+type ExecStats struct {
+	joinBuilds          atomic.Int64
+	joinBuildPartitions atomic.Int64
+	joinParallelBuilds  atomic.Int64
+	joinBuildRows       atomic.Int64
+	joinProbeRows       atomic.Int64
+	joinMatches         atomic.Int64
+
+	radixSorts      atomic.Int64
+	comparatorSorts atomic.Int64
+	sortRunsMerged  atomic.Int64
+	sortRows        atomic.Int64
+}
+
+// ExecSnapshot is a point-in-time copy of ExecStats counters.
+type ExecSnapshot struct {
+	JoinBuilds          int64 // hash joins executed
+	JoinBuildPartitions int64 // total build partitions across joins
+	JoinParallelBuilds  int64 // joins whose build was radix-partitioned
+	JoinBuildRows       int64
+	JoinProbeRows       int64
+	JoinMatches         int64
+
+	RadixSorts      int64 // sorts that took the key-specialized radix path
+	ComparatorSorts int64 // sorts that took the generic comparator path
+	SortRunsMerged  int64 // morsel runs merged by parallel sorts
+	SortRows        int64
+}
+
+// Snapshot copies the counters.
+func (s *ExecStats) Snapshot() ExecSnapshot {
+	if s == nil {
+		return ExecSnapshot{}
+	}
+	return ExecSnapshot{
+		JoinBuilds:          s.joinBuilds.Load(),
+		JoinBuildPartitions: s.joinBuildPartitions.Load(),
+		JoinParallelBuilds:  s.joinParallelBuilds.Load(),
+		JoinBuildRows:       s.joinBuildRows.Load(),
+		JoinProbeRows:       s.joinProbeRows.Load(),
+		JoinMatches:         s.joinMatches.Load(),
+		RadixSorts:          s.radixSorts.Load(),
+		ComparatorSorts:     s.comparatorSorts.Load(),
+		SortRunsMerged:      s.sortRunsMerged.Load(),
+		SortRows:            s.sortRows.Load(),
+	}
+}
+
+// recordJoin folds one join's stats into the counters.
+func (s *ExecStats) recordJoin(js exec.JoinStats) {
+	if s == nil {
+		return
+	}
+	s.joinBuilds.Add(1)
+	s.joinBuildPartitions.Add(int64(js.Partitions))
+	if js.ParallelBuild {
+		s.joinParallelBuilds.Add(1)
+	}
+	s.joinBuildRows.Add(int64(js.BuildRows))
+	s.joinProbeRows.Add(int64(js.ProbeRows))
+	s.joinMatches.Add(int64(js.Matches))
+}
+
+// recordSort folds one sort's stats into the counters.
+func (s *ExecStats) recordSort(ss exec.SortStats) {
+	if s == nil {
+		return
+	}
+	switch ss.Strategy {
+	case exec.SortStrategyRadix:
+		s.radixSorts.Add(1)
+	case exec.SortStrategyComparator:
+		s.comparatorSorts.Add(1)
+	default:
+		return // no-op sorts don't count
+	}
+	if ss.Runs > 1 {
+		s.sortRunsMerged.Add(int64(ss.Runs))
+	}
+	s.sortRows.Add(int64(ss.Rows))
+}

@@ -108,6 +108,7 @@ type Warehouse struct {
 	store  *catalog.Store
 	engine *etl.Engine
 	pool   *exec.Pool
+	exec   plan.ExecStats
 	init   InitStats
 
 	logMu   sync.Mutex
@@ -243,7 +244,7 @@ func (w *Warehouse) Query(q string) (*Result, error) {
 		Optimized: plan.Render(plans.Root),
 	}
 	obs := &observer{w: w, trace: &tr, touched: make(map[string]bool)}
-	env := &plan.Env{Store: w.store, Source: w.engine, Obs: obs, Pool: w.pool}
+	env := &plan.Env{Store: w.store, Source: w.engine, Obs: obs, Pool: w.pool, Stats: &w.exec}
 	batch, err := plan.Execute(plans.Root, env)
 	if err != nil {
 		return nil, err
@@ -311,6 +312,10 @@ type Stats struct {
 	CacheBytes   int64
 	CacheStats   string
 	Extraction   etl.ExtractStats
+	// Exec aggregates operator-level counters across all queries: join
+	// build partitioning and probe volumes, and which sort strategy
+	// (radix vs comparator) ORDER BY executions chose.
+	Exec plan.ExecSnapshot
 }
 
 // Stats returns a snapshot of warehouse counters.
@@ -329,6 +334,7 @@ func (w *Warehouse) Stats() Stats {
 		CacheStats: fmt.Sprintf("hits=%d misses=%d evictions=%d invalidations=%d",
 			cs.Hits, cs.Misses, cs.Evictions, cs.Invalidations),
 		Extraction: w.engine.ExtractionStats(),
+		Exec:       w.exec.Snapshot(),
 	}
 }
 
