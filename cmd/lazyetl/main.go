@@ -264,6 +264,12 @@ func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, r
 		fmt.Printf("extraction: %d records extracted, %d cache reads, %d files opened, %d bytes read\n",
 			st.Extraction.Extractions, st.Extraction.CacheReads,
 			st.Extraction.FilesTouched, st.Extraction.BytesRead)
+		if st.Extraction.RunsRead > 0 {
+			fmt.Printf("extraction runs: %d coalesced reads, %.1f records/run, %v decoding\n",
+				st.Extraction.RunsRead,
+				float64(st.Extraction.RunRecords)/float64(st.Extraction.RunsRead),
+				time.Duration(st.Extraction.DecodeNanos).Round(time.Microsecond))
+		}
 		fmt.Printf("exec: %d joins (%d partitions, %d parallel builds, %d build + %d probe rows -> %d matches), %d radix + %d comparator sorts (%d rows, %d runs merged)\n",
 			st.Exec.JoinBuilds, st.Exec.JoinBuildPartitions, st.Exec.JoinParallelBuilds,
 			st.Exec.JoinBuildRows, st.Exec.JoinProbeRows, st.Exec.JoinMatches,

@@ -10,10 +10,31 @@
 //     exactly the records that survived the metadata predicates, consulting
 //     the recycler cache first (lazy loading) and applying record- and
 //     value-level transformations at the end of extraction (§3.2).
+//
+// # Extraction data path
+//
+// Cache misses are not read record by record. Per file, the missed records
+// are sorted by offset and coalesced into runs — groups of records whose
+// byte ranges are adjacent (or separated by gaps small enough that reading
+// through them beats paying another syscall). Each run costs one ReadAt
+// into a pooled per-worker scratch buffer; headers and payloads then parse
+// from memory and Steim payloads decode through the unrolled, allocation-
+// free decoder into a pooled sample buffer. Whole-file prefetch
+// (PrefetchWholeFile) is a single run covering the file, scanned with
+// mseed.ScanBuffer.
+//
+// With Options.Parallelism > 1 the worker pool operates on runs, not files,
+// so extraction parallelizes within a single large file as well as across
+// files. Every run owns a disjoint set of metadata-row indices and writes
+// only those rows' output segments, so the assembled universal-table batch
+// is bit-identical at every Parallelism setting; when several runs fail,
+// the error surfaced is deterministically that of the earliest run (file
+// order, then offset order) rather than the race winner.
 package etl
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -80,6 +101,10 @@ type Engine struct {
 	// xstats counters are updated atomically; extraction may run on a
 	// worker pool.
 	xstats extractCounters
+
+	// scratch pools per-worker extraction buffers (run bytes and decoded
+	// samples) across queries.
+	scratch sync.Pool
 }
 
 // extractCounters backs ExtractStats with atomically updated fields.
@@ -89,6 +114,43 @@ type extractCounters struct {
 	filesTouched  atomic.Int64
 	bytesRead     atomic.Int64
 	samplesServed atomic.Int64
+	runsRead      atomic.Int64
+	runRecords    atomic.Int64
+	decodeNanos   atomic.Int64
+}
+
+// extractScratch is a per-worker buffer set reused across runs and queries.
+type extractScratch struct {
+	buf     []byte       // run bytes
+	samples []int32      // decoded samples of one record
+	hdr     mseed.Header // reused header for in-run record parses
+}
+
+func (sc *extractScratch) bytes(n int) []byte {
+	if cap(sc.buf) < n {
+		sc.buf = make([]byte, n)
+	}
+	return sc.buf[:n]
+}
+
+func (sc *extractScratch) ints(n int) []int32 {
+	if cap(sc.samples) < n {
+		sc.samples = make([]int32, n)
+	}
+	return sc.samples[:n]
+}
+
+func (e *Engine) getScratch() *extractScratch {
+	return e.scratch.Get().(*extractScratch)
+}
+
+func (e *Engine) putScratch(sc *extractScratch) {
+	// Whole-file prefetch runs can balloon the byte buffer; don't pin
+	// outsized buffers in the pool.
+	if cap(sc.buf) > 2*maxRunBytes {
+		sc.buf = nil
+	}
+	e.scratch.Put(sc)
 }
 
 // New creates an engine over a repository snapshot.
@@ -108,6 +170,7 @@ func New(rp *repo.Repository, store *catalog.Store, opts Options) *Engine {
 	for i, f := range rp.Files {
 		e.fileID[f.URI] = int64(i)
 	}
+	e.scratch.New = func() any { return new(extractScratch) }
 	return e
 }
 
@@ -244,10 +307,18 @@ func (e *Engine) RefreshAll() (Stats, error) {
 // gain, then optional de-spiking) — §3.2's "transformations performed on a
 // fine granularity added to the end of the extraction phase".
 func (e *Engine) transform(h *mseed.Header, samples []int32) (times []int64, values []float64) {
-	startNs := h.StartNanos()
-	rate := h.SampleRate()
 	times = make([]int64, len(samples))
 	values = make([]float64, len(samples))
+	e.transformInto(h, samples, times, values)
+	return times, values
+}
+
+// transformInto is transform writing into caller-provided slices (the run
+// extractor transforms straight into the universal-table vectors). times and
+// values must have len(samples) elements.
+func (e *Engine) transformInto(h *mseed.Header, samples []int32, times []int64, values []float64) {
+	startNs := h.StartNanos()
+	rate := h.SampleRate()
 	for i, s := range samples {
 		times[i] = startNs + int64(float64(i)/rate*1e9)
 		v := float64(s) * e.opts.Gain
@@ -260,7 +331,6 @@ func (e *Engine) transform(h *mseed.Header, samples []int32) (times []int64, val
 		}
 		values[i] = v
 	}
-	return times, values
 }
 
 // filesBuilder accumulates mseed.files rows columnarly.

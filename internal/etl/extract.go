@@ -3,6 +3,9 @@ package etl
 import (
 	"fmt"
 	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/column"
@@ -16,8 +19,108 @@ type ExtractStats struct {
 	Extractions   int64 // records decoded from files
 	CacheReads    int64 // records served from the recycler
 	FilesTouched  int64 // distinct file opens across all extractions
-	BytesRead     int64 // payload + header bytes read from files
+	BytesRead     int64 // bytes read from files (coalesced runs read gaps too)
 	SamplesServed int64 // samples delivered to queries
+	RunsRead      int64 // coalesced reads issued (one ReadAt each)
+	RunRecords    int64 // records decoded out of coalesced runs
+	DecodeNanos   int64 // time spent parsing and decoding run bytes
+}
+
+// Run coalescing parameters.
+const (
+	// coalesceGap is the widest hole (bytes of records the query does not
+	// need) a run is allowed to read through: reading a small gap
+	// sequentially is cheaper than splitting the run and paying another
+	// syscall.
+	coalesceGap = 64 << 10
+	// maxRunBytes bounds one coalesced read, and with it the per-worker
+	// scratch buffer (whole-file prefetch runs are exempt).
+	maxRunBytes = 4 << 20
+	// fallbackRecordLen sizes a run's final record when the metadata batch
+	// carries no F.record_length column; the run read self-extends if the
+	// header parsed from the run says the record is longer.
+	fallbackRecordLen = 512
+)
+
+// fileState is everything extraction needs to know about one source file.
+// The stat happens once per Extract call (staleness check); the file is
+// opened only if it has cache misses.
+type fileState struct {
+	uri   string
+	path  string
+	f     *os.File
+	mtime time.Time
+	size  int64
+}
+
+// runPlan is one coalesced read: a contiguous byte range of one file
+// covering a batch of missed records. Runs never share metadata-row
+// indices, which is what makes in-file parallel extraction deterministic.
+type runPlan struct {
+	fs       *fileState
+	rows     []int // meta row indices, ascending by file offset
+	start    int64 // first byte of the run
+	end      int64 // estimated end (exclusive); extended on demand
+	prefetch bool  // whole-file prefetch run (PrefetchWholeFile)
+}
+
+// extractSink owns the output of one Extract call. Workers deliver decoded
+// records through it; rows are disjoint across runs so no locking is needed
+// beyond the cache's own.
+type extractSink struct {
+	e    *Engine
+	seqs []int64
+	offs []int64
+
+	// lens[i] is the expected sample count of row i (actual count for cache
+	// hits, R.num_samples for misses); -1 when unknown.
+	lens []int
+	// direct: lens are all known, so the output vectors are pre-sized and
+	// workers transform misses straight into their segments at starts[i].
+	direct  bool
+	starts  []int
+	dTimes  []int64
+	dValues []float64
+
+	// entries holds rows that did not go through the direct path: cache
+	// hits, prefetch-served records, and records whose decoded length
+	// disagreed with the metadata (stale files). misfit flags the latter;
+	// the assembly then recomputes the layout from actual lengths.
+	entries []*recycler.Entry
+	misfit  atomic.Bool
+
+	// quiet is set when the observer is the no-op observer, letting the
+	// hot path skip formatting per-record messages nobody will read.
+	quiet bool
+}
+
+// deliver hands one decoded record to the sink. Called from workers; i is
+// owned exclusively by the calling run.
+func (s *extractSink) deliver(fs *fileState, i int, h *mseed.Header, samples []int32) {
+	e := s.e
+	key := recycler.Key{URI: fs.uri, SeqNo: int(s.seqs[i])}
+	if s.direct && len(samples) == s.lens[i] {
+		o := s.starts[i]
+		times := s.dTimes[o : o+len(samples)]
+		values := s.dValues[o : o+len(samples)]
+		e.transformInto(h, samples, times, values)
+		if e.cache.Enabled() {
+			ent := &recycler.Entry{
+				Times:     append([]int64(nil), times...),
+				Values:    append([]float64(nil), values...),
+				FileMtime: fs.mtime,
+			}
+			e.cache.Admit(key, ent)
+		}
+		return
+	}
+	times, values := e.transform(h, samples)
+	ent := &recycler.Entry{Times: times, Values: values, FileMtime: fs.mtime}
+	s.entries[i] = ent
+	if s.direct {
+		s.misfit.Store(true)
+	}
+	e.cache.Admit(key, ent)
 }
 
 // Extract implements plan.ExtractSource. meta holds the metadata rows that
@@ -27,7 +130,9 @@ type ExtractStats struct {
 //
 // This is the run-time half of lazy extraction (§3.1): for each qualifying
 // record the injected operator is either a cache read or a file extraction,
-// and each injection is reported to the observer.
+// and each injection is reported to the observer. Misses are read in
+// coalesced runs (see the package documentation) so a cold-cache query
+// costs O(1) syscalls and allocations per run, not per record.
 func (e *Engine) Extract(meta *column.Batch, obs plan.Observer) (*column.Batch, error) {
 	uriCol, ok := meta.Col("F.uri")
 	if !ok {
@@ -46,48 +151,123 @@ func (e *Engine) Extract(meta *column.Batch, obs plan.Observer) (*column.Batch, 
 	offs := offCol.Int64s()
 	n := meta.NumRows()
 
+	// Optional metadata that lets extraction pre-size runs and output:
+	// absent columns only cost performance, never correctness.
+	var nums []int64
+	if c, ok := meta.Col("R.num_samples"); ok {
+		nums = c.Int64s()
+	}
+	var recLens []int64
+	if c, ok := meta.Col("F.record_length"); ok {
+		recLens = c.Int64s()
+	}
+
 	// Stat each distinct file once per query for staleness checks.
-	mtimes := make(map[string]time.Time)
-	mtimeOf := func(uri string) (time.Time, error) {
-		if t, ok := mtimes[uri]; ok {
-			return t, nil
+	states := make(map[string]*fileState)
+	stateOf := func(uri string) (*fileState, error) {
+		if fs, ok := states[uri]; ok {
+			return fs, nil
 		}
 		f, ok := e.repo.Lookup(uri)
 		if !ok {
-			return time.Time{}, fmt.Errorf("etl: file %q not in repository snapshot; run a metadata refresh", uri)
+			return nil, fmt.Errorf("etl: file %q not in repository snapshot; run a metadata refresh", uri)
 		}
 		info, err := os.Stat(f.AbsPath)
 		if err != nil {
-			return time.Time{}, fmt.Errorf("etl: stat %s: %w", uri, err)
+			return nil, fmt.Errorf("etl: stat %s: %w", uri, err)
 		}
-		mtimes[uri] = info.ModTime()
-		return info.ModTime(), nil
+		fs := &fileState{uri: uri, path: f.AbsPath, mtime: info.ModTime(), size: info.Size()}
+		states[uri] = fs
+		return fs, nil
 	}
 
-	entries := make([]*recycler.Entry, n)
+	_, quiet := obs.(plan.NopObserver)
+	sink := &extractSink{
+		e:       e,
+		seqs:    seqs,
+		offs:    offs,
+		lens:    make([]int, n),
+		entries: make([]*recycler.Entry, n),
+		quiet:   quiet,
+	}
 
 	// Pass 1: serve what the cache has (fresh entries only).
 	var missIdx []int
+	sink.direct = true
 	for i := 0; i < n; i++ {
-		mt, err := mtimeOf(uris[i])
+		fs, err := stateOf(uris[i])
 		if err != nil {
 			return nil, err
 		}
 		key := recycler.Key{URI: uris[i], SeqNo: int(seqs[i])}
-		if ent, hit := e.cache.Lookup(key, mt); hit {
-			entries[i] = ent
-			obs.InjectedOp("CacheRead", fmt.Sprintf("%s seq=%d (%d samples)", uris[i], seqs[i], len(ent.Times)))
+		if ent, hit := e.cache.Lookup(key, fs.mtime); hit {
+			sink.entries[i] = ent
+			sink.lens[i] = len(ent.Times)
+			if !quiet {
+				obs.InjectedOp("CacheRead", fmt.Sprintf("%s seq=%d (%d samples)", uris[i], seqs[i], len(ent.Times)))
+			}
 			e.xstats.cacheReads.Add(1)
 			continue
+		}
+		if nums != nil && nums[i] >= 0 {
+			sink.lens[i] = int(nums[i])
+		} else {
+			sink.lens[i] = -1
+			sink.direct = false
 		}
 		missIdx = append(missIdx, i)
 	}
 
-	// Pass 2: extract the misses, file by file. Files are independent, so
-	// with Parallelism > 1 they are processed by a bounded worker pool (an
-	// extension over the paper's sequential extractor); each worker writes
-	// disjoint entries indices and the cache and observers are safe for
-	// concurrent use.
+	// Pre-size the output layout when every row's length is known, so
+	// workers can transform misses straight into their segments.
+	if sink.direct {
+		sink.starts = make([]int, n)
+		total := 0
+		for i, l := range sink.lens {
+			sink.starts[i] = total
+			total += l
+		}
+		sink.dTimes = make([]int64, total)
+		sink.dValues = make([]float64, total)
+	}
+
+	// Pass 2: extract the misses via coalesced runs on the worker pool.
+	if len(missIdx) > 0 {
+		runs, opened, err := e.planRuns(missIdx, uris, offs, recLens, stateOf, sink.quiet, obs)
+		if err != nil {
+			closeFiles(opened)
+			return nil, err
+		}
+		err = e.extractRuns(runs, sink, obs)
+		closeFiles(opened)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out, total, err := e.assemble(meta, sink)
+	if err != nil {
+		return nil, err
+	}
+	e.xstats.samplesServed.Add(int64(total))
+	return out, nil
+}
+
+func closeFiles(opened []*fileState) {
+	for _, fs := range opened {
+		if fs.f != nil {
+			fs.f.Close()
+			fs.f = nil
+		}
+	}
+}
+
+// planRuns groups the missed rows by file (in first-appearance order, which
+// is the deterministic error-reporting order), opens each file once, sorts
+// each file's rows by offset and coalesces adjacent records into runs.
+func (e *Engine) planRuns(missIdx []int, uris []string, offs []int64, recLens []int64,
+	stateOf func(string) (*fileState, error), quiet bool, obs plan.Observer) ([]runPlan, []*fileState, error) {
+
 	byFile := make(map[string][]int)
 	var fileOrder []string
 	for _, i := range missIdx {
@@ -97,174 +277,355 @@ func (e *Engine) Extract(meta *column.Batch, obs plan.Observer) (*column.Batch, 
 		byFile[uris[i]] = append(byFile[uris[i]], i)
 	}
 
-	extractFile := func(uri string) error {
-		rows := byFile[uri]
-		rf, _ := e.repo.Lookup(uri)
-		f, err := os.Open(rf.AbsPath)
-		if err != nil {
-			return fmt.Errorf("etl: open %s: %w", uri, err)
+	estLen := func(i int) int64 {
+		if recLens != nil && recLens[i] > 0 {
+			return recLens[i]
 		}
-		defer f.Close()
+		return fallbackRecordLen
+	}
+
+	var runs []runPlan
+	var opened []*fileState
+	for _, uri := range fileOrder {
+		fs, err := stateOf(uri) // already populated in pass 1
+		if err != nil {
+			return nil, opened, err
+		}
+		f, err := os.Open(fs.path)
+		if err != nil {
+			return nil, opened, fmt.Errorf("etl: open %s: %w", uri, err)
+		}
+		fs.f = f
+		opened = append(opened, fs)
 		e.addTouched(1)
-		obs.Event("open", uri)
-		mt := mtimes[uri]
+		if !quiet {
+			obs.Event("open", uri)
+		}
+
+		rows := byFile[uri]
+		sort.Slice(rows, func(a, b int) bool { return offs[rows[a]] < offs[rows[b]] })
 
 		if e.opts.PrefetchWholeFile {
-			if err := e.prefetchFile(f, uri, mt, obs); err != nil {
-				return err
+			runs = append(runs, runPlan{fs: fs, rows: rows, start: 0, end: fs.size, prefetch: true})
+			continue
+		}
+		cur := -1
+		for _, i := range rows {
+			start := offs[i]
+			end := start + estLen(i)
+			if end > fs.size {
+				end = fs.size
 			}
-			for _, i := range rows {
-				key := recycler.Key{URI: uri, SeqNo: int(seqs[i])}
-				ent, hit := e.cache.Lookup(key, mt)
-				if !hit {
-					// Cache budget too small to hold the prefetched file;
-					// fall back to direct extraction of this record.
-					ent, err = e.extractRecord(f, uri, offs[i], obs)
-					if err != nil {
-						return err
+			if end < start {
+				end = start // offset beyond EOF: the read will surface staleness
+			}
+			if cur >= 0 && start <= runs[cur].end+coalesceGap && end-runs[cur].start <= maxRunBytes {
+				runs[cur].rows = append(runs[cur].rows, i)
+				if end > runs[cur].end {
+					runs[cur].end = end
+				}
+				continue
+			}
+			runs = append(runs, runPlan{fs: fs, rows: []int{i}, start: start, end: end})
+			cur = len(runs) - 1
+		}
+	}
+	return runs, opened, nil
+}
+
+// extractRuns drives the runs to completion, on a worker pool when
+// Parallelism > 1. Errors are collected per run; the one surfaced is that
+// of the earliest run in plan order (file order, then offset), so failures
+// report deterministically at every worker count.
+func (e *Engine) extractRuns(runs []runPlan, sink *extractSink, obs plan.Observer) error {
+	workers := e.opts.Parallelism
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	errs := make([]error, len(runs))
+	if workers <= 1 {
+		sc := e.getScratch()
+		for r := range runs {
+			if errs[r] = e.extractRun(&runs[r], sc, sink, obs); errs[r] != nil {
+				break
+			}
+		}
+		e.putScratch(sc)
+	} else {
+		// Runs are claimed in plan order off an atomic cursor, so when a
+		// claimed run fails, every run that precedes it in plan order was
+		// already claimed and will finish (and record its own error).
+		// Stopping new claims therefore cannot skip an earlier failure —
+		// the reported error stays the deterministic earliest one.
+		var failed atomic.Bool
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := e.getScratch()
+				defer e.putScratch(sc)
+				for !failed.Load() {
+					r := int(next.Add(1)) - 1
+					if r >= len(runs) {
+						return
+					}
+					if errs[r] = e.extractRun(&runs[r], sc, sink, obs); errs[r] != nil {
+						failed.Store(true)
 					}
 				}
-				entries[i] = ent
-			}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// extractRun performs one coalesced read and decodes its records. The run's
+// byte range is an estimate from metadata; if a parsed header says a record
+// extends past the buffer, the buffer is extended with one more read rather
+// than trusting the stale estimate.
+func (e *Engine) extractRun(run *runPlan, sc *extractScratch, sink *extractSink, obs plan.Observer) error {
+	fs := run.fs
+	buf := sc.bytes(int(run.end - run.start))
+	if len(buf) > 0 {
+		if _, err := fs.f.ReadAt(buf, run.start); err != nil {
+			return fmt.Errorf("etl: %s offset %d: %w (metadata may be stale; refresh the warehouse)", fs.uri, run.start, err)
+		}
+	}
+	e.xstats.bytesRead.Add(int64(len(buf)))
+	e.xstats.runsRead.Add(1)
+	if !sink.quiet {
+		obs.Event("read", fmt.Sprintf("%s: coalesced run of %d records (%d bytes at offset %d)",
+			fs.uri, len(run.rows), len(buf), run.start))
+	}
+
+	// ensure grows the buffer to at least need bytes with one extra read.
+	// recOff is the offset of the record being decoded, for diagnostics.
+	ensure := func(need, recOff int64) error {
+		if need <= int64(len(buf)) {
 			return nil
 		}
-		for _, i := range rows {
-			ent, err := e.extractRecord(f, uri, offs[i], obs)
-			if err != nil {
-				return err
-			}
-			ent.FileMtime = mt
-			e.cache.Admit(recycler.Key{URI: uri, SeqNo: int(seqs[i])}, ent)
-			entries[i] = ent
+		if run.start+need > fs.size {
+			return fmt.Errorf("etl: %s offset %d: record extends past end of file; metadata is stale, refresh the warehouse", fs.uri, recOff)
 		}
+		have := len(buf)
+		if cap(sc.buf) < int(need) {
+			nb := make([]byte, need)
+			copy(nb, buf)
+			sc.buf = nb
+		}
+		buf = sc.buf[:need]
+		if _, err := fs.f.ReadAt(buf[have:], run.start+int64(have)); err != nil {
+			return fmt.Errorf("etl: %s offset %d: %w (metadata may be stale; refresh the warehouse)", fs.uri, recOff, err)
+		}
+		e.xstats.bytesRead.Add(need - int64(have))
 		return nil
 	}
 
-	workers := e.opts.Parallelism
-	if workers <= 1 || len(fileOrder) <= 1 {
-		for _, uri := range fileOrder {
-			if err := extractFile(uri); err != nil {
-				return nil, err
+	// decodeAt parses and decodes the record of meta row i from the buffer.
+	decodeAt := func(i int) error {
+		off := sink.offs[i]
+		rel := off - run.start
+		hdrEnd := rel + 64
+		if avail := fs.size - off; avail < 64 {
+			// Truncated tail (or offset at/past EOF): parse whatever is
+			// there and let the header parser report staleness.
+			hdrEnd = rel + avail
+			if hdrEnd < rel {
+				hdrEnd = rel
 			}
+		}
+		if err := ensure(hdrEnd, off); err != nil {
+			return err
+		}
+		h := &sc.hdr
+		if err := mseed.ParseRecordHeaderInto(h, buf[rel:hdrEnd]); err != nil {
+			return fmt.Errorf("etl: %s offset %d: record header no longer parses (%v); metadata is stale, refresh the warehouse", fs.uri, off, err)
+		}
+		recEnd := rel + int64(h.RecordLength)
+		if err := ensure(recEnd, off); err != nil {
+			return err
+		}
+		payload := buf[rel+int64(h.DataOffset) : recEnd]
+		samples := sc.ints(h.NumSamples)
+		if err := mseed.DecodePayloadInto(h, payload, samples); err != nil {
+			return fmt.Errorf("etl: %s offset %d: %w", fs.uri, off, err)
+		}
+		e.xstats.extractions.Add(1)
+		e.xstats.runRecords.Add(1)
+		if !sink.quiet {
+			obs.InjectedOp("ExtractRecord", fmt.Sprintf("%s seq=%d (%d samples, %s)", fs.uri, h.SeqNo, len(samples), h.Encoding))
+		}
+		sink.deliver(fs, i, h, samples)
+		return nil
+	}
+
+	decodeStart := time.Now()
+	defer func() {
+		e.xstats.decodeNanos.Add(time.Since(decodeStart).Nanoseconds())
+	}()
+
+	if run.prefetch {
+		return e.prefetchRun(run, buf, sc, sink, decodeAt, obs)
+	}
+	for _, i := range run.rows {
+		if err := decodeAt(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prefetchRun is the PrefetchWholeFile ablation: the run covers the whole
+// file, every record is decoded from the buffer and admitted to the cache,
+// and the qualifying rows are then served from the cache. Rows the cache
+// could not hold (budget too small for the file) fall back to direct
+// decodes from the same buffer.
+func (e *Engine) prefetchRun(run *runPlan, buf []byte, sc *extractScratch, sink *extractSink,
+	decodeAt func(int) error, obs plan.Observer) error {
+	fs := run.fs
+	infos, err := mseed.ScanBuffer(buf)
+	if err != nil {
+		return fmt.Errorf("etl: prefetch %s: %w; metadata is stale, refresh the warehouse", fs.uri, err)
+	}
+	if !sink.quiet {
+		obs.InjectedOp("ExtractFile", fmt.Sprintf("%s (%d records)", fs.uri, len(infos)))
+	}
+	for _, ri := range infos {
+		h := ri.Header
+		payload := buf[ri.Offset+int64(h.DataOffset) : ri.Offset+int64(h.RecordLength)]
+		samples := sc.ints(h.NumSamples)
+		if err := mseed.DecodePayloadInto(h, payload, samples); err != nil {
+			return fmt.Errorf("etl: prefetch %s seq %d: %w", fs.uri, h.SeqNo, err)
+		}
+		e.xstats.extractions.Add(1)
+		e.xstats.runRecords.Add(1)
+		times, values := e.transform(h, samples)
+		e.cache.Admit(
+			recycler.Key{URI: fs.uri, SeqNo: h.SeqNo},
+			&recycler.Entry{Times: times, Values: values, FileMtime: fs.mtime},
+		)
+	}
+	for _, i := range run.rows {
+		key := recycler.Key{URI: fs.uri, SeqNo: int(sink.seqs[i])}
+		if ent, hit := e.cache.Lookup(key, fs.mtime); hit {
+			sink.entries[i] = ent
+			if sink.direct && len(ent.Times) != sink.lens[i] {
+				sink.misfit.Store(true)
+			}
+			continue
+		}
+		// Cache budget too small to hold the prefetched file; decode this
+		// record directly from the run buffer.
+		if err := decodeAt(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// assemble builds the universal-table batch: each metadata row replicated
+// once per sample, with the D.* sample columns attached. In direct mode the
+// miss segments were already written by the workers and only entry-backed
+// rows (cache hits, prefetch reads) are copied here; if any record's actual
+// length disagreed with the metadata, the layout is recomputed from actual
+// lengths first.
+func (e *Engine) assemble(meta *column.Batch, sink *extractSink) (*column.Batch, int, error) {
+	n := meta.NumRows()
+	lens := sink.lens
+	dTimes, dValues := sink.dTimes, sink.dValues
+
+	if sink.direct {
+		misfit := sink.misfit.Load()
+		if !misfit {
+			for i, ent := range sink.entries {
+				if ent == nil {
+					continue
+				}
+				if len(ent.Times) != lens[i] {
+					misfit = true
+					break
+				}
+				o := sink.starts[i]
+				copy(dTimes[o:], ent.Times)
+				copy(dValues[o:], ent.Values)
+			}
+		}
+		if misfit {
+			// Rare stale-metadata path: recompute the layout from actual
+			// lengths, pulling direct-written segments from the old vectors
+			// and everything else from its entry.
+			actual := make([]int, n)
+			total := 0
+			for i := range actual {
+				if ent := sink.entries[i]; ent != nil {
+					actual[i] = len(ent.Times)
+				} else {
+					actual[i] = lens[i]
+				}
+				total += actual[i]
+			}
+			nt := make([]int64, total)
+			nv := make([]float64, total)
+			k := 0
+			for i := range actual {
+				if ent := sink.entries[i]; ent != nil {
+					copy(nt[k:], ent.Times)
+					copy(nv[k:], ent.Values)
+				} else {
+					o := sink.starts[i]
+					copy(nt[k:], dTimes[o:o+lens[i]])
+					copy(nv[k:], dValues[o:o+lens[i]])
+				}
+				k += actual[i]
+			}
+			lens, dTimes, dValues = actual, nt, nv
 		}
 	} else {
-		if workers > len(fileOrder) {
-			workers = len(fileOrder)
+		// No pre-sized layout: every row has an entry (hits and misses
+		// alike); size from actual lengths and bulk-copy.
+		total := 0
+		for i, ent := range sink.entries {
+			lens[i] = len(ent.Times)
+			total += lens[i]
 		}
-		jobs := make(chan string)
-		errs := make(chan error, workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				var firstErr error
-				for uri := range jobs {
-					if firstErr != nil {
-						continue // drain after failure
-					}
-					firstErr = extractFile(uri)
-				}
-				errs <- firstErr
-			}()
-		}
-		for _, uri := range fileOrder {
-			jobs <- uri
-		}
-		close(jobs)
-		var firstErr error
-		for w := 0; w < workers; w++ {
-			if err := <-errs; err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		if firstErr != nil {
-			return nil, firstErr
+		dTimes = make([]int64, total)
+		dValues = make([]float64, total)
+		k := 0
+		for _, ent := range sink.entries {
+			copy(dTimes[k:], ent.Times)
+			copy(dValues[k:], ent.Values)
+			k += len(ent.Times)
 		}
 	}
 
-	// Assemble the universal-table batch: replicate each metadata row once
-	// per sample, then attach the D columns. The replication selection
-	// vector and sample vectors are sized up front from the entry lengths
-	// and filled by index (the entries' sample slices bulk-copy).
-	var total int
-	for _, ent := range entries {
-		total += len(ent.Times)
+	total := 0
+	for _, l := range lens {
+		total += l
 	}
 	sel := make([]int32, total)
-	dTimes := make([]int64, total)
-	dValues := make([]float64, total)
 	k := 0
-	for i, ent := range entries {
-		copy(dTimes[k:], ent.Times)
-		copy(dValues[k:], ent.Values)
-		for j := k + len(ent.Times); k < j; k++ {
+	for i, l := range lens {
+		for j := 0; j < l; j++ {
 			sel[k] = int32(i)
+			k++
 		}
 	}
 	out := meta.Gather(sel)
 	if err := out.AddColumn(column.NewTimestamps("D.sample_time", dTimes)); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := out.AddColumn(column.NewFloat64s("D.sample_value", dValues)); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	e.xstats.samplesServed.Add(int64(total))
-	return out, nil
-}
-
-// extractRecord reads one record at the given offset: header re-parse,
-// payload decode, then the record- and value-level transformations. The
-// header is re-parsed from the file (rather than trusted from the metadata
-// tables) so that in-place file updates are picked up and structural
-// changes are detected instead of mis-decoded.
-func (e *Engine) extractRecord(f *os.File, uri string, offset int64, obs plan.Observer) (*recycler.Entry, error) {
-	hdr := make([]byte, 64)
-	if _, err := f.ReadAt(hdr, offset); err != nil {
-		return nil, fmt.Errorf("etl: %s offset %d: %w (metadata may be stale; refresh the warehouse)", uri, offset, err)
-	}
-	h, err := mseed.ParseRecordHeader(hdr)
-	if err != nil {
-		return nil, fmt.Errorf("etl: %s offset %d: record header no longer parses (%v); metadata is stale, refresh the warehouse", uri, offset, err)
-	}
-	payload := make([]byte, h.RecordLength-h.DataOffset)
-	if _, err := f.ReadAt(payload, offset+int64(h.DataOffset)); err != nil {
-		return nil, fmt.Errorf("etl: %s offset %d: read payload: %w", uri, offset, err)
-	}
-	samples, err := mseed.DecodePayload(h, payload)
-	if err != nil {
-		return nil, fmt.Errorf("etl: %s offset %d: %w", uri, offset, err)
-	}
-	e.xstats.extractions.Add(1)
-	e.xstats.bytesRead.Add(int64(len(hdr) + len(payload)))
-	obs.InjectedOp("ExtractRecord", fmt.Sprintf("%s seq=%d (%d samples, %s)", uri, h.SeqNo, len(samples), h.Encoding))
-	times, values := e.transform(h, samples)
-	return &recycler.Entry{Times: times, Values: values}, nil
-}
-
-// prefetchFile decodes every record of an open file and admits each to the
-// cache (file-granularity extraction, the PrefetchWholeFile ablation).
-func (e *Engine) prefetchFile(f *os.File, uri string, mtime time.Time, obs plan.Observer) error {
-	st, err := f.Stat()
-	if err != nil {
-		return err
-	}
-	infos, err := mseed.ScanHeaders(f, st.Size())
-	if err != nil {
-		return fmt.Errorf("etl: prefetch %s: %w; metadata is stale, refresh the warehouse", uri, err)
-	}
-	obs.InjectedOp("ExtractFile", fmt.Sprintf("%s (%d records)", uri, len(infos)))
-	for _, ri := range infos {
-		samples, err := mseed.ReadRecordSamples(f, ri)
-		if err != nil {
-			return fmt.Errorf("etl: prefetch %s seq %d: %w", uri, ri.Header.SeqNo, err)
-		}
-		e.xstats.extractions.Add(1)
-		e.xstats.bytesRead.Add(int64(ri.Header.RecordLength))
-		times, values := e.transform(ri.Header, samples)
-		e.cache.Admit(
-			recycler.Key{URI: uri, SeqNo: ri.Header.SeqNo},
-			&recycler.Entry{Times: times, Values: values, FileMtime: mtime},
-		)
-	}
-	return nil
+	return out, total, nil
 }
 
 // addTouched counts one file open.
@@ -278,5 +639,8 @@ func (e *Engine) ExtractionStats() ExtractStats {
 		FilesTouched:  e.xstats.filesTouched.Load(),
 		BytesRead:     e.xstats.bytesRead.Load(),
 		SamplesServed: e.xstats.samplesServed.Load(),
+		RunsRead:      e.xstats.runsRead.Load(),
+		RunRecords:    e.xstats.runRecords.Load(),
+		DecodeNanos:   e.xstats.decodeNanos.Load(),
 	}
 }

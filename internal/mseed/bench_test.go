@@ -74,6 +74,47 @@ func BenchmarkSteim1Decode(b *testing.B) {
 	}
 }
 
+// benchSteimDecodeLarge compares the unrolled production decoder with the
+// retained scalar oracle on a 1M-sample payload — the bulk-ingest regime
+// where the decode loop dominates cold-cache extraction.
+func benchSteimDecodeLarge(b *testing.B, steim2 bool) {
+	const n = 1 << 20
+	samples := benchSamples(n)
+	packings := steim1Packings
+	if steim2 {
+		packings = steim2Packings
+	}
+	payload, consumed, err := steimEncode(samples, samples[0], n/4, packings, binary.BigEndian)
+	if err != nil || consumed != n {
+		b.Fatalf("encode consumed %d of %d: %v", consumed, n, err)
+	}
+	b.Run("unrolled", func(b *testing.B) {
+		dst := make([]int32, n)
+		b.SetBytes(n * 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := steimDecodeInto(dst, payload, steim2, binary.BigEndian); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("oracle", func(b *testing.B) {
+		b.SetBytes(n * 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := steimDecodeOracle(payload, n, steim2, binary.BigEndian); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSteimDecode1(b *testing.B) { benchSteimDecodeLarge(b, false) }
+
+func BenchmarkSteimDecode2(b *testing.B) { benchSteimDecodeLarge(b, true) }
+
 func BenchmarkInt32Decode(b *testing.B) {
 	samples := benchSamples(4096)
 	payload := make([]byte, len(samples)*4)

@@ -56,28 +56,43 @@ func encodeRaw(payload []byte, samples []int32, e Encoding, order binary.ByteOrd
 // Float payloads are truncated toward zero; use decodeRawFloats to keep
 // fractional parts.
 func decodeRaw(payload []byte, numSamples int, e Encoding, order binary.ByteOrder) ([]int32, error) {
-	size := rawSampleSize(e)
-	if size == 0 {
-		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, e)
-	}
-	if len(payload) < numSamples*size {
-		return nil, fmt.Errorf("%w: need %d bytes for %d %v samples, have %d",
-			ErrShortRecord, numSamples*size, numSamples, e, len(payload))
-	}
 	out := make([]int32, numSamples)
-	for i := range out {
-		switch e {
-		case EncodingInt16:
-			out[i] = int32(int16(order.Uint16(payload[i*2:])))
-		case EncodingInt32:
-			out[i] = int32(order.Uint32(payload[i*4:]))
-		case EncodingFloat32:
-			out[i] = int32(math.Float32frombits(order.Uint32(payload[i*4:])))
-		case EncodingFloat64:
-			out[i] = int32(math.Float64frombits(order.Uint64(payload[i*8:])))
-		}
+	if err := decodeRawInto(out, payload, e, order); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// decodeRawInto is decodeRaw into a caller-provided buffer (no allocation).
+// The encoding switch is hoisted out of the per-sample loop.
+func decodeRawInto(dst []int32, payload []byte, e Encoding, order binary.ByteOrder) error {
+	size := rawSampleSize(e)
+	if size == 0 {
+		return fmt.Errorf("%w: %v", ErrBadEncoding, e)
+	}
+	if len(payload) < len(dst)*size {
+		return fmt.Errorf("%w: need %d bytes for %d %v samples, have %d",
+			ErrShortRecord, len(dst)*size, len(dst), e, len(payload))
+	}
+	switch e {
+	case EncodingInt16:
+		for i := range dst {
+			dst[i] = int32(int16(order.Uint16(payload[i*2:])))
+		}
+	case EncodingInt32:
+		for i := range dst {
+			dst[i] = int32(order.Uint32(payload[i*4:]))
+		}
+	case EncodingFloat32:
+		for i := range dst {
+			dst[i] = int32(math.Float32frombits(order.Uint32(payload[i*4:])))
+		}
+	case EncodingFloat64:
+		for i := range dst {
+			dst[i] = int32(math.Float64frombits(order.Uint64(payload[i*8:])))
+		}
+	}
+	return nil
 }
 
 // decodeRawFloats unpacks numSamples fixed-width samples as float64.

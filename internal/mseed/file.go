@@ -43,6 +43,35 @@ func ScanHeaders(ra io.ReaderAt, size int64) ([]RecordInfo, error) {
 	return infos, nil
 }
 
+// ScanBuffer walks the records of an in-memory mSEED stream: the buffered
+// counterpart of ScanHeaders for callers that already hold the bytes (e.g.
+// a whole-file prefetch read). Headers parse straight out of data with no
+// reads and no per-record copies.
+func ScanBuffer(data []byte) ([]RecordInfo, error) {
+	var infos []RecordInfo
+	size := int64(len(data))
+	var off int64
+	for off < size {
+		end := off + headerScanSize
+		if end > size {
+			end = size
+		}
+		if end-off < fixedHeaderSize {
+			return nil, fmt.Errorf("%w: %d trailing bytes at offset %d", ErrShortRecord, end-off, off)
+		}
+		h, err := parseHeader(data[off:end])
+		if err != nil {
+			return nil, fmt.Errorf("mseed: record at offset %d: %w", off, err)
+		}
+		if off+int64(h.RecordLength) > size {
+			return nil, fmt.Errorf("%w: record at offset %d extends past end of file", ErrShortRecord, off)
+		}
+		infos = append(infos, RecordInfo{Header: h, Offset: off})
+		off += int64(h.RecordLength)
+	}
+	return infos, nil
+}
+
 // ScanFile runs ScanHeaders over a file on disk.
 func ScanFile(path string) ([]RecordInfo, error) {
 	f, err := os.Open(path)

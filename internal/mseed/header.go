@@ -218,8 +218,34 @@ func marshalHeader(buf []byte, h *Header, order binary.ByteOrder) {
 // bytes is always sufficient for records written by this package; for
 // foreign records buf should extend to the data offset).
 func parseHeader(buf []byte) (*Header, error) {
+	h := new(Header)
+	if err := parseHeaderInto(h, buf); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// reuseTrimmed returns the space-trimmed field as a string, reusing prev
+// when the content is unchanged. Reused headers (the run extractor parses
+// every record of a file into one pooled Header) then pay zero string
+// allocations, since the identification codes rarely change within a file.
+func reuseTrimmed(prev string, raw []byte) string {
+	end := len(raw)
+	for end > 0 && raw[end-1] == ' ' {
+		end--
+	}
+	if prev == string(raw[:end]) { // compiler-optimized, no allocation
+		return prev
+	}
+	return string(raw[:end])
+}
+
+// parseHeaderInto is parseHeader into a caller-owned (and typically reused)
+// Header. Every field is overwritten; on error the header contents are
+// unspecified.
+func parseHeaderInto(h *Header, buf []byte) error {
 	if len(buf) < fixedHeaderSize {
-		return nil, ErrShortRecord
+		return ErrShortRecord
 	}
 	var seq int
 	for _, c := range buf[0:6] {
@@ -227,23 +253,21 @@ func parseHeader(buf []byte) (*Header, error) {
 			if c == ' ' {
 				continue
 			}
-			return nil, fmt.Errorf("%w: bad sequence number %q", ErrBadHeader, buf[0:6])
+			return fmt.Errorf("%w: bad sequence number %q", ErrBadHeader, buf[0:6])
 		}
 		seq = seq*10 + int(c-'0')
 	}
 	q := buf[6]
 	if q != QualityUnknown && q != QualityRaw && q != QualityControlled && q != QualityModified {
-		return nil, fmt.Errorf("%w: bad quality indicator %q", ErrBadHeader, q)
+		return fmt.Errorf("%w: bad quality indicator %q", ErrBadHeader, q)
 	}
 
-	h := &Header{
-		SeqNo:    seq,
-		Quality:  q,
-		Station:  strings.TrimRight(string(buf[8:13]), " "),
-		Location: strings.TrimRight(string(buf[13:15]), " "),
-		Channel:  strings.TrimRight(string(buf[15:18]), " "),
-		Network:  strings.TrimRight(string(buf[18:20]), " "),
-	}
+	h.SeqNo = seq
+	h.Quality = q
+	h.Station = reuseTrimmed(h.Station, buf[8:13])
+	h.Location = reuseTrimmed(h.Location, buf[13:15])
+	h.Channel = reuseTrimmed(h.Channel, buf[15:18])
+	h.Network = reuseTrimmed(h.Network, buf[18:20])
 
 	// Byte order is declared in blockette 1000, but we need an order to find
 	// blockette 1000. Use the standard year-sanity heuristic: try big-endian
@@ -252,13 +276,13 @@ func parseHeader(buf []byte) (*Header, error) {
 	if y := order.Uint16(buf[20:22]); y < 1900 || y > 2500 {
 		order = binary.LittleEndian
 		if y := order.Uint16(buf[20:22]); y < 1900 || y > 2500 {
-			return nil, fmt.Errorf("%w: implausible start year", ErrBadHeader)
+			return fmt.Errorf("%w: implausible start year", ErrBadHeader)
 		}
 	}
 
 	h.Start = unmarshalBTime(buf[20:30], order)
 	if !h.Start.Valid() {
-		return nil, fmt.Errorf("%w: invalid start time %v", ErrBadHeader, h.Start)
+		return fmt.Errorf("%w: invalid start time %v", ErrBadHeader, h.Start)
 	}
 	h.NumSamples = int(order.Uint16(buf[30:32]))
 	h.RateFactor = int16(order.Uint16(buf[32:34]))
@@ -271,52 +295,59 @@ func parseHeader(buf []byte) (*Header, error) {
 	h.DataOffset = int(order.Uint16(buf[44:46]))
 	h.BlocketteOffset = int(order.Uint16(buf[46:48]))
 
+	// Blockette-derived fields must not leak from a previous parse into a
+	// reused header.
+	h.Encoding = 0
+	h.BigEndian = false
+	h.RecordLength = 0
+	h.ActualRate = 0
+
 	// Follow the blockette chain.
 	off := h.BlocketteOffset
 	seen := 0
 	for off != 0 && seen < numBlockettes {
 		if off+4 > len(buf) {
-			return nil, fmt.Errorf("%w: blockette at %d beyond scanned bytes", ErrBadHeader, off)
+			return fmt.Errorf("%w: blockette at %d beyond scanned bytes", ErrBadHeader, off)
 		}
 		btype := order.Uint16(buf[off : off+2])
 		next := int(order.Uint16(buf[off+2 : off+4]))
 		switch btype {
 		case 1000:
 			if off+8 > len(buf) {
-				return nil, fmt.Errorf("%w: truncated blockette 1000", ErrBadHeader)
+				return fmt.Errorf("%w: truncated blockette 1000", ErrBadHeader)
 			}
 			h.Encoding = Encoding(buf[off+4])
 			h.BigEndian = buf[off+5] == 1
 			if lenExp := buf[off+6]; lenExp >= 7 && lenExp <= 16 {
 				h.RecordLength = 1 << lenExp
 			} else {
-				return nil, fmt.Errorf("%w: record length exponent %d", ErrBadHeader, buf[off+6])
+				return fmt.Errorf("%w: record length exponent %d", ErrBadHeader, buf[off+6])
 			}
 		case 100:
 			if off+8 > len(buf) {
-				return nil, fmt.Errorf("%w: truncated blockette 100", ErrBadHeader)
+				return fmt.Errorf("%w: truncated blockette 100", ErrBadHeader)
 			}
 			bits := order.Uint32(buf[off+4 : off+8])
 			h.ActualRate = float64(float32FromBits(bits))
 		}
 		seen++
 		if next != 0 && next <= off {
-			return nil, fmt.Errorf("%w: blockette chain does not advance", ErrBadHeader)
+			return fmt.Errorf("%w: blockette chain does not advance", ErrBadHeader)
 		}
 		off = next
 	}
 	if h.RecordLength == 0 {
-		return nil, ErrNoBlockette1000
+		return ErrNoBlockette1000
 	}
 	// A corrupt data offset must fail here, not as a slice panic when the
 	// payload window buf[DataOffset:RecordLength] is taken (fuzz finding).
 	if h.DataOffset > h.RecordLength {
-		return nil, fmt.Errorf("%w: data offset %d beyond record length %d", ErrBadHeader, h.DataOffset, h.RecordLength)
+		return fmt.Errorf("%w: data offset %d beyond record length %d", ErrBadHeader, h.DataOffset, h.RecordLength)
 	}
 	// The declared word order must agree with the heuristic that located the
 	// blockette; records written by this package are always consistent.
 	if h.BigEndian != (order == binary.ByteOrder(binary.BigEndian)) {
-		return nil, fmt.Errorf("%w: word-order flag contradicts header layout", ErrBadHeader)
+		return fmt.Errorf("%w: word-order flag contradicts header layout", ErrBadHeader)
 	}
-	return h, nil
+	return nil
 }

@@ -111,6 +111,14 @@ func ParseRecordHeader(buf []byte) (*Header, error) {
 	return parseHeader(buf)
 }
 
+// ParseRecordHeaderInto is ParseRecordHeader into a caller-owned Header,
+// overwriting every field. Reusing one Header across the records of a file
+// avoids the per-record header and identifier-string allocations (unchanged
+// station/channel/network codes are interned against the previous parse).
+func ParseRecordHeaderInto(h *Header, buf []byte) error {
+	return parseHeaderInto(h, buf)
+}
+
 // DecodeRecord parses a complete record: header, blockettes and payload.
 func DecodeRecord(buf []byte) (*Header, []int32, error) {
 	h, err := parseHeader(buf)
@@ -140,6 +148,26 @@ func DecodePayload(h *Header, payload []byte) ([]int32, error) {
 		return steimDecode(payload, h.NumSamples, true, order)
 	default:
 		return decodeRaw(payload, h.NumSamples, h.Encoding, order)
+	}
+}
+
+// DecodePayloadInto decodes the sample payload into dst, which must hold
+// exactly h.NumSamples values. It is the allocation-free variant of
+// DecodePayload for callers that pool their sample buffers (the lazy-ETL
+// run extractor decodes every record of a coalesced read into one reused
+// per-worker buffer).
+func DecodePayloadInto(h *Header, payload []byte, dst []int32) error {
+	if len(dst) != h.NumSamples {
+		return fmt.Errorf("mseed: decode buffer holds %d samples, header declares %d", len(dst), h.NumSamples)
+	}
+	order := byteOrder(h)
+	switch h.Encoding {
+	case EncodingSteim1:
+		return steimDecodeInto(dst, payload, false, order)
+	case EncodingSteim2:
+		return steimDecodeInto(dst, payload, true, order)
+	default:
+		return decodeRawInto(dst, payload, h.Encoding, order)
 	}
 }
 

@@ -184,8 +184,11 @@ func steimEncode(samples []int32, prev int32, maxFrames int, packings []steimPac
 	return payload[:framesUsed*steimFrameSize], consumed, nil
 }
 
-// steimDecode reconstructs numSamples samples from a Steim payload.
-func steimDecode(payload []byte, numSamples int, steim2 bool, order binary.ByteOrder) ([]int32, error) {
+// steimDecodeOracle reconstructs numSamples samples from a Steim payload one
+// difference at a time. It is the original, branch-per-difference decoder,
+// retained verbatim as the differential-testing oracle for the unrolled
+// production decoder (steimDecodeInto); see FuzzSteimUnrolledOracle.
+func steimDecodeOracle(payload []byte, numSamples int, steim2 bool, order binary.ByteOrder) ([]int32, error) {
 	if numSamples == 0 {
 		return nil, nil
 	}

@@ -1,0 +1,164 @@
+package mseed
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// diffSeries builds sample series whose consecutive differences exercise a
+// given bit width, so every packing layout of both Steim levels appears.
+func diffSeries(rng *rand.Rand, n int, bits uint) []int32 {
+	out := make([]int32, n)
+	v := int32(0)
+	lim := int64(1) << (bits - 1)
+	for i := range out {
+		d := rng.Int63n(2*lim) - lim
+		if nv := int64(v) + d; nv >= -1<<30 && nv < 1<<30 {
+			v = int32(nv)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestSteimUnrolledMatchesOracle encodes series targeting every nibble
+// layout at every tail length and requires the unrolled decoder to produce
+// bit-identical output to the retained scalar oracle, for both Steim levels
+// and both byte orders.
+func TestSteimUnrolledMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	orders := []binary.ByteOrder{binary.BigEndian, binary.LittleEndian}
+	for _, steim2 := range []bool{false, true} {
+		packings := steim1Packings
+		if steim2 {
+			packings = steim2Packings
+		}
+		for _, bits := range []uint{2, 4, 5, 6, 8, 10, 15, 16, 28, 30} {
+			// Sweep lengths around packing-count boundaries to hit every
+			// partial-tail path in the unrolled cases.
+			for n := 1; n <= 40; n++ {
+				samples := diffSeries(rng, n, bits)
+				for _, order := range orders {
+					payload, consumed, err := steimEncode(samples, samples[0], 64, packings, order)
+					if err != nil {
+						t.Fatalf("encode bits=%d n=%d: %v", bits, n, err)
+					}
+					want, errO := steimDecodeOracle(payload, consumed, steim2, order)
+					got, errU := steimDecode(payload, consumed, steim2, order)
+					if (errO == nil) != (errU == nil) {
+						t.Fatalf("bits=%d n=%d steim2=%v: oracle err %v, unrolled err %v", bits, n, steim2, errO, errU)
+					}
+					if errO != nil {
+						continue
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("bits=%d n=%d steim2=%v sample %d: unrolled %d, oracle %d",
+								bits, n, steim2, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSteimUnrolledErrorParity feeds both decoders the corrupt inputs the
+// oracle rejects and requires the unrolled decoder to reject them too.
+func TestSteimUnrolledErrorParity(t *testing.T) {
+	mkFrame := func(control uint32, words ...uint32) []byte {
+		buf := make([]byte, steimFrameSize)
+		binary.BigEndian.PutUint32(buf[0:4], control)
+		for i, w := range words {
+			binary.BigEndian.PutUint32(buf[(i+1)*4:], w)
+		}
+		return buf
+	}
+	cases := []struct {
+		name    string
+		payload []byte
+		n       int
+		steim2  bool
+	}{
+		{"short frame", make([]byte, steimFrameSize-4), 4, true},
+		{"empty payload", nil, 4, true},
+		{"x0 has data code", mkFrame(1 << 28), 4, true},
+		{"xn has data code", mkFrame(1 << 26), 4, true},
+		{"dnib 0 in code-2 word", mkFrame(2 << 24), 2, true},
+		{"dnib 3 in code-3 word", mkFrame(3<<24, 0, 0, 3<<30), 2, true},
+		{"too few differences", mkFrame(0), 4, true},
+		{"integrity mismatch", func() []byte {
+			samples := []int32{5, 6, 7, 8}
+			p, _, err := steimEncode(samples, samples[0], 2, steim2Packings, binary.BigEndian)
+			if err != nil {
+				t.Fatal(err)
+			}
+			binary.BigEndian.PutUint32(p[8:12], 999) // corrupt XN
+			return p
+		}(), 4, true},
+	}
+	for _, tc := range cases {
+		_, errO := steimDecodeOracle(tc.payload, tc.n, tc.steim2, binary.BigEndian)
+		errU := func() error {
+			dst := make([]int32, tc.n)
+			return steimDecodeInto(dst, tc.payload, tc.steim2, binary.BigEndian)
+		}()
+		if errO == nil {
+			t.Fatalf("%s: oracle unexpectedly accepted", tc.name)
+		}
+		if errU == nil {
+			t.Errorf("%s: unrolled decoder accepted input the oracle rejects (%v)", tc.name, errO)
+		}
+	}
+}
+
+// FuzzSteimUnrolledOracle differentially fuzzes the unrolled decoder against
+// the retained scalar oracle: for arbitrary payloads, sample counts, Steim
+// levels and byte orders, both must agree on accept/reject, and on accepted
+// inputs produce bit-identical samples.
+func FuzzSteimUnrolledOracle(f *testing.F) {
+	samples := []int32{12, 12, 13, 10, -4, 100000, 99997, -70000, 0, 1, 2, 3, 5, 8, 13, 21}
+	for _, steim2 := range []bool{false, true} {
+		packings := steim1Packings
+		if steim2 {
+			packings = steim2Packings
+		}
+		for _, order := range []binary.ByteOrder{binary.BigEndian, binary.LittleEndian} {
+			enc, n, err := steimEncode(samples, samples[0], 4, packings, order)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(enc, uint16(n), steim2, order == binary.BigEndian)
+		}
+	}
+	hostile := make([]byte, steimFrameSize)
+	for i := range hostile {
+		hostile[i] = 0xFF
+	}
+	f.Add(hostile, uint16(64), true, false)
+	f.Add(make([]byte, steimFrameSize), uint16(0xFFFF), true, true)
+
+	f.Fuzz(func(t *testing.T, payload []byte, numSamples uint16, steim2, bigEndian bool) {
+		order := binary.ByteOrder(binary.LittleEndian)
+		if bigEndian {
+			order = binary.BigEndian
+		}
+		want, errO := steimDecodeOracle(payload, int(numSamples), steim2, order)
+		got, errU := steimDecode(payload, int(numSamples), steim2, order)
+		if (errO == nil) != (errU == nil) {
+			t.Fatalf("decoders disagree on acceptance: oracle err %v, unrolled err %v", errO, errU)
+		}
+		if errO != nil {
+			return
+		}
+		if len(got) != len(want) {
+			t.Fatalf("unrolled returned %d samples, oracle %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sample %d: unrolled %d, oracle %d", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -14,6 +14,9 @@ import (
 // the universal-table batch with the D.* columns attached. The source
 // reports each injected operator (cache read or file extraction) to the
 // observer — that is the run-time plan modification of §3.1 made visible.
+// Implementations may exploit additional metadata columns when present
+// (R.num_samples to pre-size output, F.record_length to coalesce adjacent
+// misses into run-granular reads) but must not require them.
 type ExtractSource interface {
 	Extract(meta *column.Batch, obs Observer) (*column.Batch, error)
 }

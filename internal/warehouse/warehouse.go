@@ -311,7 +311,10 @@ type Stats struct {
 	CacheEntries int
 	CacheBytes   int64
 	CacheStats   string
-	Extraction   etl.ExtractStats
+	// Extraction counts lazy-extraction work, including the coalesced-run
+	// read path: RunsRead / RunRecords give the records-per-syscall ratio
+	// and DecodeNanos the in-memory parse+decode share of extraction.
+	Extraction etl.ExtractStats
 	// Exec aggregates operator-level counters across all queries: join
 	// build partitioning and probe volumes, and which sort strategy
 	// (radix vs comparator) ORDER BY executions chose.
