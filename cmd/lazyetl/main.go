@@ -36,6 +36,7 @@ func main() {
 	gen := flag.Bool("gen", false, "generate a demo repository into -repo if it is empty or missing")
 	cache := flag.Int64("cache", 0, "recycler cache budget in bytes (0 = default 256MiB)")
 	workers := flag.Int("workers", 0, "query-execution workers (0 = GOMAXPROCS, 1 = serial engine)")
+	memBudget := flag.Int64("mem-budget", 0, "execution-memory budget in bytes (0 = unlimited); joins and aggregations spill to disk under pressure, cache admissions are declined")
 	flag.Parse()
 
 	if *repoDir == "" {
@@ -69,7 +70,8 @@ func main() {
 
 	start := time.Now()
 	w, err := warehouse.Open(*repoDir, warehouse.Options{
-		Mode: mode, Workers: *workers, ETL: etl.Options{CacheBudget: *cache},
+		Mode: mode, Workers: *workers, MemoryBudget: *memBudget,
+		ETL: etl.Options{CacheBudget: *cache},
 	})
 	if err != nil {
 		fatal(err)
@@ -274,6 +276,15 @@ func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, r
 			st.Exec.JoinBuilds, st.Exec.JoinBuildPartitions, st.Exec.JoinParallelBuilds,
 			st.Exec.JoinBuildRows, st.Exec.JoinProbeRows, st.Exec.JoinMatches,
 			st.Exec.RadixSorts, st.Exec.ComparatorSorts, st.Exec.SortRows, st.Exec.SortRunsMerged)
+		budget := "unlimited"
+		if st.Mem.Budget > 0 {
+			budget = fmt.Sprintf("%d bytes", st.Mem.Budget)
+		}
+		fmt.Printf("mem: budget=%s used=%d high-water=%d denials=%d; spill: %d join partitions + %d agg shards (%d rows, %d bytes, %v)\n",
+			budget, st.Mem.Used, st.Mem.HighWater, st.Mem.Denials,
+			st.Exec.JoinPartitionsSpilled, st.Exec.AggShardsSpilled,
+			st.Exec.RowsSpilled, st.Exec.BytesSpilled,
+			time.Duration(st.Exec.SpillNanos).Round(time.Microsecond))
 		fmt.Printf("queries: %d\n", st.Queries)
 	case `\compare`:
 		if rest == "" {

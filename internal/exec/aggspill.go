@@ -1,0 +1,384 @@
+package exec
+
+// Shard-granular aggregation spill. Each shard of the parallel GROUP BY
+// owns the groups whose key hash lands in it and applies their updates in
+// global row order (see parallel.go). Under a finite memory budget a shard
+// reserves an estimate for every new group it creates; the first denied
+// reservation cuts the shard over to spill mode: every subsequent row of
+// the shard — new groups and existing ones alike — is serialized (row
+// index, key hash, encoded key) to the shard's spill file instead of being
+// applied. After the scan, spilled shards are replayed strictly one at a
+// time in ascending shard index: the file's rows are applied, in the order
+// they were written (= ascending row order), to the very group table the
+// scan left off with. The cutover is a single point in row order and the
+// replay continues from it, so every group's update sequence is exactly
+// the serial engine's and the output is bit-identical at every budget.
+//
+// What the spill bounds is the concurrent working set of the scan phase:
+// resident shards grow under their grants while spilled shards cost only a
+// file, and replay adds one shard's overflow at a time. The final group
+// states of the whole result must still fit in memory to be materialized
+// into output columns — result-set spilling (external output runs) is a
+// recorded follow-on, not attempted here.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+	"unsafe"
+
+	"repro/internal/column"
+	"repro/internal/mem"
+)
+
+// AggStats describes how one aggregation executed: its shard shape and any
+// spilling the memory governor forced. The planner reports it through the
+// observer and the warehouse aggregates it.
+type AggStats struct {
+	Rows   int
+	Groups int
+	Shards int // 0 = serial unsharded path
+
+	// Spill counters: shards that cut over to disk, the rows and bytes
+	// written, and the time spent writing and replaying spill files.
+	SpilledShards int
+	SpilledRows   int
+	SpilledBytes  int64
+	SpillNanos    int64
+}
+
+// spillMinShards is the shard-count floor under a finite budget: spilling
+// is shard-granular, so even the serial engine needs several shards for
+// "resident shards + one replaying shard" to bound anything.
+const spillMinShards = 4
+
+// aggStateBytes sizes one aggregate state for group-memory estimates.
+const aggStateBytes = int64(unsafe.Sizeof(aggState{}))
+
+// aggShard is one shard of a budget-governed aggregation: the group table,
+// the shard's slice of the shared operator grant, and its spill state.
+type aggShard struct {
+	qm          *QueryMem
+	grant       *mem.Grant
+	hasDistinct bool  // some aggregate is COUNT(DISTINCT ...)
+	distCharged int64 // seen-set bytes already charged to the grant
+
+	keyCols []*column.Column
+	args    []aggArg
+	naggs   int
+	n       int
+	intKey  bool
+	hashes  []uint64
+	nshards uint64
+	shard   uint64
+	enc     *encodedRows
+
+	groups    []aggGroup
+	intIdx    map[int64]int
+	nullGroup int
+	genIdx    map[string]int
+
+	sw         *spillWriter
+	spillFile  string
+	spillStart time.Time
+	spilled    int64 // rows written
+	bytes      int64
+	nanos      int64
+	keyBuf     []byte
+}
+
+// aggregateSpilled is the budget-governed shard scan + replay driver behind
+// AggregateMem's limited path. Shards scan concurrently (cutting over to
+// spill files under pressure), then spilled shards replay sequentially in
+// ascending shard index — the deterministic merge pass. The operator grant
+// is owned by the caller, who holds it until the output batch has been
+// materialized — the group tables stay live through that window.
+func aggregateSpilled(qm *QueryMem, grant *mem.Grant, st *AggStats, ep *Pool, keyCols []*column.Column, args []aggArg,
+	naggs, n int, intKey bool, hashes []uint64, nshards int, enc *encodedRows) ([]aggGroup, error) {
+	prefix := qm.opPrefix("agg")
+	hasDistinct := false
+	for i := range args {
+		if args[i].distinct {
+			hasDistinct = true
+		}
+	}
+	shards := make([]*aggShard, nshards)
+	errs := make([]error, nshards)
+	ep.run(nshards, func(w int) {
+		sh := &aggShard{
+			qm: qm, grant: grant, hasDistinct: hasDistinct,
+			keyCols: keyCols, args: args, naggs: naggs, n: n,
+			intKey: intKey, hashes: hashes,
+			nshards: uint64(nshards), shard: uint64(w),
+			enc: enc, nullGroup: -1,
+		}
+		shards[w] = sh
+		errs[w] = sh.scan(fmt.Sprintf("%s-s%03d.spill", prefix, w))
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	// The merge pass: one spilled shard at a time, ascending shard index.
+	for _, sh := range shards {
+		if sh.spillFile == "" {
+			continue
+		}
+		if err := sh.replay(); err != nil {
+			return nil, err
+		}
+	}
+	var groups []aggGroup
+	for _, sh := range shards {
+		groups = append(groups, sh.groups...)
+		if sh.spillFile != "" {
+			st.SpilledShards++
+		}
+		st.SpilledRows += int(sh.spilled)
+		st.SpilledBytes += sh.bytes
+		st.SpillNanos += sh.nanos
+	}
+	return groups, nil
+}
+
+// addGroup appends a new group (the reservation has already been granted
+// or forced by the caller).
+func (sh *aggShard) addGroup(row int) int {
+	sh.groups = append(sh.groups, aggGroup{firstRow: int32(row), states: make([]aggState, sh.naggs)})
+	return len(sh.groups) - 1
+}
+
+// rowKey returns row's encoded key: the hash pass's arena copy when one
+// exists, an appendRowKey encoding into the shard's scratch otherwise.
+func (sh *aggShard) rowKey(row int) []byte {
+	if sh.enc != nil {
+		return sh.enc.row(row)
+	}
+	sh.keyBuf = sh.keyBuf[:0]
+	for _, kc := range sh.keyCols {
+		sh.keyBuf = appendRowKey(sh.keyBuf, kc, row)
+	}
+	return sh.keyBuf
+}
+
+// startSpill cuts the shard over to spill mode and writes row as its first
+// spilled record.
+func (sh *aggShard) startSpill(name string, row int) error {
+	sw, err := sh.qm.newSpillWriter(name)
+	if err != nil {
+		return err
+	}
+	sh.sw = sw
+	sh.spillFile = name
+	sh.spillStart = time.Now()
+	return sh.spillRow(row)
+}
+
+func (sh *aggShard) spillRow(row int) error {
+	if err := sh.sw.writeRecord(int32(row), sh.hashes[row], sh.rowKey(row)); err != nil {
+		sh.sw.abort()
+		return err
+	}
+	return nil
+}
+
+// scan is phase 1: groupRows under the grant, with the spill cutover. It
+// mirrors groupRows' two key paths exactly — the reservation check on new
+// groups and the post-cutover spilling are the only additions.
+func (sh *aggShard) scan(name string) error {
+	if sh.intKey {
+		ints := sh.keyCols[0].Int64s()
+		nulls := sh.keyCols[0].Nulls()
+		sh.intIdx = make(map[int64]int, 64)
+		for row := 0; row < sh.n; row++ {
+			if sh.hashes[row]%sh.nshards != sh.shard {
+				continue
+			}
+			if sh.sw != nil {
+				if err := sh.spillRow(row); err != nil {
+					return err
+				}
+				continue
+			}
+			var gi int
+			if nulls != nil && nulls[row] {
+				if sh.nullGroup < 0 {
+					if !sh.grant.Try(aggGroupBytes(sh.naggs, 1)) {
+						if err := sh.startSpill(name, row); err != nil {
+							return err
+						}
+						continue
+					}
+					sh.nullGroup = sh.addGroup(row)
+				}
+				gi = sh.nullGroup
+			} else {
+				k := ints[row]
+				g, ok := sh.intIdx[k]
+				if !ok {
+					if !sh.grant.Try(aggGroupBytes(sh.naggs, 9)) {
+						if err := sh.startSpill(name, row); err != nil {
+							return err
+						}
+						continue
+					}
+					g = sh.addGroup(row)
+					sh.intIdx[k] = g
+				}
+				gi = g
+			}
+			updateAggStates(sh.groups[gi].states, sh.args, row)
+		}
+		return sh.finishScan()
+	}
+	sh.genIdx = make(map[string]int, 64)
+	for row := 0; row < sh.n; row++ {
+		if sh.hashes[row]%sh.nshards != sh.shard {
+			continue
+		}
+		if sh.sw != nil {
+			if err := sh.spillRow(row); err != nil {
+				return err
+			}
+			continue
+		}
+		key := sh.rowKey(row)
+		gi, ok := sh.genIdx[string(key)]
+		if !ok {
+			if !sh.grant.Try(aggGroupBytes(sh.naggs, len(key))) {
+				if err := sh.startSpill(name, row); err != nil {
+					return err
+				}
+				continue
+			}
+			gi = sh.addGroup(row)
+			sh.genIdx[string(key)] = gi
+		}
+		updateAggStates(sh.groups[gi].states, sh.args, row)
+	}
+	return sh.finishScan()
+}
+
+// distinctSeenBytes is the per-element estimate for a COUNT(DISTINCT)
+// seen-set entry: the 8-byte (or short string) key plus map overhead.
+const distinctSeenBytes = 56
+
+// accountDistinct charges the grant for COUNT(DISTINCT) seen-sets, which
+// grow per distinct value — not per group — and are invisible to the
+// per-group estimates. Called after the scan and after the replay; Must
+// semantics because the memory is already allocated. This makes distinct
+// growth visible to the ledger (high-water, pressure on other grants);
+// actually bounding it needs external distinct sets, a recorded follow-on.
+func (sh *aggShard) accountDistinct() {
+	if !sh.hasDistinct {
+		return
+	}
+	var total int64
+	for gi := range sh.groups {
+		states := sh.groups[gi].states
+		for si := range states {
+			if m := states[si].seen; m != nil {
+				total += int64(len(m)) * distinctSeenBytes
+			}
+		}
+	}
+	if d := total - sh.distCharged; d > 0 {
+		sh.grant.Must(d)
+		sh.distCharged = total
+	}
+}
+
+func (sh *aggShard) finishScan() error {
+	sh.accountDistinct()
+	if sh.sw == nil {
+		return nil
+	}
+	if err := sh.sw.finish(); err != nil {
+		return err
+	}
+	// Post-cutover the loop only serializes rows, so the elapsed time since
+	// the cutover approximates the spill-write cost.
+	sh.spilled = sh.sw.rows
+	sh.bytes = sh.sw.bytes
+	sh.nanos += time.Since(sh.spillStart).Nanoseconds()
+	sh.sw = nil
+	return nil
+}
+
+// replay is the shard's slice of the merge pass: apply the spilled rows, in
+// the order they were written (ascending row order), to the group table the
+// scan left off with. Group creation reserves unconditionally (Must) — a
+// single replaying shard is the minimum working set — so an impossible
+// budget shows up as ledger high-water overage, not a dead end.
+func (sh *aggShard) replay() error {
+	t0 := time.Now()
+	defer func() {
+		sh.accountDistinct()
+		sh.nanos += time.Since(t0).Nanoseconds()
+	}()
+	sr, err := sh.qm.openSpillReader(sh.spillFile)
+	if err != nil {
+		return err
+	}
+	defer sr.close()
+	var read int64
+	for {
+		row32, _, key, err := sr.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		row := int(row32)
+		if row < 0 || row >= sh.n {
+			return fmt.Errorf("exec: spill %s: corrupt record (row %d of %d)", sh.spillFile, row, sh.n)
+		}
+		read++
+		var gi int
+		if sh.intKey {
+			gi, err = sh.replayIntKey(key, row)
+			if err != nil {
+				return err
+			}
+		} else {
+			g, ok := sh.genIdx[string(key)]
+			if !ok {
+				sh.grant.Must(aggGroupBytes(sh.naggs, len(key)))
+				g = sh.addGroup(row)
+				sh.genIdx[string(key)] = g
+			}
+			gi = g
+		}
+		updateAggStates(sh.groups[gi].states, sh.args, row)
+	}
+	if read != sh.spilled {
+		return fmt.Errorf("exec: spill %s: expected %d records, found %d", sh.spillFile, sh.spilled, read)
+	}
+	return nil
+}
+
+// replayIntKey resolves a spilled record's group on the integer-keyed fast
+// path from its appendRowKey encoding ('N' = the null group, 'i' + 8 bytes
+// = the int64 key).
+func (sh *aggShard) replayIntKey(key []byte, row int) (int, error) {
+	switch {
+	case len(key) == 1 && key[0] == 'N':
+		if sh.nullGroup < 0 {
+			sh.grant.Must(aggGroupBytes(sh.naggs, 1))
+			sh.nullGroup = sh.addGroup(row)
+		}
+		return sh.nullGroup, nil
+	case len(key) == 9 && key[0] == 'i':
+		k := int64(binary.LittleEndian.Uint64(key[1:9]))
+		g, ok := sh.intIdx[k]
+		if !ok {
+			sh.grant.Must(aggGroupBytes(sh.naggs, 9))
+			g = sh.addGroup(row)
+			sh.intIdx[k] = g
+		}
+		return g, nil
+	default:
+		return 0, fmt.Errorf("exec: spill %s: corrupt int key (len %d)", sh.spillFile, len(key))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/column"
+	"repro/internal/mem"
 	"repro/internal/sql"
 )
 
@@ -228,7 +229,7 @@ func BenchmarkJoinBuildParallel(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := buildJoinTable(left, right, []string{"id"}, []string{"rid"}, p); err != nil {
+				if _, err := buildJoinTable(left, right, []string{"id"}, []string{"rid"}, p, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -329,5 +330,83 @@ func BenchmarkLikePattern(b *testing.B) {
 		if _, err := EvalPredicate(pred, batch); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkJoinSpill measures the grace-hash join at 1M probe x 1M build
+// rows: the unbounded in-memory build against a budget small enough that
+// most partitions spill their build rows to disk and rebuild during the
+// probe. Output is bit-identical in both modes.
+func BenchmarkJoinSpill(b *testing.B) {
+	left := benchBatch(1_000_000)
+	right := joinBuildBatch(1_000_000)
+	for _, mode := range []struct {
+		name   string
+		budget int64
+	}{
+		{"memory", 0},
+		{"spill", 4 << 20},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := NewPool(8)
+			qm := NewQueryMem(mem.New(mode.budget), b.TempDir())
+			defer qm.Cleanup()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, js, err := p.HashJoinMem(qm, left, right, []string{"file_id"}, []string{"rid"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode.budget > 0 && js.SpilledPartitions == 0 {
+					b.Fatal("spill benchmark did not spill")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAggregateSpill measures a 1M-row, 64k-group GROUP BY: the
+// unbounded sharded aggregation against a budget that forces shard-granular
+// spilling and the sequential replay pass.
+func BenchmarkAggregateSpill(b *testing.B) {
+	n := 1_000_000
+	keys := make([]int64, n)
+	vals := make([]float64, n)
+	rng := rand.New(rand.NewSource(41))
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 16)
+		vals[i] = rng.NormFloat64()
+	}
+	batch := column.MustNewBatch(
+		column.NewInt64s("k", keys),
+		column.NewFloat64s("v", vals),
+	)
+	groupBy := []sql.Expr{&sql.ColumnRef{Name: "k"}}
+	aggs := []AggSpec{
+		{Func: "COUNT", Star: true, OutName: "n"},
+		{Func: "SUM", Arg: &sql.ColumnRef{Name: "v"}, OutName: "sv"},
+	}
+	for _, mode := range []struct {
+		name   string
+		budget int64
+	}{
+		{"memory", 0},
+		{"spill", 4 << 20},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := NewPool(8)
+			qm := NewQueryMem(mem.New(mode.budget), b.TempDir())
+			defer qm.Cleanup()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, as, err := p.AggregateMem(qm, batch, groupBy, aggs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode.budget > 0 && as.SpilledShards == 0 {
+					b.Fatal("spill benchmark did not spill")
+				}
+			}
+		})
 	}
 }

@@ -103,4 +103,51 @@
 // Workers hold no state between invocations and pools are safe for
 // concurrent use by many queries; nothing in the engine mutates shared
 // data during a parallel phase except each worker's own output slot.
+//
+// # Memory governance and determinism
+//
+// Operators run against a query-scoped memory context (QueryMem): a budget
+// ledger (internal/mem) that join tables, aggregation group tables and
+// recycler-cache admissions reserve working-set bytes from, plus a
+// per-query temp directory for spill files, removed on every query exit
+// path. A nil QueryMem — or an unlimited ledger — reproduces the unbounded
+// engine exactly; a finite budget makes the two unbounded operators
+// degrade to disk instead of failing:
+//
+//   - HashJoin goes grace-hash. The build is radix-partitioned (even under
+//     the serial engine); each partition's table is granted before it is
+//     built, and a denied partition serializes its (row, hash, encoded key)
+//     build rows to a spill file in the same ascending row order the
+//     in-memory build would insert them. At probe time, resident partitions
+//     are probed as usual (spilled rows skipped), then each spilled
+//     partition — strictly one at a time, in ascending partition index —
+//     is rebuilt from its file and probed.
+//   - Aggregate shards reserve an estimate per new group; the first denial
+//     cuts the shard over to spilling every subsequent shard row. After the
+//     scan, spilled shards replay their files one at a time in ascending
+//     shard index, continuing the very group table the scan left off with.
+//
+// Why spilling preserves bit-identity. The engine's determinism never
+// depended on *where* a partition or shard is processed, only on the
+// *order of row-level effects within it*: a join chain must link build
+// rows ascending, and a group's state must fold its rows in global row
+// order. Spill files record rows in exactly that order, and replay applies
+// them in file order, so a spilled partition produces the same chains —
+// and a spilled shard the same group states — as its resident twin. What
+// remains is interleaving across partitions: join matches are merged back
+// by left row (each left key hashes to exactly one partition, so the merge
+// has no cross-list ties), and aggregation output is sorted by
+// first-appearance row exactly as the unlimited merge is. Spill order is
+// therefore fixed by partition/shard index — never by which worker or
+// grant race finished first — and output is bit-identical to the
+// in-memory path at every worker count, morsel size and budget. Budget
+// pressure can change only *stats* (which partitions spilled), never
+// results.
+//
+// What the budget bounds: the concurrent working set of operator build
+// phases (resident partitions/shards, plus one spilled partition or shard
+// being rebuilt at a time, reserved unconditionally as the minimum the
+// algorithm can run in — overage is recorded in the ledger's high-water
+// mark). The final output columns of a query must still fit in memory;
+// external output runs are a recorded follow-on.
 package exec

@@ -28,7 +28,10 @@ package exec
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
 	"math"
+	"time"
 )
 
 // joinPartitionCap bounds the partition count of a parallel build; with
@@ -206,21 +209,33 @@ func (pt *joinPart) slotKey(s uint64) []byte {
 
 // buildTable constructs the join table's partitions and row chains over the
 // right (build) side. A nil pool — or a build side that fits in one morsel
-// — takes the serial single-table path; otherwise the build is
-// radix-partitioned on the hash prefix and each partition's table is built
-// privately by one pool worker.
-func (jt *joinTable) buildTable(p *Pool) {
+// — takes the serial single-table path, provided the table's estimated
+// working set fits the query's memory grant; otherwise the build is
+// radix-partitioned on the hash prefix (even under the serial engine, on a
+// one-worker pool) so that partitions whose grant is denied can spill their
+// build rows to disk and be processed one at a time during the probe.
+func (jt *joinTable) buildTable(p *Pool, qm *QueryMem) error {
 	rn := len(jt.next)
 	for i := range jt.next {
 		jt.next[i] = -1
 	}
-	if p.serialFor(rn) {
+	if p.serialFor(rn) && jt.grant.Try(joinPartBytes(rn, jt.intKeys, jt.estKeyBytes())) {
 		jt.shift = 64 // every hash lands in partition 0
 		jt.parts = []joinPart{newJoinPart(rn, jt.intKeys)}
 		jt.buildSerial(rn)
-		return
+		return nil
 	}
-	jt.buildPartitioned(p, rn)
+	return jt.buildPartitioned(p.orSerial(), rn, qm)
+}
+
+// estKeyBytes is the upfront per-row encoded-key estimate used before any
+// key has been encoded (the serial single-table grant); the partitioned
+// build replaces it with the measured mean.
+func (jt *joinTable) estKeyBytes() int64 {
+	if jt.intKeys {
+		return 0
+	}
+	return int64(16 * len(jt.rkc))
 }
 
 // buildSerial is the single-table oracle build: one pass over the build
@@ -249,8 +264,12 @@ func (jt *joinTable) buildSerial(rn int) {
 
 // buildPartitioned is the parallel build: hash + count per morsel, prefix
 // sum, scatter into per-partition row lists (ascending row order within
-// each partition), then one private table build per partition.
-func (jt *joinTable) buildPartitioned(p *Pool, rn int) {
+// each partition), then one private table build per partition. Under a
+// finite memory budget each partition's table is granted before pass 3;
+// partitions whose grant is denied serialize their build rows to a spill
+// file instead (in the same ascending row order) and are rebuilt
+// one-partition-at-a-time during the probe.
+func (jt *joinTable) buildPartitioned(p *Pool, rn int, qm *QueryMem) error {
 	nparts := nextPow2(4 * p.Workers())
 	if nparts > joinPartitionCap {
 		nparts = joinPartitionCap
@@ -332,11 +351,70 @@ func (jt *joinTable) buildPartitioned(p *Pool, rn int) {
 		}
 	})
 
+	// Grant pass: decide, in partition-index order, which partitions build
+	// in memory and which spill. The decision only affects where a
+	// partition's table is built — output is identical either way — so the
+	// probe result stays bit-identical at every budget.
+	jt.avgKey = jt.estKeyBytes()
+	if !jt.intKeys {
+		var total int64
+		for _, a := range enc.arenas {
+			total += int64(len(a))
+		}
+		if rn > 0 {
+			jt.avgKey = total / int64(rn)
+		}
+	}
+	spillNeeded := false
+	if qm.Limited() {
+		jt.spilled = make([]bool, nparts)
+		for pt := 0; pt < nparts; pt++ {
+			rows := int(partStart[pt+1] - partStart[pt])
+			if rows == 0 {
+				continue
+			}
+			if !jt.grant.Try(joinPartBytes(rows, jt.intKeys, jt.avgKey)) {
+				jt.spilled[pt] = true
+				spillNeeded = true
+			}
+		}
+		if !spillNeeded {
+			jt.spilled = nil
+		}
+	} else {
+		// No budget to enforce, but the reservations still run so the
+		// ledger's high-water mark reflects the build's working set —
+		// an unlimited ledger accounts, it just never denies.
+		for pt := 0; pt < nparts; pt++ {
+			if rows := int(partStart[pt+1] - partStart[pt]); rows > 0 {
+				jt.grant.Try(joinPartBytes(rows, jt.intKeys, jt.avgKey))
+			}
+		}
+	}
+
 	// Pass 3: build each partition's table privately, in ascending row
-	// order, so every chain matches the serial single-table build.
+	// order, so every chain matches the serial single-table build. Spilled
+	// partitions write their rows (in the same order) to per-partition
+	// files instead.
 	jt.parts = make([]joinPart, nparts)
+	var errs []error
+	var spillNanos, spillBytes []int64
+	if spillNeeded {
+		jt.spillPrefix = qm.opPrefix("join")
+		jt.spillFiles = make([]string, nparts)
+		jt.spillRows = make([]int, nparts)
+		errs = make([]error, nparts)
+		spillNanos = make([]int64, nparts)
+		spillBytes = make([]int64, nparts)
+	}
 	p.run(nparts, func(pi int) {
 		rows := partRows[partStart[pi]:partStart[pi+1]]
+		if spillNeeded && jt.spilled[pi] {
+			t0 := time.Now()
+			spillBytes[pi], errs[pi] = jt.spillPartition(pi, rows, hashes, enc, qm)
+			spillNanos[pi] = time.Since(t0).Nanoseconds()
+			return
+		}
 		tab := newJoinPart(len(rows), jt.intKeys)
 		if jt.intKeys {
 			for _, row := range rows {
@@ -350,6 +428,55 @@ func (jt *joinTable) buildPartitioned(p *Pool, rn int) {
 		}
 		jt.parts[pi] = tab
 	})
+	if err := firstError(errs); err != nil {
+		return err
+	}
+	if spillNeeded {
+		for pi := range jt.parts {
+			if !jt.spilled[pi] {
+				continue
+			}
+			jt.stats.SpilledPartitions++
+			jt.stats.SpilledRows += jt.spillRows[pi]
+			jt.stats.SpilledBytes += spillBytes[pi]
+			jt.stats.SpillNanos += spillNanos[pi]
+		}
+	}
 	jt.stats.Partitions = nparts
-	jt.stats.ParallelBuild = true
+	jt.stats.ParallelBuild = p.Workers() > 1
+	return nil
+}
+
+// spillPartition serializes one partition's build rows — (row index, hash,
+// encoded key) triples, ascending by row — to its spill file. The key is
+// the packed 16-byte [2]int64 on the integer path and the appendRowKey
+// encoding otherwise, so the probe-time rebuild runs the exact in-memory
+// insert paths.
+func (jt *joinTable) spillPartition(pi int, rows []int32, hashes []uint64, enc *encodedRows, qm *QueryMem) (int64, error) {
+	sw, err := qm.newSpillWriter(fmt.Sprintf("%s-p%03d.spill", jt.spillPrefix, pi))
+	if err != nil {
+		return 0, err
+	}
+	var kb [16]byte
+	for _, row := range rows {
+		var key []byte
+		if jt.intKeys {
+			a, b := jt.packRight(int(row))
+			binary.LittleEndian.PutUint64(kb[0:8], uint64(a))
+			binary.LittleEndian.PutUint64(kb[8:16], uint64(b))
+			key = kb[:]
+		} else {
+			key = enc.row(int(row))
+		}
+		if err := sw.writeRecord(row, hashes[row], key); err != nil {
+			sw.abort()
+			return 0, err
+		}
+	}
+	if err := sw.finish(); err != nil {
+		return 0, err
+	}
+	jt.spillFiles[pi] = sw.name
+	jt.spillRows[pi] = len(rows)
+	return sw.bytes, nil
 }

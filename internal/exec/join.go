@@ -1,14 +1,19 @@
 package exec
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
+	"time"
 
 	"repro/internal/column"
+	"repro/internal/mem"
 )
 
 // JoinStats describes how one hash join executed: the shape of the build
-// (flat-table partitions, parallel or serial) and the probe volume. The
-// planner reports it through the observer and the warehouse aggregates it.
+// (flat-table partitions, parallel or serial), the probe volume, and any
+// grace-hash spilling the memory governor forced. The planner reports it
+// through the observer and the warehouse aggregates it.
 type JoinStats struct {
 	IntKeys       bool // packed-int64 fast path (vs byte-encoded keys)
 	Partitions    int  // build partition count (1 = serial single table)
@@ -16,6 +21,16 @@ type JoinStats struct {
 	BuildRows     int
 	ProbeRows     int
 	Matches       int
+
+	// Spill counters: partitions whose build rows went to disk because
+	// their memory grant was denied, and the volume written. SpillNanos
+	// covers spill-file writes plus the probe-time partition rebuilds,
+	// summed per partition (busy time, not wall clock, when partitions
+	// spill concurrently).
+	SpilledPartitions int
+	SpilledRows       int
+	SpilledBytes      int64
+	SpillNanos        int64
 }
 
 // HashJoin performs an inner equi-join of left and right on the named key
@@ -27,22 +42,8 @@ type JoinStats struct {
 // output order) follows the left input, which keeps metadata-first plans
 // producing deterministically ordered intermediates.
 func HashJoin(left, right *column.Batch, leftKeys, rightKeys []string) (*column.Batch, error) {
-	b, _, err := hashJoinWithStats(left, right, leftKeys, rightKeys, nil)
+	b, _, err := (*Pool)(nil).HashJoinMem(nil, left, right, leftKeys, rightKeys)
 	return b, err
-}
-
-// hashJoinWithStats is the shared serial implementation behind HashJoin and
-// the pool's serial delegation; pool is only used for the final gathers.
-func hashJoinWithStats(left, right *column.Batch, leftKeys, rightKeys []string, p *Pool) (*column.Batch, JoinStats, error) {
-	jt, err := buildJoinTable(left, right, leftKeys, rightKeys, nil)
-	if err != nil {
-		return nil, JoinStats{}, err
-	}
-	lsel, rsel := jt.probeRange(0, left.NumRows())
-	jt.stats.ProbeRows = left.NumRows()
-	jt.stats.Matches = len(lsel)
-	out, err := assembleJoin(left, right, rightKeys, lsel, rsel, p)
-	return out, jt.stats, err
 }
 
 // joinTable is the build side of a hash join plus the probe-side key
@@ -59,14 +60,28 @@ type joinTable struct {
 	shift uint    // partition = hash >> shift (64 when single-table)
 	next  []int32 // next build row with the same key, -1 terminates
 
+	// Memory governance: the operator's grant on the query ledger, and the
+	// grace-hash spill state. spilled is nil when every partition built in
+	// memory; a spilled partition's table is rebuilt from its file — one
+	// partition at a time — during the probe.
+	qm          *QueryMem
+	grant       *mem.Grant
+	spilled     []bool
+	spillFiles  []string
+	spillRows   []int
+	spillPrefix string
+	avgKey      int64
+
 	stats JoinStats
 }
 
 // buildJoinTable validates the key lists and builds the flat table over the
 // right (build) side: serially into a single partition table when pool is
 // nil or the build side is small, radix-partitioned across the pool's
-// workers otherwise. Either way the probe output is identical.
-func buildJoinTable(left, right *column.Batch, leftKeys, rightKeys []string, p *Pool) (*joinTable, error) {
+// workers otherwise — and, under a finite qm budget, spilling over-grant
+// partitions to disk. Whatever shape the build takes, the probe output is
+// identical.
+func buildJoinTable(left, right *column.Batch, leftKeys, rightKeys []string, p *Pool, qm *QueryMem) (*joinTable, error) {
 	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
 		return nil, fmt.Errorf("exec: join needs matching non-empty key lists, got %v and %v", leftKeys, rightKeys)
 	}
@@ -99,13 +114,18 @@ func buildJoinTable(left, right *column.Batch, leftKeys, rightKeys []string, p *
 		rkc:     rkc,
 		intKeys: intKeys,
 		next:    make([]int32, right.NumRows()),
+		qm:      qm,
+		grant:   qm.Ledger().NewGrant(),
 	}
 	if intKeys {
 		jt.lpk = packKeyCols(lkc)
 		jt.rpk = packKeyCols(rkc)
 	}
 	jt.stats = JoinStats{IntKeys: intKeys, Partitions: 1, BuildRows: right.NumRows()}
-	jt.buildTable(p)
+	if err := jt.buildTable(p, qm); err != nil {
+		jt.grant.Close()
+		return nil, err
+	}
 	return jt, nil
 }
 
@@ -149,8 +169,11 @@ func (jt *joinTable) encodeKey(buf []byte, cols []*column.Column, row int) []byt
 // matched (left, right) row-index pairs. Each key lives in exactly one
 // partition and each chain walks build rows in ascending order, so
 // concatenating the results of adjacent ranges reproduces the full serial
-// probe exactly, whatever partition count the build chose.
-func (jt *joinTable) probeRange(lo, hi int) (lsel, rsel []int32) {
+// probe exactly, whatever partition count the build chose. Rows whose key
+// hashes into a spilled partition are not probed here; their (row, hash)
+// pairs are returned for probeSpilled to handle partition-by-partition,
+// reusing the hash this pass already computed.
+func (jt *joinTable) probeRange(lo, hi int) (lsel, rsel, spl []int32, sph []uint64) {
 	lsel = make([]int32, 0, hi-lo)
 	rsel = make([]int32, 0, hi-lo)
 	if jt.intKeys {
@@ -160,13 +183,19 @@ func (jt *joinTable) probeRange(lo, hi int) (lsel, rsel []int32) {
 			}
 			a, b := jt.packLeft(i)
 			h := hashIntKey(a, b)
-			pt := &jt.parts[h>>jt.shift]
+			pi := h >> jt.shift
+			if jt.spilled != nil && jt.spilled[pi] {
+				spl = append(spl, int32(i))
+				sph = append(sph, h)
+				continue
+			}
+			pt := &jt.parts[pi]
 			for ri := pt.lookupInt(h, a, b); ri >= 0; ri = jt.next[ri] {
 				lsel = append(lsel, int32(i))
 				rsel = append(rsel, ri)
 			}
 		}
-		return lsel, rsel
+		return lsel, rsel, spl, sph
 	}
 	buf := make([]byte, 0, 16*len(jt.lkc))
 	for i := lo; i < hi; i++ {
@@ -175,13 +204,209 @@ func (jt *joinTable) probeRange(lo, hi int) (lsel, rsel []int32) {
 		}
 		buf = jt.encodeKey(buf[:0], jt.lkc, i)
 		h := fnv1a(buf)
-		pt := &jt.parts[h>>jt.shift]
+		pi := h >> jt.shift
+		if jt.spilled != nil && jt.spilled[pi] {
+			spl = append(spl, int32(i))
+			sph = append(sph, h)
+			continue
+		}
+		pt := &jt.parts[pi]
 		for ri := pt.lookupGen(h, buf); ri >= 0; ri = jt.next[ri] {
 			lsel = append(lsel, int32(i))
 			rsel = append(rsel, ri)
 		}
 	}
-	return lsel, rsel
+	return lsel, rsel, spl, sph
+}
+
+// probeAll probes every left row: resident partitions through probeRange
+// (parallel over morsels when the pool allows), spilled partitions via
+// probeSpilled, merged back into the serial probe order.
+func (jt *joinTable) probeAll(p *Pool, ln int) ([]int32, []int32, error) {
+	var lsel, rsel, spl []int32
+	var sph []uint64
+	if p.serialFor(ln) {
+		lsel, rsel, spl, sph = jt.probeRange(0, ln)
+	} else {
+		mcount := p.morselCount(ln)
+		lparts := make([][]int32, mcount)
+		rparts := make([][]int32, mcount)
+		splParts := make([][]int32, mcount)
+		sphParts := make([][]uint64, mcount)
+		p.run(mcount, func(mi int) {
+			lo, hi := p.morselBounds(mi, ln)
+			lparts[mi], rparts[mi], splParts[mi], sphParts[mi] = jt.probeRange(lo, hi)
+		})
+		lsel, rsel = concatSel(lparts), concatSel(rparts)
+		if jt.spilled != nil {
+			// Morsel order = ascending row order, like the match lists.
+			spl = concatSel(splParts)
+			for _, part := range sphParts {
+				sph = append(sph, part...)
+			}
+		}
+	}
+	if jt.spilled == nil {
+		return lsel, rsel, nil
+	}
+	return jt.probeSpilled(lsel, rsel, spl, sph)
+}
+
+// probeSpilled handles the spilled partitions of a grace-hash join: the
+// probe rows the resident pass set aside (ascending row order, hashes
+// already computed) are bucketed per spilled partition, then each
+// partition is rebuilt from its spill file and probed — strictly one
+// partition at a time, in ascending partition index, which is what bounds
+// the working set and keeps error reporting deterministic. Every left
+// row's key lives in exactly one partition, so merging the per-partition
+// match lists with the resident matches by left row reproduces the serial
+// probe order exactly.
+func (jt *joinTable) probeSpilled(residentL, residentR, spl []int32, sph []uint64) ([]int32, []int32, error) {
+	t0 := time.Now()
+	defer func() { jt.stats.SpillNanos += time.Since(t0).Nanoseconds() }()
+
+	pRows := make([][]int32, len(jt.parts))
+	pHash := make([][]uint64, len(jt.parts))
+	for k, i := range spl {
+		pi := sph[k] >> jt.shift
+		pRows[pi] = append(pRows[pi], i)
+		pHash[pi] = append(pHash[pi], sph[k])
+	}
+
+	lls := [][]int32{residentL}
+	rls := [][]int32{residentR}
+	for pi := range jt.parts {
+		if !jt.spilled[pi] {
+			continue
+		}
+		pl, pr, err := jt.probeOneSpilled(pi, pRows[pi], pHash[pi])
+		if err != nil {
+			return nil, nil, err
+		}
+		lls = append(lls, pl)
+		rls = append(rls, pr)
+	}
+	l, r := mergeMatchLists(lls, rls)
+	return l, r, nil
+}
+
+// probeOneSpilled rebuilds one spilled partition's table from its file and
+// probes the bucketed probe rows against it. The rebuild reserves its
+// working set unconditionally (Must): one partition at a time is the
+// minimum the grace-hash join can run in, so overage is recorded in the
+// ledger's high-water mark rather than dead-ending.
+func (jt *joinTable) probeOneSpilled(pi int, rows []int32, hashes []uint64) (lsel, rsel []int32, err error) {
+	est := joinPartBytes(jt.spillRows[pi], jt.intKeys, jt.avgKey)
+	jt.grant.Must(est)
+	defer jt.grant.Release(est)
+
+	sr, err := jt.qm.openSpillReader(jt.spillFiles[pi])
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sr.close()
+	tab := newJoinPart(jt.spillRows[pi], jt.intKeys)
+	n := 0
+	for {
+		row, h, key, err := sr.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if int(row) < 0 || int(row) >= len(jt.next) || h>>jt.shift != uint64(pi) {
+			return nil, nil, fmt.Errorf("exec: spill %s: corrupt record (row %d of %d, partition %d of %d)",
+				jt.spillFiles[pi], row, len(jt.next), h>>jt.shift, pi)
+		}
+		if jt.intKeys {
+			if len(key) != 16 {
+				return nil, nil, fmt.Errorf("exec: spill %s: corrupt packed key length %d", jt.spillFiles[pi], len(key))
+			}
+			a := int64(binary.LittleEndian.Uint64(key[0:8]))
+			b := int64(binary.LittleEndian.Uint64(key[8:16]))
+			tab.insertInt(h, a, b, row, jt.next)
+		} else {
+			tab.insertGen(h, key, row, jt.next)
+		}
+		n++
+	}
+	if n != jt.spillRows[pi] {
+		return nil, nil, fmt.Errorf("exec: spill %s: expected %d records, found %d", jt.spillFiles[pi], jt.spillRows[pi], n)
+	}
+
+	lsel = make([]int32, 0, len(rows))
+	rsel = make([]int32, 0, len(rows))
+	if jt.intKeys {
+		for k, i := range rows {
+			a, b := jt.packLeft(int(i))
+			for ri := tab.lookupInt(hashes[k], a, b); ri >= 0; ri = jt.next[ri] {
+				lsel = append(lsel, i)
+				rsel = append(rsel, ri)
+			}
+		}
+		return lsel, rsel, nil
+	}
+	buf := make([]byte, 0, 16*len(jt.lkc))
+	for k, i := range rows {
+		buf = jt.encodeKey(buf[:0], jt.lkc, int(i))
+		for ri := tab.lookupGen(hashes[k], buf); ri >= 0; ri = jt.next[ri] {
+			lsel = append(lsel, i)
+			rsel = append(rsel, ri)
+		}
+	}
+	return lsel, rsel, nil
+}
+
+// mergeMatchLists merges match-pair lists — each ascending in left row —
+// into one list ordered by left row. A left row's matches live in exactly
+// one input list (its key hashes to one partition), so ties across lists
+// cannot occur and the merge is the serial probe order by construction.
+func mergeMatchLists(lls, rls [][]int32) ([]int32, []int32) {
+	for len(lls) > 1 {
+		nl := lls[:0:0]
+		nr := rls[:0:0]
+		for i := 0; i < len(lls); i += 2 {
+			if i+1 == len(lls) {
+				nl = append(nl, lls[i])
+				nr = append(nr, rls[i])
+				continue
+			}
+			ml, mr := mergeMatchPair(lls[i], rls[i], lls[i+1], rls[i+1])
+			nl = append(nl, ml)
+			nr = append(nr, mr)
+		}
+		lls, rls = nl, nr
+	}
+	return lls[0], rls[0]
+}
+
+func mergeMatchPair(l1, r1, l2, r2 []int32) ([]int32, []int32) {
+	if len(l1) == 0 {
+		return l2, r2
+	}
+	if len(l2) == 0 {
+		return l1, r1
+	}
+	ml := make([]int32, 0, len(l1)+len(l2))
+	mr := make([]int32, 0, len(r1)+len(r2))
+	i, j := 0, 0
+	for i < len(l1) && j < len(l2) {
+		if l1[i] <= l2[j] {
+			ml = append(ml, l1[i])
+			mr = append(mr, r1[i])
+			i++
+		} else {
+			ml = append(ml, l2[j])
+			mr = append(mr, r2[j])
+			j++
+		}
+	}
+	ml = append(ml, l1[i:]...)
+	mr = append(mr, r1[i:]...)
+	ml = append(ml, l2[j:]...)
+	mr = append(mr, r2[j:]...)
+	return ml, mr
 }
 
 // assembleJoin gathers both sides by the matched row pairs (in parallel

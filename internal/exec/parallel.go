@@ -51,6 +51,16 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// orSerial returns p, or a one-worker pool when p is nil — the memory
+// governor's spill paths run the partitioned build/shard machinery on it
+// even under the serial engine.
+func (p *Pool) orSerial() *Pool {
+	if p == nil {
+		return &Pool{workers: 1}
+	}
+	return p
+}
+
 // morselRows returns the configured morsel size.
 func (p *Pool) morselRows() int {
 	if p.morsel > 0 {
@@ -337,37 +347,72 @@ func fnv1a(b []byte) uint64 {
 	return h
 }
 
-// Aggregate is the sharded Aggregate. Rather than splitting rows across
-// workers (which would reorder float accumulation and lose bit-identity),
-// the group table is sharded by key hash: a first parallel pass hashes
-// every row's key into a vector, then each worker scans all rows but owns
-// only the groups whose hash lands in its shard, applying updates in
-// global row order. Every group's state is thus built by exactly one
-// worker in exactly the serial engine's update order. The merge
-// concatenates the shards' groups and sorts by first-appearance row, which
-// is the serial output order.
+// Aggregate is the sharded Aggregate; see AggregateMem.
+func (p *Pool) Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*column.Batch, error) {
+	out, _, err := p.AggregateMem(nil, b, groupBy, aggs)
+	return out, err
+}
+
+// AggregateMem is the sharded Aggregate under the memory governor. Rather
+// than splitting rows across workers (which would reorder float
+// accumulation and lose bit-identity), the group table is sharded by key
+// hash: a first parallel pass hashes every row's key into a vector, then
+// each worker scans all rows but owns only the groups whose hash lands in
+// its shard, applying updates in global row order. Every group's state is
+// thus built by exactly one worker in exactly the serial engine's update
+// order. The merge concatenates the shards' groups and sorts by
+// first-appearance row, which is the serial output order.
+//
+// Under a finite qm budget the sharded path always runs (on a one-worker
+// pool when the engine is serial) and each shard's group table draws on a
+// memory grant; a shard whose grant is denied cuts over to spilling its
+// remaining rows to disk, replayed shard-by-shard afterwards — see
+// aggShard. Output is bit-identical at every budget and worker count.
 //
 // Global aggregates (no GROUP BY) stay serial: a single accumulator has no
 // shards, and splitting it would change float summation order.
-func (p *Pool) Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*column.Batch, error) {
+func (p *Pool) AggregateMem(qm *QueryMem, b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*column.Batch, AggStats, error) {
 	n := b.NumRows()
-	if len(groupBy) == 0 || p.serialFor(n) {
-		return Aggregate(b, groupBy, aggs)
+	limited := qm.Limited()
+	if len(groupBy) == 0 {
+		return serialAggWithStats(b, groupBy, aggs)
 	}
+	if p.serialFor(n) {
+		if !limited {
+			return serialAggWithStats(b, groupBy, aggs)
+		}
+		// Under a budget the serial path is still safe when even the worst
+		// case — every row its own group and its own distinct value — fits
+		// the grant; only a denial pays for the shard-granular machinery.
+		ndistinct := 0
+		for _, a := range aggs {
+			if a.Distinct {
+				ndistinct++
+			}
+		}
+		worst := int64(n) * (aggGroupBytes(len(aggs), 16*len(groupBy)) + int64(ndistinct)*distinctSeenBytes)
+		g := qm.Ledger().NewGrant()
+		if g.Try(worst) {
+			defer g.Close()
+			return serialAggWithStats(b, groupBy, aggs)
+		}
+		g.Close()
+	}
+	ep := p.orSerial()
 	keyCols, args, err := evalAggInputs(b, groupBy, aggs)
 	if err != nil {
-		return nil, err
+		return nil, AggStats{}, err
 	}
 
 	intKey := intKeyed(groupBy, keyCols)
 	hashes := make([]uint64, n)
-	mcount := p.morselCount(n)
+	mcount := ep.morselCount(n)
 	var enc *encodedRows
 	if intKey {
 		ints := keyCols[0].Int64s()
 		nulls := keyCols[0].Nulls()
-		p.run(mcount, func(mi int) {
-			lo, hi := p.morselBounds(mi, n)
+		ep.run(mcount, func(mi int) {
+			lo, hi := ep.morselBounds(mi, n)
 			for i := lo; i < hi; i++ {
 				if nulls != nil && nulls[i] {
 					hashes[i] = nullKeyHash
@@ -380,9 +425,9 @@ func (p *Pool) Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*
 		// The hash pass persists each row's encoded key into its morsel's
 		// arena, so the owning shard reads it back instead of encoding the
 		// row a second time.
-		enc = newEncodedRows(n, p.morselRows(), mcount)
-		p.run(mcount, func(mi int) {
-			lo, hi := p.morselBounds(mi, n)
+		enc = newEncodedRows(n, ep.morselRows(), mcount)
+		ep.run(mcount, func(mi int) {
+			lo, hi := ep.morselBounds(mi, n)
 			buf := make([]byte, 0, 16*len(keyCols)*(hi-lo))
 			for i := lo; i < hi; i++ {
 				enc.offs[i] = uint32(len(buf))
@@ -395,60 +440,114 @@ func (p *Pool) Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*
 		})
 	}
 
-	nshards := uint64(p.workers)
-	shards := make([][]aggGroup, p.workers)
-	p.run(p.workers, func(w int) {
-		shards[w] = groupRows(keyCols, args, len(aggs), n, intKey, hashes, nshards, uint64(w), enc)
-	})
+	nshards := ep.Workers()
+	if limited && nshards < spillMinShards {
+		// Shard-granular spill needs shards even under the serial engine:
+		// a spilled shard's replay is what bounds the concurrent working
+		// set to the resident shards plus one replaying shard.
+		nshards = spillMinShards
+	}
+	st := AggStats{Rows: n, Shards: nshards}
+
+	var groups []aggGroup
+	if !limited {
+		shards := make([][]aggGroup, nshards)
+		ep.run(nshards, func(w int) {
+			shards[w] = groupRows(keyCols, args, len(aggs), n, intKey, hashes, uint64(nshards), uint64(w), enc)
+		})
+		for _, s := range shards {
+			groups = append(groups, s...)
+		}
+		// No budget to enforce, but account the group tables' working set
+		// post hoc so the ledger's high-water mark stays meaningful on an
+		// unlimited ledger (held until the output is materialized).
+		if acct := qm.Ledger().NewGrant(); acct != nil {
+			defer acct.Close()
+			keyEst := 9
+			if !intKey {
+				keyEst = 16 * len(keyCols)
+			}
+			est := int64(len(groups)) * aggGroupBytes(len(aggs), keyEst)
+			for gi := range groups {
+				for si := range groups[gi].states {
+					if m := groups[gi].states[si].seen; m != nil {
+						est += int64(len(m)) * distinctSeenBytes
+					}
+				}
+			}
+			acct.Try(est)
+		}
+	} else {
+		// The grant is held here — not inside aggregateSpilled — so the
+		// group tables stay reserved until the output batch below has been
+		// materialized from them.
+		grant := qm.Ledger().NewGrant()
+		defer grant.Close()
+		groups, err = aggregateSpilled(qm, grant, &st, ep, keyCols, args, len(aggs), n, intKey, hashes, nshards, enc)
+		if err != nil {
+			return nil, st, err
+		}
+	}
 
 	// Deterministic merge: output order is first appearance, i.e. ascending
 	// first row; each group exists in exactly one shard.
-	var groups []aggGroup
-	for _, s := range shards {
-		groups = append(groups, s...)
-	}
 	sort.Slice(groups, func(i, j int) bool { return groups[i].firstRow < groups[j].firstRow })
-	return buildAggOutput(keyCols, groupBy, args, aggs, groups)
+	out, err := buildAggOutput(keyCols, groupBy, args, aggs, groups)
+	if err == nil {
+		st.Groups = out.NumRows()
+	}
+	return out, st, err
+}
+
+// serialAggWithStats wraps the serial oracle Aggregate in AggStats.
+func serialAggWithStats(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*column.Batch, AggStats, error) {
+	out, err := Aggregate(b, groupBy, aggs)
+	st := AggStats{Rows: b.NumRows()}
+	if err == nil {
+		st.Groups = out.NumRows()
+	}
+	return out, st, err
 }
 
 // ---------------------------------------------------------------------------
 // HashJoin
 // ---------------------------------------------------------------------------
 
-// HashJoin is the morsel-driven HashJoin; see HashJoinWithStats.
+// HashJoin is the morsel-driven HashJoin; see HashJoinMem.
 func (p *Pool) HashJoin(left, right *column.Batch, leftKeys, rightKeys []string) (*column.Batch, error) {
-	out, _, err := p.HashJoinWithStats(left, right, leftKeys, rightKeys)
+	out, _, err := p.HashJoinMem(nil, left, right, leftKeys, rightKeys)
 	return out, err
 }
 
-// HashJoinWithStats is the morsel-driven HashJoin: the flat open-addressing
-// build table is radix-partitioned across workers when the build side
-// exceeds one morsel (each partition built privately in serial row order,
-// so chains — and therefore probe output — match the serial single-table
-// build exactly), then workers probe disjoint left row ranges against the
-// read-only table and the per-range match lists concatenate in range order
-// — the serial probe order. Both output gathers run on the pool.
+// HashJoinWithStats is HashJoinMem without a memory context (unlimited).
 func (p *Pool) HashJoinWithStats(left, right *column.Batch, leftKeys, rightKeys []string) (*column.Batch, JoinStats, error) {
-	ln := left.NumRows()
-	if p.serialFor(ln) && p.serialFor(right.NumRows()) {
-		return hashJoinWithStats(left, right, leftKeys, rightKeys, p)
-	}
-	jt, err := buildJoinTable(left, right, leftKeys, rightKeys, p)
+	return p.HashJoinMem(nil, left, right, leftKeys, rightKeys)
+}
+
+// HashJoinMem is the morsel-driven HashJoin under the memory governor: the
+// flat open-addressing build table is radix-partitioned across workers when
+// the build side exceeds one morsel (each partition built privately in
+// serial row order, so chains — and therefore probe output — match the
+// serial single-table build exactly), then workers probe disjoint left row
+// ranges against the read-only table and the per-range match lists
+// concatenate in range order — the serial probe order. Both output gathers
+// run on the pool.
+//
+// Under a finite qm budget, build partitions whose memory grant is denied
+// spill their rows to disk (grace hash); the probe rebuilds them strictly
+// one at a time and merges their matches back into left-row order, so the
+// output is bit-identical to the unbounded in-memory path at every budget,
+// worker count and morsel size.
+func (p *Pool) HashJoinMem(qm *QueryMem, left, right *column.Batch, leftKeys, rightKeys []string) (*column.Batch, JoinStats, error) {
+	jt, err := buildJoinTable(left, right, leftKeys, rightKeys, p, qm)
 	if err != nil {
 		return nil, JoinStats{}, err
 	}
-	var lsel, rsel []int32
-	if p.serialFor(ln) {
-		lsel, rsel = jt.probeRange(0, ln)
-	} else {
-		mcount := p.morselCount(ln)
-		lparts := make([][]int32, mcount)
-		rparts := make([][]int32, mcount)
-		p.run(mcount, func(mi int) {
-			lo, hi := p.morselBounds(mi, ln)
-			lparts[mi], rparts[mi] = jt.probeRange(lo, hi)
-		})
-		lsel, rsel = concatSel(lparts), concatSel(rparts)
+	defer jt.grant.Close()
+	ln := left.NumRows()
+	lsel, rsel, err := jt.probeAll(p, ln)
+	if err != nil {
+		return nil, jt.stats, err
 	}
 	jt.stats.ProbeRows = ln
 	jt.stats.Matches = len(lsel)

@@ -48,8 +48,14 @@ type Env struct {
 	// 1-worker pool) selects the serial engine; output is bit-identical
 	// either way.
 	Pool *exec.Pool
+	// Mem is the query's memory context: the budget ledger operators
+	// reserve working-set bytes from and the spill-file directory they
+	// degrade to under pressure. nil means unlimited memory (no spilling).
+	// Output is bit-identical at every budget.
+	Mem *exec.QueryMem
 	// Stats, when non-nil, accumulates operator-level counters (join build
-	// partitions, probe volumes, sort strategies) across queries.
+	// partitions, probe volumes, sort strategies, spill activity) across
+	// queries.
 	Stats *ExecStats
 }
 
@@ -101,7 +107,7 @@ func Execute(n Node, env *Env) (*column.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, js, err := env.Pool.HashJoinWithStats(l, r, x.LKeys, x.RKeys)
+		out, js, err := env.Pool.HashJoinMem(env.Mem, l, r, x.LKeys, x.RKeys)
 		if err != nil {
 			return nil, err
 		}
@@ -114,9 +120,13 @@ func Execute(n Node, env *Env) (*column.Batch, error) {
 		if js.IntKeys {
 			keyPath = "packed-int"
 		}
-		obs.Event("join", fmt.Sprintf("%s: %d x %d -> %d rows (build: %d rows, %d partitions, %s, %s keys; probed %d rows)",
+		spill := ""
+		if js.SpilledPartitions > 0 {
+			spill = fmt.Sprintf("; spilled %d partitions, %d rows, %d bytes", js.SpilledPartitions, js.SpilledRows, js.SpilledBytes)
+		}
+		obs.Event("join", fmt.Sprintf("%s: %d x %d -> %d rows (build: %d rows, %d partitions, %s, %s keys; probed %d rows%s)",
 			x.Describe(), l.NumRows(), r.NumRows(), out.NumRows(),
-			js.BuildRows, js.Partitions, build, keyPath, js.ProbeRows))
+			js.BuildRows, js.Partitions, build, keyPath, js.ProbeRows, spill))
 		return out, nil
 
 	case *Filter:
@@ -155,11 +165,16 @@ func Execute(n Node, env *Env) (*column.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := env.Pool.Aggregate(in, x.GroupBy, x.Aggs)
+		out, as, err := env.Pool.AggregateMem(env.Mem, in, x.GroupBy, x.Aggs)
 		if err != nil {
 			return nil, err
 		}
-		obs.Event("aggregate", fmt.Sprintf("%d rows -> %d groups", in.NumRows(), out.NumRows()))
+		env.Stats.recordAgg(as)
+		spill := ""
+		if as.SpilledShards > 0 {
+			spill = fmt.Sprintf(" (spilled %d of %d shards, %d rows, %d bytes)", as.SpilledShards, as.Shards, as.SpilledRows, as.SpilledBytes)
+		}
+		obs.Event("aggregate", fmt.Sprintf("%d rows -> %d groups%s", in.NumRows(), out.NumRows(), spill))
 		return out, nil
 
 	case *Project:

@@ -22,6 +22,17 @@ type ExecStats struct {
 	comparatorSorts atomic.Int64
 	sortRunsMerged  atomic.Int64
 	sortRows        atomic.Int64
+
+	aggregations atomic.Int64
+	aggGroups    atomic.Int64
+
+	joinSpills            atomic.Int64
+	aggSpills             atomic.Int64
+	joinPartitionsSpilled atomic.Int64
+	aggShardsSpilled      atomic.Int64
+	rowsSpilled           atomic.Int64
+	bytesSpilled          atomic.Int64
+	spillNanos            atomic.Int64
 }
 
 // ExecSnapshot is a point-in-time copy of ExecStats counters.
@@ -37,6 +48,21 @@ type ExecSnapshot struct {
 	ComparatorSorts int64 // sorts that took the generic comparator path
 	SortRunsMerged  int64 // morsel runs merged by parallel sorts
 	SortRows        int64
+
+	Aggregations int64 // aggregations executed
+	AggGroups    int64 // total output groups across them
+
+	// Memory-governed spill counters. PartitionsSpilled is the combined
+	// count of join partitions and aggregation shards that degraded to
+	// disk under budget pressure; the breakdown fields split it.
+	PartitionsSpilled     int64
+	JoinSpills            int64 // joins that spilled at least one partition
+	AggSpills             int64 // aggregations that spilled at least one shard
+	JoinPartitionsSpilled int64
+	AggShardsSpilled      int64
+	RowsSpilled           int64
+	BytesSpilled          int64
+	SpillNanos            int64
 }
 
 // Snapshot copies the counters.
@@ -55,6 +81,18 @@ func (s *ExecStats) Snapshot() ExecSnapshot {
 		ComparatorSorts:     s.comparatorSorts.Load(),
 		SortRunsMerged:      s.sortRunsMerged.Load(),
 		SortRows:            s.sortRows.Load(),
+
+		Aggregations: s.aggregations.Load(),
+		AggGroups:    s.aggGroups.Load(),
+
+		PartitionsSpilled:     s.joinPartitionsSpilled.Load() + s.aggShardsSpilled.Load(),
+		JoinSpills:            s.joinSpills.Load(),
+		AggSpills:             s.aggSpills.Load(),
+		JoinPartitionsSpilled: s.joinPartitionsSpilled.Load(),
+		AggShardsSpilled:      s.aggShardsSpilled.Load(),
+		RowsSpilled:           s.rowsSpilled.Load(),
+		BytesSpilled:          s.bytesSpilled.Load(),
+		SpillNanos:            s.spillNanos.Load(),
 	}
 }
 
@@ -71,6 +109,29 @@ func (s *ExecStats) recordJoin(js exec.JoinStats) {
 	s.joinBuildRows.Add(int64(js.BuildRows))
 	s.joinProbeRows.Add(int64(js.ProbeRows))
 	s.joinMatches.Add(int64(js.Matches))
+	if js.SpilledPartitions > 0 {
+		s.joinSpills.Add(1)
+		s.joinPartitionsSpilled.Add(int64(js.SpilledPartitions))
+		s.rowsSpilled.Add(int64(js.SpilledRows))
+		s.bytesSpilled.Add(js.SpilledBytes)
+		s.spillNanos.Add(js.SpillNanos)
+	}
+}
+
+// recordAgg folds one aggregation's stats into the counters.
+func (s *ExecStats) recordAgg(as exec.AggStats) {
+	if s == nil {
+		return
+	}
+	s.aggregations.Add(1)
+	s.aggGroups.Add(int64(as.Groups))
+	if as.SpilledShards > 0 {
+		s.aggSpills.Add(1)
+		s.aggShardsSpilled.Add(int64(as.SpilledShards))
+		s.rowsSpilled.Add(int64(as.SpilledRows))
+		s.bytesSpilled.Add(as.SpilledBytes)
+		s.spillNanos.Add(as.SpillNanos)
+	}
 }
 
 // recordSort folds one sort's stats into the counters.

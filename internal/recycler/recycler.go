@@ -15,6 +15,8 @@ import (
 	"container/list"
 	"sync"
 	"time"
+
+	"repro/internal/mem"
 )
 
 // Key identifies a cached extraction result.
@@ -46,6 +48,12 @@ type Stats struct {
 	Misses        int64
 	Evictions     int64
 	Invalidations int64 // stale entries dropped due to file updates
+	// Declined counts admissions refused because the attached memory
+	// ledger denied the reservation, and DeclinedBytes the bytes those
+	// entries would have occupied — the cache yielding under global
+	// memory pressure rather than admitting unconditionally.
+	Declined      int64
+	DeclinedBytes int64
 }
 
 // Cache is a byte-budgeted LRU cache of extraction results. It is safe for
@@ -56,6 +64,7 @@ type Cache struct {
 	used   int64
 	lru    *list.List // front = most recently used; values are *node
 	items  map[Key]*list.Element
+	ledger *mem.Ledger // nil until AttachLedger; admissions reserve from it
 	stats  Stats
 }
 
@@ -77,6 +86,18 @@ func New(budget int64) *Cache {
 
 // Budget returns the configured byte budget.
 func (c *Cache) Budget() int64 { return c.budget }
+
+// AttachLedger ties admissions to the memory governor: every admitted
+// entry reserves its bytes from the ledger and releases them when it is
+// evicted, invalidated or cleared; an admission the ledger denies (after
+// LRU eviction has already made room under the cache's own budget) is
+// declined and counted in Stats.Declined/DeclinedBytes. Attach before the
+// cache holds entries; a nil ledger detaches nothing and changes nothing.
+func (c *Cache) AttachLedger(l *mem.Ledger) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ledger = l
+}
 
 // Enabled reports whether the cache can hold anything at all. A disabled
 // cache (budget <= 0) drops every admission, which lets extraction skip
@@ -129,6 +150,14 @@ func (c *Cache) Admit(key Key, e *Entry) {
 		c.removeLocked(c.lru.Back())
 		c.stats.Evictions++
 	}
+	// The cache's own budget is satisfied; the global memory ledger has
+	// the final say. Caching is an optimization, so under pressure the
+	// entry is simply not admitted (the source files still hold the data).
+	if !c.ledger.TryReserve(sz) {
+		c.stats.Declined++
+		c.stats.DeclinedBytes += sz
+		return
+	}
 	el := c.lru.PushFront(&node{key: key, entry: e})
 	c.items[key] = el
 	c.used += sz
@@ -139,7 +168,9 @@ func (c *Cache) removeLocked(el *list.Element) {
 	nd := el.Value.(*node)
 	c.lru.Remove(el)
 	delete(c.items, nd.key)
-	c.used -= nd.entry.bytes()
+	sz := nd.entry.bytes()
+	c.used -= sz
+	c.ledger.Release(sz)
 }
 
 // InvalidateFile drops every entry belonging to the given file URI,
@@ -167,6 +198,7 @@ func (c *Cache) Clear() {
 	defer c.mu.Unlock()
 	c.lru.Init()
 	c.items = make(map[Key]*list.Element)
+	c.ledger.Release(c.used)
 	c.used = 0
 }
 

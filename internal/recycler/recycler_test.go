@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/mem"
 )
 
 func entryOf(n int, mtime time.Time) *Entry {
@@ -204,5 +206,63 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	if c.Used() > 1<<16 {
 		t.Errorf("over budget after concurrent use: %d", c.Used())
+	}
+}
+
+func TestAdmissionChecksLedger(t *testing.T) {
+	c := New(1 << 20)
+	l := mem.New(300)
+	c.AttachLedger(l)
+
+	big := &Entry{Times: make([]int64, 64), Values: make([]float64, 64)} // 64*16+64 = 1088 bytes
+	c.Admit(Key{URI: "a", SeqNo: 1}, big)
+	if c.Len() != 0 {
+		t.Fatal("admission over the ledger budget must be declined")
+	}
+	st := c.Stats()
+	if st.Declined != 1 || st.DeclinedBytes != big.bytes() {
+		t.Fatalf("declined counters = %d/%d, want 1/%d", st.Declined, st.DeclinedBytes, big.bytes())
+	}
+
+	small := &Entry{Times: make([]int64, 8), Values: make([]float64, 8)} // 8*16+64 = 192 bytes
+	c.Admit(Key{URI: "a", SeqNo: 2}, small)
+	if c.Len() != 1 {
+		t.Fatal("admission within the ledger budget must succeed")
+	}
+	if got := l.Used(); got != small.bytes() {
+		t.Fatalf("ledger used = %d, want %d", got, small.bytes())
+	}
+
+	// Eviction and invalidation must release the reservation.
+	c.InvalidateFile("a")
+	if got := l.Used(); got != 0 {
+		t.Fatalf("ledger used after invalidation = %d, want 0", got)
+	}
+
+	// Clear releases whatever is held.
+	c.Admit(Key{URI: "b", SeqNo: 1}, &Entry{Times: make([]int64, 4), Values: make([]float64, 4)})
+	if l.Used() == 0 {
+		t.Fatal("setup: entry should hold a reservation")
+	}
+	c.Clear()
+	if got := l.Used(); got != 0 {
+		t.Fatalf("ledger used after Clear = %d, want 0", got)
+	}
+}
+
+func TestLRUEvictionReleasesLedger(t *testing.T) {
+	// Cache budget admits only one entry at a time; the ledger is roomy.
+	c := New(200)
+	l := mem.New(1 << 20)
+	c.AttachLedger(l)
+	e1 := &Entry{Times: make([]int64, 8), Values: make([]float64, 8)}
+	e2 := &Entry{Times: make([]int64, 8), Values: make([]float64, 8)}
+	c.Admit(Key{URI: "a", SeqNo: 1}, e1)
+	c.Admit(Key{URI: "a", SeqNo: 2}, e2) // evicts e1 under the cache budget
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if got := l.Used(); got != e2.bytes() {
+		t.Fatalf("ledger used = %d, want %d (evicted entry must be released)", got, e2.bytes())
 	}
 }

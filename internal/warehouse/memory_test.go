@@ -1,0 +1,122 @@
+package warehouse
+
+// End-to-end memory governance: a warehouse opened with a MemoryBudget
+// small enough to force spilling must answer the paper's join + GROUP BY
+// workloads identically to an unbounded warehouse at every worker count,
+// report the spill and ledger counters through Stats, and leave no spill
+// files behind.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// spillQueries exercise both governed operators over the dataview: a
+// metadata join feeding a high-cardinality GROUP BY, and a two-table join
+// aggregation.
+var spillQueries = []string{
+	`SELECT R.seqno, COUNT(*), MIN(D.sample_value), MAX(D.sample_value), AVG(D.sample_value)
+	 FROM mseed.dataview GROUP BY R.seqno`,
+	`SELECT F.station, COUNT(*), SUM(D.sample_value)
+	 FROM mseed.dataview WHERE F.channel = 'BHZ' GROUP BY F.station`,
+}
+
+func TestMemoryBudgetForcesSpillWithIdenticalResults(t *testing.T) {
+	dir := genRepo(t, 3000)
+	unbounded := openWH(t, dir, Lazy)
+	for _, workers := range []int{1, 2, 8} {
+		w, err := Open(dir, Options{Mode: Lazy, Workers: workers, MemoryBudget: 4 << 10})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, q := range spillQueries {
+			want, err := unbounded.Query(q)
+			if err != nil {
+				t.Fatalf("unbounded: %v", err)
+			}
+			got, err := w.Query(q)
+			if err != nil {
+				t.Fatalf("workers=%d budget=4KiB: %v", workers, err)
+			}
+			assertSameResult(t, q, want.Batch, got.Batch)
+		}
+		st := w.Stats()
+		if st.Exec.PartitionsSpilled == 0 || st.Exec.BytesSpilled == 0 {
+			t.Fatalf("workers=%d: tiny budget must spill; exec stats = %+v", workers, st.Exec)
+		}
+		if st.Exec.JoinPartitionsSpilled == 0 || st.Exec.AggShardsSpilled == 0 {
+			t.Fatalf("workers=%d: both operators must spill; exec stats = %+v", workers, st.Exec)
+		}
+		if st.Mem.Budget != 4<<10 || st.Mem.HighWater == 0 {
+			t.Fatalf("workers=%d: ledger snapshot = %+v", workers, st.Mem)
+		}
+		// The tiny global budget also pressures the recycler: its stats
+		// string must report declined admissions.
+		if !strings.Contains(st.CacheStats, "declined=") {
+			t.Fatalf("cache stats must report declined bytes: %q", st.CacheStats)
+		}
+	}
+	// The unbounded warehouse must never have spilled.
+	if st := unbounded.Stats(); st.Exec.PartitionsSpilled != 0 {
+		t.Fatalf("unbounded warehouse spilled: %+v", st.Exec)
+	}
+}
+
+func TestSpillDirsRemovedAfterQueries(t *testing.T) {
+	dir := genRepo(t, 2000)
+	w, err := Open(dir, Options{Mode: Lazy, Workers: 2, MemoryBudget: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only dirs created by THIS test count as leftovers: the system temp
+	// dir may hold debris from unrelated or crashed processes.
+	glob := filepath.Join(os.TempDir(), "lazyetl-spill-*")
+	preexisting := make(map[string]bool)
+	if before, err := filepath.Glob(glob); err == nil {
+		for _, d := range before {
+			preexisting[d] = true
+		}
+	}
+	newLeftovers := func() []string {
+		after, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, d := range after {
+			if !preexisting[d] {
+				out = append(out, d)
+			}
+		}
+		return out
+	}
+	if _, err := w.Query(spillQueries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.Exec.PartitionsSpilled == 0 {
+		t.Fatal("setup: the query must have spilled")
+	}
+	if left := newLeftovers(); len(left) != 0 {
+		t.Fatalf("spill dirs left behind after query: %v", left)
+	}
+	// A failing query must also leave nothing behind.
+	if _, err := w.Query(`SELECT nonsense FROM mseed.dataview GROUP BY nonsense`); err == nil {
+		t.Fatal("expected query error")
+	}
+	if left := newLeftovers(); len(left) != 0 {
+		t.Fatalf("spill dirs left behind after failed query: %v", left)
+	}
+}
+
+func TestMemoryBudgetOptionThreadsToStats(t *testing.T) {
+	dir := genRepo(t, 500)
+	w, err := Open(dir, Options{Mode: Lazy, MemoryBudget: 123456})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().Mem.Budget; got != 123456 {
+		t.Fatalf("Stats().Mem.Budget = %d, want 123456", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/column"
 	"repro/internal/etl"
 	"repro/internal/exec"
+	"repro/internal/mem"
 	"repro/internal/plan"
 	"repro/internal/repo"
 	"repro/internal/sql"
@@ -39,6 +40,14 @@ type Options struct {
 	// GOMAXPROCS; 1 selects the serial engine. Results are bit-identical
 	// at every setting.
 	Workers int
+	// MemoryBudget bounds, in bytes, the execution-memory ledger that join
+	// tables, aggregation group tables and recycler-cache admissions
+	// reserve from. 0 means unlimited (the ledger still tracks a
+	// high-water mark). Under a finite budget, joins and grouped
+	// aggregations degrade gracefully: over-grant partitions/shards spill
+	// to per-query temp files and results stay bit-identical to the
+	// in-memory path; cache admissions are declined under pressure.
+	MemoryBudget int64
 	// KeepLog bounds the in-memory operation log (entries); 0 means the
 	// default of 10000.
 	KeepLog int
@@ -108,6 +117,7 @@ type Warehouse struct {
 	store  *catalog.Store
 	engine *etl.Engine
 	pool   *exec.Pool
+	ledger *mem.Ledger
 	exec   plan.ExecStats
 	init   InitStats
 
@@ -139,8 +149,12 @@ func Open(dir string, opts Options) (*Warehouse, error) {
 		store:   store,
 		engine:  etl.New(rp, store, opts.ETL),
 		pool:    exec.NewPool(opts.Workers),
+		ledger:  mem.New(opts.MemoryBudget),
 		keepLog: keep,
 	}
+	// Recycler admissions draw on the same ledger as operator working
+	// sets, so a loaded cache and a heavy join compete for one budget.
+	w.engine.Cache().AttachLedger(w.ledger)
 	if err := w.initialLoad(); err != nil {
 		return nil, err
 	}
@@ -244,7 +258,12 @@ func (w *Warehouse) Query(q string) (*Result, error) {
 		Optimized: plan.Render(plans.Root),
 	}
 	obs := &observer{w: w, trace: &tr, touched: make(map[string]bool)}
-	env := &plan.Env{Store: w.store, Source: w.engine, Obs: obs, Pool: w.pool, Stats: &w.exec}
+	// The query's memory context: operator reservations come from the
+	// warehouse ledger; spill files live in a per-query temp dir that the
+	// deferred Cleanup removes on every exit path, error included.
+	qm := exec.NewQueryMem(w.ledger, "")
+	defer qm.Cleanup()
+	env := &plan.Env{Store: w.store, Source: w.engine, Obs: obs, Pool: w.pool, Mem: qm, Stats: &w.exec}
 	batch, err := plan.Execute(plans.Root, env)
 	if err != nil {
 		return nil, err
@@ -316,9 +335,14 @@ type Stats struct {
 	// and DecodeNanos the in-memory parse+decode share of extraction.
 	Extraction etl.ExtractStats
 	// Exec aggregates operator-level counters across all queries: join
-	// build partitioning and probe volumes, and which sort strategy
-	// (radix vs comparator) ORDER BY executions chose.
+	// build partitioning and probe volumes, which sort strategy (radix vs
+	// comparator) ORDER BY executions chose, and spill activity under the
+	// memory governor (Exec.PartitionsSpilled / Exec.BytesSpilled).
 	Exec plan.ExecSnapshot
+	// Mem is the execution-memory ledger snapshot: configured budget,
+	// bytes currently reserved (operator working sets plus cache
+	// entries), the high-water mark, and reservation denials.
+	Mem mem.Snapshot
 }
 
 // Stats returns a snapshot of warehouse counters.
@@ -334,10 +358,11 @@ func (w *Warehouse) Stats() Stats {
 		StoreBytes:   w.store.Bytes(),
 		CacheEntries: w.engine.Cache().Len(),
 		CacheBytes:   w.engine.Cache().Used(),
-		CacheStats: fmt.Sprintf("hits=%d misses=%d evictions=%d invalidations=%d",
-			cs.Hits, cs.Misses, cs.Evictions, cs.Invalidations),
+		CacheStats: fmt.Sprintf("hits=%d misses=%d evictions=%d invalidations=%d declined=%d/%dB",
+			cs.Hits, cs.Misses, cs.Evictions, cs.Invalidations, cs.Declined, cs.DeclinedBytes),
 		Extraction: w.engine.ExtractionStats(),
 		Exec:       w.exec.Snapshot(),
+		Mem:        w.ledger.Snapshot(),
 	}
 }
 

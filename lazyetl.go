@@ -16,6 +16,13 @@
 // worker count (0 = GOMAXPROCS, 1 = the serial engine); results are
 // bit-identical at every setting.
 //
+// Execution memory is governed by Options.MemoryBudget (bytes; 0 =
+// unlimited): join tables, aggregation group tables and recycler-cache
+// admissions reserve from one budget ledger, and under pressure joins and
+// grouped aggregations spill partition/shard-granular state to per-query
+// temp files — results stay bit-identical to the in-memory path, and
+// Stats reports the ledger high-water mark and spill counters.
+//
 // Quickstart:
 //
 //	files, _ := lazyetl.GenerateRepository(lazyetl.RepoConfig{Dir: dir, Seed: 1})
