@@ -331,6 +331,51 @@ func BenchmarkDerivedPruning(b *testing.B) {
 	})
 }
 
+// BenchmarkExtractOverlap measures the push-pipeline extension end to end:
+// a ~1M-row cold scan where run N+1 is read and Steim-decoded by prefetch
+// workers while run N's morsels flow through the pipeline, against the
+// materializing oracle that extracts everything before computing. The warm
+// variant isolates the pipeline itself (pure cache reads, no extraction).
+func BenchmarkExtractOverlap(b *testing.B) {
+	dir := benchRepo(b, "overlap", lazyetl.RepoConfig{Days: 2, SamplesPerDay: 35000})
+	q := `SELECT COUNT(*), AVG(D.sample_value) FROM mseed.dataview WHERE D.sample_value > -100000`
+	open := func(pipelined bool) *lazyetl.Warehouse {
+		w, err := lazyetl.Open(dir, lazyetl.Options{
+			Mode: lazyetl.Lazy, Workers: 4, NoPipeline: !pipelined,
+			ETL: lazyetl.ETLOptions{Parallelism: 4},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return w
+	}
+	for _, pipelined := range []bool{false, true} {
+		name := "materialize"
+		if pipelined {
+			name = "pipeline"
+		}
+		b.Run("cold/"+name, func(b *testing.B) {
+			var prefetched int64
+			for i := 0; i < b.N; i++ {
+				w := open(pipelined)
+				mustQuery(b, w, q)
+				prefetched = w.Stats().Extraction.PrefetchedRuns
+			}
+			if pipelined {
+				b.ReportMetric(float64(prefetched), "prefetched-runs")
+			}
+		})
+		b.Run("warm/"+name, func(b *testing.B) {
+			w := open(pipelined)
+			mustQuery(b, w, q)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustQuery(b, w, q)
+			}
+		})
+	}
+}
+
 func touchFuture(b *testing.B, path string) {
 	b.Helper()
 	st, err := os.Stat(path)

@@ -37,6 +37,7 @@ func main() {
 	cache := flag.Int64("cache", 0, "recycler cache budget in bytes (0 = default 256MiB)")
 	workers := flag.Int("workers", 0, "query-execution workers (0 = GOMAXPROCS, 1 = serial engine)")
 	memBudget := flag.Int64("mem-budget", 0, "execution-memory budget in bytes (0 = unlimited); joins and aggregations spill to disk under pressure, cache admissions are declined")
+	noPipeline := flag.Bool("no-pipeline", false, "disable morsel-wise push pipelines; run every query on the materializing oracle engine")
 	flag.Parse()
 
 	if *repoDir == "" {
@@ -71,7 +72,8 @@ func main() {
 	start := time.Now()
 	w, err := warehouse.Open(*repoDir, warehouse.Options{
 		Mode: mode, Workers: *workers, MemoryBudget: *memBudget,
-		ETL: etl.Options{CacheBudget: *cache},
+		NoPipeline: *noPipeline,
+		ETL:        etl.Options{CacheBudget: *cache},
 	})
 	if err != nil {
 		fatal(err)
@@ -272,10 +274,25 @@ func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, r
 				float64(st.Extraction.RunRecords)/float64(st.Extraction.RunsRead),
 				time.Duration(st.Extraction.DecodeNanos).Round(time.Microsecond))
 		}
+		if st.Extraction.PrefetchedRuns > 0 || st.Extraction.PrefetchStallNanos > 0 {
+			fmt.Printf("prefetch: %d runs decoded ahead of the pipeline, %v consumer stall\n",
+				st.Extraction.PrefetchedRuns,
+				time.Duration(st.Extraction.PrefetchStallNanos).Round(time.Microsecond))
+		}
 		fmt.Printf("exec: %d joins (%d partitions, %d parallel builds, %d build + %d probe rows -> %d matches), %d radix + %d comparator sorts (%d rows, %d runs merged)\n",
 			st.Exec.JoinBuilds, st.Exec.JoinBuildPartitions, st.Exec.JoinParallelBuilds,
 			st.Exec.JoinBuildRows, st.Exec.JoinProbeRows, st.Exec.JoinMatches,
 			st.Exec.RadixSorts, st.Exec.ComparatorSorts, st.Exec.SortRows, st.Exec.SortRunsMerged)
+		if st.Exec.Pipelines > 0 || st.Exec.PipelineFallbacks > 0 {
+			sel := ""
+			if st.Exec.FilterRowsIn > 0 {
+				sel = fmt.Sprintf("; filter stages kept %d of %d rows (%.1f%%)",
+					st.Exec.FilterRowsOut, st.Exec.FilterRowsIn,
+					100*float64(st.Exec.FilterRowsOut)/float64(st.Exec.FilterRowsIn))
+			}
+			fmt.Printf("pipelines: %d pushed (%d morsels), %d fell back to materializing%s\n",
+				st.Exec.Pipelines, st.Exec.PipelineMorsels, st.Exec.PipelineFallbacks, sel)
+		}
 		budget := "unlimited"
 		if st.Mem.Budget > 0 {
 			budget = fmt.Sprintf("%d bytes", st.Mem.Budget)

@@ -117,6 +117,9 @@ type extractCounters struct {
 	runsRead      atomic.Int64
 	runRecords    atomic.Int64
 	decodeNanos   atomic.Int64
+
+	prefetchedRuns     atomic.Int64
+	prefetchStallNanos atomic.Int64
 }
 
 // extractScratch is a per-worker buffer set reused across runs and queries.

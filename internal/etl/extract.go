@@ -24,6 +24,12 @@ type ExtractStats struct {
 	RunsRead      int64 // coalesced reads issued (one ReadAt each)
 	RunRecords    int64 // records decoded out of coalesced runs
 	DecodeNanos   int64 // time spent parsing and decoding run bytes
+
+	// Streaming extraction (ExtractStream) counters: runs read+decoded by
+	// background prefetch workers ahead of the consumer, and time the
+	// consumer spent stalled waiting on an in-flight prefetch.
+	PrefetchedRuns     int64
+	PrefetchStallNanos int64
 }
 
 // Run coalescing parameters.
@@ -134,6 +140,68 @@ func (s *extractSink) deliver(fs *fileState, i int, h *mseed.Header, samples []i
 // coalesced runs (see the package documentation) so a cold-cache query
 // costs O(1) syscalls and allocations per run, not per record.
 func (e *Engine) Extract(meta *column.Batch, obs plan.Observer) (*column.Batch, error) {
+	pr, err := e.prepare(meta, obs, true)
+	if err != nil {
+		return nil, err
+	}
+	sink := pr.sink
+
+	// Pre-size the output layout when every row's length is known, so
+	// workers can transform misses straight into their segments.
+	if sink.direct {
+		n := meta.NumRows()
+		sink.starts = make([]int, n)
+		total := 0
+		for i, l := range sink.lens {
+			sink.starts[i] = total
+			total += l
+		}
+		sink.dTimes = make([]int64, total)
+		sink.dValues = make([]float64, total)
+	}
+
+	// Pass 2: extract the misses via coalesced runs on the worker pool.
+	if len(pr.missIdx) > 0 {
+		runs, opened, err := e.planRuns(pr.missIdx, pr.uris, pr.offs, pr.recLens, pr.stateOf, sink.quiet, obs)
+		if err != nil {
+			closeFiles(opened)
+			return nil, err
+		}
+		err = e.extractRuns(runs, sink, obs)
+		closeFiles(opened)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out, total, err := e.assemble(meta, sink)
+	if err != nil {
+		return nil, err
+	}
+	e.xstats.samplesServed.Add(int64(total))
+	return out, nil
+}
+
+// extractPrep is the shared front half of an extraction: validated metadata
+// vectors, the per-file stat cache, and the sink with pass 1 (cache
+// lookups) already applied.
+type extractPrep struct {
+	uris    []string
+	seqs    []int64
+	offs    []int64
+	recLens []int64
+	stateOf func(string) (*fileState, error)
+	sink    *extractSink
+	missIdx []int
+}
+
+// prepare validates the metadata batch, stats the source files, and runs
+// pass 1: rows with a fresh cache entry are served immediately (reported as
+// CacheRead injections); the rest become missIdx. allowDirect enables the
+// pre-sized direct output layout when every miss length is known — the
+// batch path uses it, the streaming path always routes records through
+// entries.
+func (e *Engine) prepare(meta *column.Batch, obs plan.Observer, allowDirect bool) (*extractPrep, error) {
 	uriCol, ok := meta.Col("F.uri")
 	if !ok {
 		return nil, fmt.Errorf("etl: extraction metadata lacks F.uri (have %v)", meta.Names())
@@ -193,7 +261,7 @@ func (e *Engine) Extract(meta *column.Batch, obs plan.Observer) (*column.Batch, 
 
 	// Pass 1: serve what the cache has (fresh entries only).
 	var missIdx []int
-	sink.direct = true
+	sink.direct = allowDirect
 	for i := 0; i < n; i++ {
 		fs, err := stateOf(uris[i])
 		if err != nil {
@@ -218,39 +286,15 @@ func (e *Engine) Extract(meta *column.Batch, obs plan.Observer) (*column.Batch, 
 		missIdx = append(missIdx, i)
 	}
 
-	// Pre-size the output layout when every row's length is known, so
-	// workers can transform misses straight into their segments.
-	if sink.direct {
-		sink.starts = make([]int, n)
-		total := 0
-		for i, l := range sink.lens {
-			sink.starts[i] = total
-			total += l
-		}
-		sink.dTimes = make([]int64, total)
-		sink.dValues = make([]float64, total)
-	}
-
-	// Pass 2: extract the misses via coalesced runs on the worker pool.
-	if len(missIdx) > 0 {
-		runs, opened, err := e.planRuns(missIdx, uris, offs, recLens, stateOf, sink.quiet, obs)
-		if err != nil {
-			closeFiles(opened)
-			return nil, err
-		}
-		err = e.extractRuns(runs, sink, obs)
-		closeFiles(opened)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	out, total, err := e.assemble(meta, sink)
-	if err != nil {
-		return nil, err
-	}
-	e.xstats.samplesServed.Add(int64(total))
-	return out, nil
+	return &extractPrep{
+		uris:    uris,
+		seqs:    seqs,
+		offs:    offs,
+		recLens: recLens,
+		stateOf: stateOf,
+		sink:    sink,
+		missIdx: missIdx,
+	}, nil
 }
 
 func closeFiles(opened []*fileState) {
@@ -642,5 +686,8 @@ func (e *Engine) ExtractionStats() ExtractStats {
 		RunsRead:      e.xstats.runsRead.Load(),
 		RunRecords:    e.xstats.runRecords.Load(),
 		DecodeNanos:   e.xstats.decodeNanos.Load(),
+
+		PrefetchedRuns:     e.xstats.prefetchedRuns.Load(),
+		PrefetchStallNanos: e.xstats.prefetchStallNanos.Load(),
 	}
 }

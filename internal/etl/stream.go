@@ -1,0 +1,413 @@
+package etl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/column"
+	"repro/internal/exec"
+	"repro/internal/mem"
+	"repro/internal/plan"
+	"repro/internal/recycler"
+)
+
+// errStreamClosed reports a Next call racing a Close. It never reaches a
+// query result: the pipeline driver only closes the source after it has
+// stopped consuming, so a late Next is already being discarded.
+var errStreamClosed = errors.New("etl: extraction stream closed")
+
+// ExtractStream implements plan.StreamSource: the universal table delivered
+// as a morsel stream with extract/compute overlap. Pass 1 (cache lookups)
+// and run planning are identical to Extract; the difference is pass 2.
+// Background workers read and Steim-decode run N+1 while the consumer
+// assembles run N's rows into morsels, claiming runs in plan order under a
+// bounded window: at most workers+1 runs in flight, each admitted only if
+// its estimated footprint fits the memory ledger. When the budget denies
+// admission the consumer extracts the run it needs inline — overlap
+// degrades to the synchronous schedule instead of overshooting the budget.
+//
+// Bit-identity with Extract holds row by row: every record is decoded by
+// the same extractRun, and morsels are assembled in metadata-row order with
+// the same replicated-gather layout, so the concatenation of the morsel
+// stream equals the materialized batch exactly. Failures settle to the
+// deterministic materializing error: in-flight runs drain, remaining runs
+// execute in plan order, and the earliest failing run in plan order is the
+// one reported — the same error at every parallelism and budget.
+func (e *Engine) ExtractStream(meta *column.Batch, obs plan.Observer, morselRows int, led *mem.Ledger) (exec.BatchSource, error) {
+	pr, err := e.prepare(meta, obs, false)
+	if err != nil {
+		return nil, err
+	}
+	if morselRows <= 0 {
+		morselRows = exec.DefaultMorselRows
+	}
+	s := &extractStream{
+		e:          e,
+		meta:       meta,
+		obs:        obs,
+		sink:       pr.sink,
+		morselRows: morselRows,
+		n:          meta.NumRows(),
+		grant:      led.NewGrant(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	if len(pr.missIdx) > 0 {
+		runs, opened, err := e.planRuns(pr.missIdx, pr.uris, pr.offs, pr.recLens, pr.stateOf, pr.sink.quiet, obs)
+		if err != nil {
+			closeFiles(opened)
+			s.grant.Close()
+			return nil, err
+		}
+		s.runs = runs
+		s.opened = opened
+	}
+
+	s.rowRun = make([]int, s.n)
+	for i := range s.rowRun {
+		s.rowRun[i] = -1
+	}
+	s.runLeft = make([]int, len(s.runs))
+	s.est = make([]int64, len(s.runs))
+	s.claimed = make([]bool, len(s.runs))
+	s.done = make([]bool, len(s.runs))
+	s.errs = make([]error, len(s.runs))
+	for r := range s.runs {
+		run := &s.runs[r]
+		s.runLeft[r] = len(run.rows)
+		for _, i := range run.rows {
+			s.rowRun[i] = r
+		}
+		// Estimated footprint: the read buffer plus the decoded entries the
+		// run parks until the consumer drains them. Unknown-length records
+		// fall back to a compression-ratio guess on the byte range.
+		est := run.end - run.start
+		unknown := false
+		for _, i := range run.rows {
+			if l := s.sink.lens[i]; l >= 0 {
+				est += int64(l) * 16
+			} else {
+				unknown = true
+			}
+		}
+		if unknown {
+			est += (run.end - run.start) * 2
+		}
+		s.est[r] = est
+	}
+
+	workers := e.opts.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(s.runs) {
+		workers = len(s.runs)
+	}
+	s.depth = workers + 1
+	for w := 0; w < workers; w++ {
+		s.workerWG.Add(1)
+		go s.prefetchWorker()
+	}
+	return s, nil
+}
+
+// extractStream is one in-flight streaming extraction. The consumer
+// (pipeline feeder goroutine) calls Next; prefetch workers race ahead of
+// it; Close may arrive from the pipeline driver while Next is blocked and
+// must wake it.
+type extractStream struct {
+	e          *Engine
+	meta       *column.Batch
+	obs        plan.Observer
+	sink       *extractSink
+	morselRows int
+	n          int
+
+	runs   []runPlan
+	opened []*fileState
+	rowRun []int   // meta row -> run index, -1 = served by cache
+	est    []int64 // per-run ledger charge while in flight
+
+	grant *mem.Grant
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	claimed   []bool
+	done      []bool
+	errs      []error
+	runLeft   []int // unconsumed rows per run; grant released at zero
+	scan      int   // low-water mark for the next-unclaimed search
+	inflight  int
+	depth     int
+	errCount  int
+	stopping  bool
+	closed    bool
+	consuming bool // feeder is inside Next; Close waits for it
+
+	workerWG sync.WaitGroup
+
+	pos    int   // next meta row to emit
+	failed error // sticky settled error
+	served int64
+}
+
+// prefetchWorker claims runs in plan order and extracts them ahead of the
+// consumer, bounded by the in-flight window and the ledger.
+func (s *extractStream) prefetchWorker() {
+	defer s.workerWG.Done()
+	sc := s.e.getScratch()
+	defer s.e.putScratch(sc)
+	s.mu.Lock()
+	for {
+		if s.stopping || s.errCount > 0 {
+			break
+		}
+		r := s.nextUnclaimed()
+		if r < 0 {
+			break // every run claimed; workers are done
+		}
+		if s.inflight >= s.depth || !s.grant.Try(s.est[r]) {
+			s.cond.Wait() // window full or budget denied; retry on release
+			continue
+		}
+		s.claimed[r] = true
+		s.inflight++
+		s.mu.Unlock()
+		err := s.e.extractRun(&s.runs[r], sc, s.sink, s.obs)
+		s.mu.Lock()
+		s.done[r] = true
+		s.errs[r] = err
+		s.inflight--
+		if err != nil {
+			s.errCount++
+			s.grant.Release(s.est[r])
+		} else {
+			s.e.xstats.prefetchedRuns.Add(1)
+		}
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// nextUnclaimed returns the lowest-index unclaimed run, or -1 when all runs
+// are claimed. Caller holds mu.
+func (s *extractStream) nextUnclaimed() int {
+	for s.scan < len(s.runs) && s.claimed[s.scan] {
+		s.scan++
+	}
+	if s.scan >= len(s.runs) {
+		return -1
+	}
+	return s.scan
+}
+
+// Next assembles the next morsel: metadata rows in plan order until at
+// least morselRows samples are gathered. Implements exec.BatchSource.
+func (s *extractStream) Next() (exec.Morsel, bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return exec.Morsel{}, false, errStreamClosed
+	}
+	if s.failed != nil {
+		err := s.failed
+		s.mu.Unlock()
+		return exec.Morsel{}, false, err
+	}
+	s.consuming = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.consuming = false
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+
+	if s.pos >= s.n {
+		return exec.Morsel{}, false, nil
+	}
+	var (
+		rows    []int32
+		ents    []*recycler.Entry
+		samples int
+	)
+	for s.pos < s.n && samples < s.morselRows {
+		i := s.pos
+		if err := s.waitRow(i); err != nil {
+			return exec.Morsel{}, false, err
+		}
+		ent := s.sink.entries[i]
+		if ent == nil {
+			return exec.Morsel{}, false, fmt.Errorf("etl: internal: run completed without delivering row %d", i)
+		}
+		rows = append(rows, int32(i))
+		ents = append(ents, ent)
+		samples += len(ent.Times)
+		s.sink.entries[i] = nil // drop our reference; the cache keeps its own
+		s.pos++
+		if r := s.rowRun[i]; r >= 0 {
+			s.mu.Lock()
+			s.runLeft[r]--
+			if s.runLeft[r] == 0 {
+				s.grant.Release(s.est[r])
+				s.cond.Broadcast() // freed budget; wake blocked workers
+			}
+			s.mu.Unlock()
+		}
+	}
+
+	// Same layout as assemble: one output row per sample, meta columns
+	// gathered through the replicated selection vector.
+	sel := make([]int32, samples)
+	dTimes := make([]int64, samples)
+	dValues := make([]float64, samples)
+	k := 0
+	for x, i := range rows {
+		ent := ents[x]
+		copy(dTimes[k:], ent.Times)
+		copy(dValues[k:], ent.Values)
+		for j := 0; j < len(ent.Times); j++ {
+			sel[k] = i
+			k++
+		}
+	}
+	b := s.meta.Gather(sel)
+	if err := b.AddColumn(column.NewTimestamps("D.sample_time", dTimes)); err != nil {
+		return exec.Morsel{}, false, err
+	}
+	if err := b.AddColumn(column.NewFloat64s("D.sample_value", dValues)); err != nil {
+		return exec.Morsel{}, false, err
+	}
+	s.mu.Lock()
+	s.served += int64(samples)
+	s.mu.Unlock()
+	s.e.xstats.samplesServed.Add(int64(samples))
+	return exec.Morsel{B: b}, true, nil
+}
+
+// waitRow makes meta row i's entry available: a no-op for cache hits and
+// prefetched runs, an inline extraction when the row's run is unclaimed
+// (the progress guarantee under a denying budget — inline claims use Must,
+// not Try), and a stall wait when a worker has the run in flight.
+func (s *extractStream) waitRow(i int) error {
+	r := s.rowRun[i]
+	if r < 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return errStreamClosed
+		}
+		if s.errCount > 0 {
+			return s.settleLocked()
+		}
+		if s.done[r] {
+			if s.errs[r] != nil {
+				return s.settleLocked()
+			}
+			return nil
+		}
+		if !s.claimed[r] {
+			s.claimed[r] = true
+			s.inflight++
+			s.grant.Must(s.est[r])
+			s.mu.Unlock()
+			sc := s.e.getScratch()
+			err := s.e.extractRun(&s.runs[r], sc, s.sink, s.obs)
+			s.e.putScratch(sc)
+			s.mu.Lock()
+			s.done[r] = true
+			s.errs[r] = err
+			s.inflight--
+			if err != nil {
+				s.errCount++
+				s.grant.Release(s.est[r])
+				return s.settleLocked()
+			}
+			s.cond.Broadcast()
+			return nil
+		}
+		t0 := time.Now()
+		s.cond.Wait()
+		s.e.xstats.prefetchStallNanos.Add(time.Since(t0).Nanoseconds())
+	}
+}
+
+// settleLocked normalizes any failure to the deterministic materializing
+// error: stop new prefetch claims, drain in-flight runs, execute every
+// not-yet-run run inline in plan order, and report the error of the
+// earliest failing run — exactly what extractRuns surfaces. Caller holds
+// mu; the settled error is sticky.
+func (s *extractStream) settleLocked() error {
+	if s.failed != nil {
+		return s.failed
+	}
+	s.stopping = true
+	s.cond.Broadcast()
+	for s.inflight > 0 {
+		s.cond.Wait()
+	}
+	for r := 0; r < len(s.runs) && s.failed == nil; r++ {
+		if s.done[r] {
+			if s.errs[r] != nil {
+				s.failed = s.errs[r]
+			}
+			continue
+		}
+		s.claimed[r] = true
+		s.mu.Unlock()
+		s.grant.Must(s.est[r])
+		sc := s.e.getScratch()
+		err := s.e.extractRun(&s.runs[r], sc, s.sink, s.obs)
+		s.e.putScratch(sc)
+		s.grant.Release(s.est[r])
+		s.mu.Lock()
+		s.done[r] = true
+		s.errs[r] = err
+		if err != nil {
+			s.failed = err
+		}
+	}
+	if s.failed == nil {
+		// Unreachable: errCount > 0 implies some errs entry is non-nil.
+		for r := range s.errs {
+			if s.errs[r] != nil {
+				s.failed = s.errs[r]
+				break
+			}
+		}
+	}
+	return s.failed
+}
+
+// RowsServed implements plan.RowsServedCounter.
+func (s *extractStream) RowsServed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Close stops prefetching and releases the stream's files and budget.
+// Idempotent, and safe to call while the feeder is blocked in Next: it
+// wakes the feeder, waits for it to leave, then tears down.
+func (s *extractStream) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.stopping = true
+	s.cond.Broadcast()
+	for s.consuming {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+	s.workerWG.Wait()
+	s.grant.Close()
+	closeFiles(s.opened)
+}

@@ -1,0 +1,145 @@
+package etl
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/column"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// runQueryEnv executes a lazy-mode query with an explicit environment
+// configuration, so tests can pin the oracle (NoPipeline) against the
+// pipelined streaming path at chosen worker counts and morsel sizes.
+func runQueryEnv(e *Engine, store *catalog.Store, q string, workers, morselRows int, noPipeline bool) (*column.Batch, error) {
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	plans, err := plan.Build(stmt, store.Catalog(), plan.Lazy)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Execute(plans.Root, &plan.Env{
+		Store:      store,
+		Source:     e,
+		Pool:       exec.NewPoolMorsel(workers, morselRows),
+		NoPipeline: noPipeline,
+	})
+}
+
+// TestStreamMatchesExtract requires the streamed universal table (consumed
+// through a pipelined raw select) to be byte-identical to the materializing
+// Extract path, cold and warm, at several parallelism and morsel settings.
+func TestStreamMatchesExtract(t *testing.T) {
+	_, _, dir := newEngine(t, 3000, Options{})
+	q := `SELECT D.sample_time, D.sample_value FROM mseed.dataview
+	      WHERE F.channel = 'BHZ' AND D.sample_value > 10`
+
+	oracle, oracleStore, _ := newEngineAt(t, dir, Options{Parallelism: 1})
+	if _, err := oracle.LoadMetadata(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := runQueryEnv(oracle, oracleStore, q, 1, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.NumRows() == 0 {
+		t.Fatal("oracle query returned no rows; test is vacuous")
+	}
+
+	for _, p := range []int{1, 4} {
+		for _, morsel := range []int{61, 5000} {
+			e, store, _ := newEngineAt(t, dir, Options{Parallelism: p})
+			if _, err := e.LoadMetadata(); err != nil {
+				t.Fatal(err)
+			}
+			cold, err := runQueryEnv(e, store, q, p, morsel, false)
+			if err != nil {
+				t.Fatalf("parallelism=%d morsel=%d: %v", p, morsel, err)
+			}
+			warm, err := runQueryEnv(e, store, q, p, morsel, false)
+			if err != nil {
+				t.Fatalf("parallelism=%d morsel=%d warm: %v", p, morsel, err)
+			}
+			if cold.String() != want.String() {
+				t.Errorf("parallelism=%d morsel=%d: cold stream output differs from Extract", p, morsel)
+			}
+			if warm.String() != want.String() {
+				t.Errorf("parallelism=%d morsel=%d: warm stream output differs from Extract", p, morsel)
+			}
+			if st := e.ExtractionStats(); st.SamplesServed == 0 {
+				t.Errorf("parallelism=%d morsel=%d: no samples counted", p, morsel)
+			}
+		}
+	}
+}
+
+// TestStreamDeterministicReadFailure truncates every qualifying file after
+// the metadata load, so prefetch ReadAt calls fail mid-query. Whatever run
+// fails first in wall-clock time, the surfaced error must be that of the
+// earliest failing run in plan order — identical to the materializing
+// extractor's, at every parallelism.
+func TestStreamDeterministicReadFailure(t *testing.T) {
+	_, _, dir := newEngine(t, 2000, Options{})
+	q := `SELECT COUNT(*) FROM mseed.dataview WHERE F.channel = 'BHZ'`
+
+	truncate := func(e *Engine) {
+		n := 0
+		for _, f := range e.Repository().Files {
+			if !strings.Contains(f.URI, "BHZ") {
+				continue
+			}
+			st, err := os.Stat(f.AbsPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(f.AbsPath, st.Size()/3); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+		if n < 2 {
+			t.Fatalf("truncated %d files, want >= 2", n)
+		}
+	}
+
+	oracle, oracleStore, _ := newEngineAt(t, dir, Options{Parallelism: 1})
+	if _, err := oracle.LoadMetadata(); err != nil {
+		t.Fatal(err)
+	}
+	const tries = 3
+	type eng struct {
+		e *Engine
+		s *catalog.Store
+	}
+	var streams []eng
+	for _, p := range []int{1, 8} {
+		for i := 0; i < tries; i++ {
+			e, store, _ := newEngineAt(t, dir, Options{Parallelism: p})
+			if _, err := e.LoadMetadata(); err != nil {
+				t.Fatal(err)
+			}
+			streams = append(streams, eng{e, store})
+		}
+	}
+	truncate(oracle)
+
+	_, wantErr := runQueryEnv(oracle, oracleStore, q, 1, 0, true)
+	if wantErr == nil {
+		t.Fatal("materializing extraction over truncated files did not fail")
+	}
+	for i, se := range streams {
+		_, err := runQueryEnv(se.e, se.s, q, 4, 61, false)
+		if err == nil {
+			t.Fatalf("stream %d: no error over truncated files", i)
+		}
+		if err.Error() != wantErr.Error() {
+			t.Fatalf("stream %d: error %q != materializing error %q", i, err, wantErr)
+		}
+	}
+}

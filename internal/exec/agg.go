@@ -97,14 +97,12 @@ func Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*column.Bat
 	if len(groupBy) > 0 {
 		groups = groupRows(keyCols, args, len(aggs), n, intKeyed(groupBy, keyCols), nil, 0, 0, nil)
 	} else {
-		// Global aggregate: a single group over all rows.
-		groups = []aggGroup{{firstRow: 0, states: make([]aggState, len(aggs))}}
+		// Global aggregate: a single group over all rows, folded through the
+		// fixed-shape chunk tree (see globalagg.go) that the parallel and
+		// pipelined engines share, so every engine produces the same bits.
+		groups = []aggGroup{{firstRow: 0, states: globalStates(nil, args, n)}}
 		if n == 0 {
 			groups[0].firstRow = -1
-		}
-		states := groups[0].states
-		for row := 0; row < n; row++ {
-			updateAggStates(states, args, row)
 		}
 	}
 
@@ -314,75 +312,78 @@ func appendRowKey(buf []byte, c *column.Column, row int) []byte {
 // updateAggStates folds row into every aggregate's state for its group.
 func updateAggStates(states []aggState, args []aggArg, row int) {
 	for i := range args {
-		a := &args[i]
-		st := &states[i]
-		if a.star {
-			st.count++
-			continue
+		updateOneAgg(&states[i], &args[i], row)
+	}
+}
+
+// updateOneAgg folds row into a single aggregate's state.
+func updateOneAgg(st *aggState, a *aggArg, row int) {
+	if a.star {
+		st.count++
+		return
+	}
+	if a.nulls != nil && a.nulls[row] {
+		return // aggregates ignore nulls
+	}
+	switch a.typ {
+	case column.Float64:
+		v := a.fls[row]
+		if a.distinct && !distinctBits(st, floatKeyBits(v)) {
+			return
 		}
-		if a.nulls != nil && a.nulls[row] {
-			continue // aggregates ignore nulls
+		st.count++
+		st.sum += v
+		if !st.any {
+			st.minF, st.maxF = v, v
+			st.any = true
+		} else {
+			if v < st.minF {
+				st.minF = v
+			}
+			if v > st.maxF {
+				st.maxF = v
+			}
 		}
-		switch a.typ {
-		case column.Float64:
-			v := a.fls[row]
-			if a.distinct && !distinctBits(st, floatKeyBits(v)) {
-				continue
+	case column.String:
+		v := a.strs[row]
+		if a.distinct {
+			if st.seen == nil {
+				st.seen = make(map[string]struct{})
 			}
-			st.count++
-			st.sum += v
-			if !st.any {
-				st.minF, st.maxF = v, v
-				st.any = true
-			} else {
-				if v < st.minF {
-					st.minF = v
-				}
-				if v > st.maxF {
-					st.maxF = v
-				}
+			if _, dup := st.seen[v]; dup {
+				return
 			}
-		case column.String:
-			v := a.strs[row]
-			if a.distinct {
-				if st.seen == nil {
-					st.seen = make(map[string]struct{})
-				}
-				if _, dup := st.seen[v]; dup {
-					continue
-				}
-				st.seen[v] = struct{}{}
+			st.seen[v] = struct{}{}
+		}
+		st.count++
+		if !st.any {
+			st.minS, st.maxS = v, v
+			st.any = true
+		} else {
+			if v < st.minS {
+				st.minS = v
 			}
-			st.count++
-			if !st.any {
-				st.minS, st.maxS = v, v
-				st.any = true
-			} else {
-				if v < st.minS {
-					st.minS = v
-				}
-				if v > st.maxS {
-					st.maxS = v
-				}
+			if v > st.maxS {
+				st.maxS = v
 			}
-		default: // integer family
-			v := a.ints[row]
-			if a.distinct && !distinctBits(st, uint64(v)) {
-				continue
+		}
+	default: // integer family
+		v := a.ints[row]
+		if a.distinct && !distinctBits(st, uint64(v)) {
+			return
+		}
+		st.count++
+		st.intSum += v
+		st.sum += float64(v)
+		if !st.any {
+			st.minI, st.maxI = v, v
+			st.any = true
+		} else {
+			if v < st.minI {
+				st.minI = v
 			}
-			st.count++
-			st.intSum += v
-			st.sum += float64(v)
-			if !st.any {
-				st.minI, st.maxI = v, v
-				st.any = true
-			} else {
-				if v < st.minI {
-					st.minI = v
-				}
-				if v > st.maxI {
-					st.maxI = v
-				}
+			if v > st.maxI {
+				st.maxI = v
 			}
 		}
 	}

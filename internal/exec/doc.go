@@ -77,7 +77,13 @@
 //     global row order. Every group's state — including order-sensitive
 //     float sums — is built by one worker in the serial update order, and
 //     the merge sorts groups by first-appearance row, the serial output
-//     order. Global (ungrouped) aggregates stay serial.
+//     order. Global (ungrouped) aggregates fold over a fixed-shape chunk
+//     tree (globalagg.go): the input splits at fixed 16384-row boundaries
+//     into per-chunk states folded serially within each chunk, merged
+//     pairwise-adjacent — a reduction shape that depends only on the input
+//     length, never on the worker count, so float sums come out
+//     bit-identical at every parallelism. DISTINCT arguments fold serially
+//     over the full stream in one continuous state on every engine.
 //   - HashJoin radix-partitions its build side on the high bits of the
 //     key hash: hash-and-count per morsel, a prefix sum that lays each
 //     partition's rows out in morsel (hence ascending row) order, a
@@ -103,6 +109,30 @@
 // Workers hold no state between invocations and pools are safe for
 // concurrent use by many queries; nothing in the engine mutates shared
 // data during a parallel phase except each worker's own output slot.
+//
+// # Push pipelines
+//
+// RunPipeline (pipeline.go) is the morsel-wise push alternative to the
+// materializing operators: a BatchSource yields morsels (a batch view plus
+// an optional selection vector), PipeStages transform them in place —
+// FilterStage refines the selection vector with no gather, ProbeStage
+// probes a prebuilt join table (radix-partitioned when the build was,
+// restitching per-partition match lists into left-row order) — and a
+// PipeSink terminates the pipeline: CollectSink appends surviving rows to
+// the output, AggSink folds them into group states. One morsel flows
+// through the whole stage chain before the next starts, so scan -> filter
+// -> probe -> aggregate runs fused with no intermediate batch. The only
+// pipeline breakers are join build sides, sort, spill and the final
+// output.
+//
+// The parallel driver keeps the serial semantics structurally: a feeder
+// sequences morsels, workers run the stage chain concurrently, and the
+// consumer releases results to the sink strictly in sequence order — so
+// order-sensitive sink state (float accumulation, group first-appearance,
+// the first error) folds exactly as the serial loop would, and pipelined
+// output is bit-identical to the materializing engine at every worker
+// count and morsel size. The materializing operators remain the oracle the
+// pipeline is tested against.
 //
 // # Memory governance and determinism
 //

@@ -53,6 +53,7 @@ func HashJoin(left, right *column.Batch, leftKeys, rightKeys []string) (*column.
 // Probing is read-only and safe for concurrent use by morsel workers.
 type joinTable struct {
 	lkc, rkc []*column.Column
+	lkeys    []string // probe-side key names (to rebind onto morsel views)
 	intKeys  bool
 	lpk, rpk []packedKeyCol // int-path packing adapters (intKeys only)
 
@@ -112,6 +113,7 @@ func buildJoinTable(left, right *column.Batch, leftKeys, rightKeys []string, p *
 	jt := &joinTable{
 		lkc:     lkc,
 		rkc:     rkc,
+		lkeys:   append([]string(nil), leftKeys...),
 		intKeys: intKeys,
 		next:    make([]int32, right.NumRows()),
 		qm:      qm,
@@ -173,15 +175,41 @@ func (jt *joinTable) encodeKey(buf []byte, cols []*column.Column, row int) []byt
 // hashes into a spilled partition are not probed here; their (row, hash)
 // pairs are returned for probeSpilled to handle partition-by-partition,
 // reusing the hash this pass already computed.
+//
+// A partitioned build takes the radix-partitioned probe path; a
+// single-table build keeps the original row-at-a-time loop, which doubles
+// as the oracle the partitioned path is tested against.
 func (jt *joinTable) probeRange(lo, hi int) (lsel, rsel, spl []int32, sph []uint64) {
-	lsel = make([]int32, 0, hi-lo)
-	rsel = make([]int32, 0, hi-lo)
+	if len(jt.parts) > 1 {
+		return jt.probePartitioned(jt.lkc, jt.lpk, nil, lo, hi)
+	}
+	return jt.probeDirect(jt.lkc, jt.lpk, nil, lo, hi)
+}
+
+// probeDirect is the row-at-a-time probe: each row walks straight into its
+// partition's table. kc/pk are the probe-side key columns (jt.lkc for the
+// batch engine; a morsel view's columns when pipelined). sel selects the
+// rows to probe (ascending); a nil sel probes [lo, hi).
+func (jt *joinTable) probeDirect(kc []*column.Column, pk []packedKeyCol, sel []int32, lo, hi int) (lsel, rsel, spl []int32, sph []uint64) {
+	nr := hi - lo
+	if sel != nil {
+		nr = len(sel)
+	}
+	rowAt := func(k int) int {
+		if sel != nil {
+			return int(sel[k])
+		}
+		return lo + k
+	}
+	lsel = make([]int32, 0, nr)
+	rsel = make([]int32, 0, nr)
 	if jt.intKeys {
-		for i := lo; i < hi; i++ {
-			if nullKey(jt.lkc, i) {
+		for k := 0; k < nr; k++ {
+			i := rowAt(k)
+			if nullKey(kc, i) {
 				continue
 			}
-			a, b := jt.packLeft(i)
+			a, b := packKey(pk, i)
 			h := hashIntKey(a, b)
 			pi := h >> jt.shift
 			if jt.spilled != nil && jt.spilled[pi] {
@@ -197,12 +225,13 @@ func (jt *joinTable) probeRange(lo, hi int) (lsel, rsel, spl []int32, sph []uint
 		}
 		return lsel, rsel, spl, sph
 	}
-	buf := make([]byte, 0, 16*len(jt.lkc))
-	for i := lo; i < hi; i++ {
-		if nullKey(jt.lkc, i) {
+	buf := make([]byte, 0, 16*len(kc))
+	for k := 0; k < nr; k++ {
+		i := rowAt(k)
+		if nullKey(kc, i) {
 			continue
 		}
-		buf = jt.encodeKey(buf[:0], jt.lkc, i)
+		buf = jt.encodeKey(buf[:0], kc, i)
 		h := fnv1a(buf)
 		pi := h >> jt.shift
 		if jt.spilled != nil && jt.spilled[pi] {
@@ -217,6 +246,124 @@ func (jt *joinTable) probeRange(lo, hi int) (lsel, rsel, spl []int32, sph []uint
 		}
 	}
 	return lsel, rsel, spl, sph
+}
+
+// probePartitioned is the radix-partitioned probe: one hash pass buckets
+// the probe rows by the build's partition prefix, then each resident
+// partition is probed as a unit — all of a partition's probes touch one
+// table before moving on, instead of every row striding across all
+// partitions' tables. Rows stay ascending within each bucket and every key
+// lives in exactly one partition, so merging the per-partition match lists
+// by left row reproduces probeDirect's output exactly.
+func (jt *joinTable) probePartitioned(kc []*column.Column, pk []packedKeyCol, sel []int32, lo, hi int) (lsel, rsel, spl []int32, sph []uint64) {
+	nr := hi - lo
+	if sel != nil {
+		nr = len(sel)
+	}
+	np := len(jt.parts)
+	pRows := make([][]int32, np)
+	pHash := make([][]uint64, np)
+	bucket := func(i int, h uint64) {
+		pi := h >> jt.shift
+		if jt.spilled != nil && jt.spilled[pi] {
+			spl = append(spl, int32(i))
+			sph = append(sph, h)
+			return
+		}
+		pRows[pi] = append(pRows[pi], int32(i))
+		pHash[pi] = append(pHash[pi], h)
+	}
+	if jt.intKeys {
+		for k := 0; k < nr; k++ {
+			i := lo + k
+			if sel != nil {
+				i = int(sel[k])
+			}
+			if nullKey(kc, i) {
+				continue
+			}
+			a, b := packKey(pk, i)
+			bucket(i, hashIntKey(a, b))
+		}
+	} else {
+		buf := make([]byte, 0, 16*len(kc))
+		for k := 0; k < nr; k++ {
+			i := lo + k
+			if sel != nil {
+				i = int(sel[k])
+			}
+			if nullKey(kc, i) {
+				continue
+			}
+			buf = jt.encodeKey(buf[:0], kc, i)
+			bucket(i, fnv1a(buf))
+		}
+	}
+
+	var lls, rls [][]int32
+	var buf []byte
+	if !jt.intKeys {
+		buf = make([]byte, 0, 16*len(kc))
+	}
+	for pi := 0; pi < np; pi++ {
+		rows := pRows[pi]
+		if len(rows) == 0 {
+			continue
+		}
+		pt := &jt.parts[pi]
+		pl := make([]int32, 0, len(rows))
+		pr := make([]int32, 0, len(rows))
+		if jt.intKeys {
+			for k, i := range rows {
+				a, b := packKey(pk, int(i))
+				for ri := pt.lookupInt(pHash[pi][k], a, b); ri >= 0; ri = jt.next[ri] {
+					pl = append(pl, i)
+					pr = append(pr, ri)
+				}
+			}
+		} else {
+			for k, i := range rows {
+				buf = jt.encodeKey(buf[:0], kc, int(i))
+				for ri := pt.lookupGen(pHash[pi][k], buf); ri >= 0; ri = jt.next[ri] {
+					pl = append(pl, i)
+					pr = append(pr, ri)
+				}
+			}
+		}
+		lls = append(lls, pl)
+		rls = append(rls, pr)
+	}
+	if len(lls) == 0 {
+		return []int32{}, []int32{}, spl, sph
+	}
+	lsel, rsel = mergeMatchLists(lls, rls)
+	return lsel, rsel, spl, sph
+}
+
+// probeMorsel probes the selected rows of one pipeline morsel (sel nil =
+// all rows) against the built table, rebinding the key columns onto the
+// morsel's view. Spilled partitions are a pipeline breaker — decomposition
+// never pipelines a join under a finite budget, so hitting one here is a
+// defensive fallback, not a supported path.
+func (jt *joinTable) probeMorsel(b *column.Batch, sel []int32) ([]int32, []int32, error) {
+	kc, err := keyColumns(b, jt.lkeys)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pk []packedKeyCol
+	if jt.intKeys {
+		pk = packKeyCols(kc)
+	}
+	var lsel, rsel, spl []int32
+	if len(jt.parts) > 1 {
+		lsel, rsel, spl, _ = jt.probePartitioned(kc, pk, sel, 0, b.NumRows())
+	} else {
+		lsel, rsel, spl, _ = jt.probeDirect(kc, pk, sel, 0, b.NumRows())
+	}
+	if len(spl) > 0 {
+		return nil, nil, fmt.Errorf("%w: probe hit spilled join partition", ErrPipelineFallback)
+	}
+	return lsel, rsel, nil
 }
 
 // probeAll probes every left row: resident partitions through probeRange

@@ -43,6 +43,25 @@ func NewPool(workers int) *Pool {
 	return &Pool{workers: workers}
 }
 
+// NewPoolMorsel returns a pool with an explicit morsel size in rows
+// (<= 0 keeps DefaultMorselRows). Exposed so callers can shrink morsels —
+// the oracle matrix tests exercise pipelines at tiny sizes.
+func NewPoolMorsel(workers, morselRows int) *Pool {
+	p := NewPool(workers)
+	if morselRows > 0 {
+		p.morsel = morselRows
+	}
+	return p
+}
+
+// MorselRows returns the pool's morsel size in rows.
+func (p *Pool) MorselRows() int {
+	if p == nil {
+		return DefaultMorselRows
+	}
+	return p.morselRows()
+}
+
 // Workers returns the pool's worker count (1 for a nil pool).
 func (p *Pool) Workers() int {
 	if p == nil {
@@ -369,13 +388,28 @@ func (p *Pool) Aggregate(b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*
 // remaining rows to disk, replayed shard-by-shard afterwards — see
 // aggShard. Output is bit-identical at every budget and worker count.
 //
-// Global aggregates (no GROUP BY) stay serial: a single accumulator has no
-// shards, and splitting it would change float summation order.
+// Global aggregates (no GROUP BY) fold through the fixed-shape chunk
+// reduction tree in globalagg.go: constant-size chunks fold on workers and
+// merge pairwise-adjacent, so float SUM/AVG bits depend only on the input
+// length — identical at every worker count, and identical to the serial
+// engine (which runs the same tree).
 func (p *Pool) AggregateMem(qm *QueryMem, b *column.Batch, groupBy []sql.Expr, aggs []AggSpec) (*column.Batch, AggStats, error) {
 	n := b.NumRows()
 	limited := qm.Limited()
 	if len(groupBy) == 0 {
-		return serialAggWithStats(b, groupBy, aggs)
+		keyCols, args, err := evalAggInputs(b, groupBy, aggs)
+		if err != nil {
+			return nil, AggStats{}, err
+		}
+		groups := []aggGroup{{firstRow: 0, states: globalStates(p, args, n)}}
+		if n == 0 {
+			groups[0].firstRow = -1
+		}
+		out, err := buildAggOutput(keyCols, groupBy, args, aggs, groups)
+		if err != nil {
+			return nil, AggStats{}, err
+		}
+		return out, AggStats{Rows: n, Groups: 1}, nil
 	}
 	if p.serialFor(n) {
 		if !limited {

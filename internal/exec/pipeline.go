@@ -1,0 +1,616 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/column"
+	"repro/internal/sql"
+)
+
+// ErrPipelineFallback signals that a pipelined execution cannot proceed
+// (e.g. a probe row hashed into a spilled build partition) and the caller
+// should re-run the plan on the materializing engine. It is a control-flow
+// sentinel, not a user-visible failure: output stays bit-identical because
+// the materializing engine is the oracle the pipeline is checked against.
+var ErrPipelineFallback = errors.New("exec: pipeline fallback to materializing engine")
+
+// Morsel is the unit of work flowing through a push pipeline: a batch view
+// plus a selection vector of the rows still alive. Sel == nil means all
+// rows. Stages refine Sel (filters) or replace the batch (probes) without
+// materializing intermediates; only the sink gathers.
+type Morsel struct {
+	B   *column.Batch
+	Sel []int32 // ascending row indices into B; nil = every row
+}
+
+// Rows returns the number of live rows in the morsel.
+func (m Morsel) Rows() int {
+	if m.Sel != nil {
+		return len(m.Sel)
+	}
+	if m.B == nil {
+		return 0
+	}
+	return m.B.NumRows()
+}
+
+// view materializes the live rows as a batch (the sink-side gather).
+func (m Morsel) view() *column.Batch {
+	if m.Sel == nil {
+		return m.B
+	}
+	return m.B.Gather(m.Sel)
+}
+
+// BatchSource produces the morsel stream a pipeline consumes. Next is
+// called from a single goroutine; ok == false ends the stream. Close is
+// called exactly once when the pipeline stops, error paths included.
+type BatchSource interface {
+	Next() (m Morsel, ok bool, err error)
+	Close()
+}
+
+// batchMorsels adapts a materialized batch into a BatchSource of
+// contiguous row-range views.
+type batchMorsels struct {
+	b      *column.Batch
+	n      int
+	pos    int
+	morsel int
+}
+
+// NewBatchMorsels returns a BatchSource over b with the given morsel size
+// (rows; <= 0 selects DefaultMorselRows).
+func NewBatchMorsels(b *column.Batch, morselRows int) BatchSource {
+	if morselRows <= 0 {
+		morselRows = DefaultMorselRows
+	}
+	return &batchMorsels{b: b, n: b.NumRows(), morsel: morselRows}
+}
+
+func (s *batchMorsels) Next() (Morsel, bool, error) {
+	if s.pos >= s.n {
+		return Morsel{}, false, nil
+	}
+	hi := s.pos + s.morsel
+	if hi > s.n {
+		hi = s.n
+	}
+	m := Morsel{B: s.b.Range(s.pos, hi)}
+	s.pos = hi
+	return m, true, nil
+}
+
+func (s *batchMorsels) Close() {}
+
+// PipeStage is one fused operator of a push pipeline. Process must be safe
+// for concurrent use: morsels of one pipeline run flow through the same
+// stage on several workers at once. Rows reports the stage's cumulative
+// input and output row counters (per-operator selectivity for the stats
+// surface).
+type PipeStage interface {
+	Label() string
+	Process(m Morsel) (Morsel, error)
+	Rows() (in, out int64)
+}
+
+// PipeSink terminates a pipeline. Consume is called from one goroutine in
+// source order (the driver reorders worker results by sequence number), so
+// order-sensitive state — float accumulation, group first-appearance —
+// folds exactly as the serial engine would. Finish materializes the result.
+type PipeSink interface {
+	Consume(m Morsel) error
+	Finish() (*column.Batch, error)
+}
+
+// PipelineStats describes one pipeline run.
+type PipelineStats struct {
+	Morsels int
+}
+
+// RunPipeline drives src through the stages into sink. With a nil or
+// one-worker pool the loop is fully serial; otherwise a feeder goroutine
+// sequences morsels, workers apply the stage chain concurrently, and the
+// consumer releases morsels to the sink strictly in sequence order, so the
+// sink observes exactly the serial order at every worker count. The first
+// error in sequence order is the one returned — the same error the serial
+// loop would hit.
+func (p *Pool) RunPipeline(src BatchSource, stages []PipeStage, sink PipeSink) (PipelineStats, error) {
+	defer src.Close()
+	var st PipelineStats
+	if p.Workers() <= 1 {
+		for {
+			m, ok, err := src.Next()
+			if err != nil {
+				return st, err
+			}
+			if !ok {
+				return st, nil
+			}
+			st.Morsels++
+			m, err = applyStages(stages, m)
+			if err != nil {
+				return st, err
+			}
+			if m.Rows() > 0 {
+				if err := sink.Consume(m); err != nil {
+					return st, err
+				}
+			}
+		}
+	}
+
+	type result struct {
+		seq int
+		m   Morsel
+		err error
+	}
+	w := p.Workers()
+	in := make(chan result, w)
+	out := make(chan result, 2*w)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var morsels atomic.Int64
+	go func() { // feeder: owns src, assigns sequence numbers
+		defer close(in)
+		for seq := 0; ; seq++ {
+			m, ok, err := src.Next()
+			if err != nil {
+				select {
+				case in <- result{seq: seq, err: err}:
+				case <-stop:
+				}
+				return
+			}
+			if !ok {
+				return
+			}
+			morsels.Add(1)
+			select {
+			case in <- result{seq: seq, m: m}:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for r := range in {
+				if r.err == nil {
+					r.m, r.err = applyStages(stages, r.m)
+				}
+				select {
+				case out <- r:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(out) }()
+
+	// Consumer: reorder by sequence number, feed the sink in order, stop at
+	// the first in-order error.
+	next := 0
+	pending := make(map[int]result)
+	var firstErr error
+	for r := range out {
+		if firstErr != nil {
+			continue // draining after halt
+		}
+		pending[r.seq] = r
+		for {
+			q, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if q.err != nil {
+				firstErr = q.err
+				halt()
+				break
+			}
+			if q.m.Rows() == 0 {
+				continue
+			}
+			if err := sink.Consume(q.m); err != nil {
+				firstErr = err
+				halt()
+				break
+			}
+		}
+	}
+	halt()
+	st.Morsels = int(morsels.Load())
+	return st, firstErr
+}
+
+func applyStages(stages []PipeStage, m Morsel) (Morsel, error) {
+	for _, stage := range stages {
+		if m.Rows() == 0 {
+			return Morsel{}, nil
+		}
+		var err error
+		m, err = stage.Process(m)
+		if err != nil {
+			return Morsel{}, err
+		}
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Stages
+// ---------------------------------------------------------------------------
+
+// FilterStage refines each morsel's selection vector through a predicate
+// list — the fused equivalent of the materializing Filter, minus the
+// gather.
+type FilterStage struct {
+	preds   []sql.Expr
+	in, out atomic.Int64
+}
+
+// NewFilterStage builds a filter stage over the given conjuncts.
+func NewFilterStage(preds []sql.Expr) *FilterStage {
+	return &FilterStage{preds: preds}
+}
+
+// Label implements PipeStage.
+func (s *FilterStage) Label() string { return "filter " + exprText(s.preds) }
+
+// Rows implements PipeStage.
+func (s *FilterStage) Rows() (int64, int64) { return s.in.Load(), s.out.Load() }
+
+// Process implements PipeStage: exactly the serial Filter's selection-
+// vector threading over the morsel view; a nil vector from a fast path
+// keeps meaning "all rows".
+func (s *FilterStage) Process(m Morsel) (Morsel, error) {
+	s.in.Add(int64(m.Rows()))
+	sel := m.Sel
+	for _, pred := range s.preds {
+		sv, err := evalPredSel(pred, m.B, sel)
+		if err != nil {
+			return Morsel{}, err
+		}
+		sel = sv
+		if sel != nil && len(sel) == 0 {
+			break
+		}
+	}
+	out := Morsel{B: m.B, Sel: sel}
+	s.out.Add(int64(out.Rows()))
+	return out, nil
+}
+
+func exprText(preds []sql.Expr) string {
+	text := ""
+	for i, p := range preds {
+		if i > 0 {
+			text += " AND "
+		}
+		text += p.String()
+	}
+	return text
+}
+
+// JoinProbe is a hash-join build side prepared for pipelined probing: the
+// table is built once (a pipeline breaker), then probe stages stream left
+// morsels against it.
+type JoinProbe struct {
+	jt        *joinTable
+	right     *column.Batch
+	rightKeys []string
+}
+
+// BuildProbeTable builds the join table over the right (build) side.
+// leftProto supplies the probe side's schema — a zero-row prototype of the
+// morsels that will flow through the stage.
+func BuildProbeTable(leftProto, right *column.Batch, leftKeys, rightKeys []string, p *Pool, qm *QueryMem) (*JoinProbe, error) {
+	jt, err := buildJoinTable(leftProto, right, leftKeys, rightKeys, p, qm)
+	if err != nil {
+		return nil, err
+	}
+	return &JoinProbe{jt: jt, right: right, rightKeys: rightKeys}, nil
+}
+
+// Spilled reports whether the build spilled any partition. A spilled build
+// is a pipeline breaker: the grace-hash probe needs the whole probe side,
+// so the caller must fall back to the materializing engine.
+func (jp *JoinProbe) Spilled() bool { return jp.jt.spilled != nil }
+
+// Stats returns the build-side stats (probe counters are on the stage).
+func (jp *JoinProbe) Stats() JoinStats { return jp.jt.stats }
+
+// Close releases the build table's memory grant.
+func (jp *JoinProbe) Close() { jp.jt.grant.Close() }
+
+// NewStage returns a probe stage over this build table. Several stages may
+// share one table (the table is read-only during probing).
+func (jp *JoinProbe) NewStage() *ProbeStage { return &ProbeStage{jp: jp} }
+
+// Proto returns the stage's output schema for a given input schema: the
+// probe output of an empty morsel.
+func (jp *JoinProbe) Proto(leftProto *column.Batch) (*column.Batch, error) {
+	return assembleJoin(leftProto, jp.right, jp.rightKeys, nil, nil, nil)
+}
+
+// ProbeStage probes each morsel's live rows against a prebuilt join table
+// and assembles the matched left+right rows into a fresh morsel.
+type ProbeStage struct {
+	jp      *JoinProbe
+	in, out atomic.Int64
+}
+
+// Label implements PipeStage.
+func (s *ProbeStage) Label() string {
+	text := ""
+	for i, k := range s.jp.jt.lkeys {
+		if i > 0 {
+			text += ", "
+		}
+		text += k
+	}
+	return "probe " + text
+}
+
+// Rows implements PipeStage (in = rows probed, out = matches).
+func (s *ProbeStage) Rows() (int64, int64) { return s.in.Load(), s.out.Load() }
+
+// Process implements PipeStage.
+func (s *ProbeStage) Process(m Morsel) (Morsel, error) {
+	s.in.Add(int64(m.Rows()))
+	lsel, rsel, err := s.jp.jt.probeMorsel(m.B, m.Sel)
+	if err != nil {
+		return Morsel{}, err
+	}
+	s.out.Add(int64(len(lsel)))
+	out, err := assembleJoin(m.B, s.jp.right, s.jp.rightKeys, lsel, rsel, nil)
+	if err != nil {
+		return Morsel{}, err
+	}
+	return Morsel{B: out}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+// CollectSink materializes the pipeline's surviving rows — the final-output
+// pipeline breaker. Gathers happen here, once per morsel, instead of once
+// per operator.
+type CollectSink struct {
+	proto *column.Batch
+	out   *column.Batch
+}
+
+// NewCollectSink builds a collector; proto supplies the output schema when
+// no morsel survives.
+func NewCollectSink(proto *column.Batch) *CollectSink { return &CollectSink{proto: proto} }
+
+// Consume implements PipeSink.
+func (s *CollectSink) Consume(m Morsel) error {
+	part := m.view()
+	if s.out == nil {
+		// Fresh columns, so appending never mutates a shared morsel view.
+		cols := make([]*column.Column, part.NumCols())
+		for i := range cols {
+			c := part.ColAt(i)
+			cols[i] = column.New(c.Name(), c.Type())
+		}
+		s.out = column.MustNewBatch(cols...)
+	}
+	return s.out.AppendBatch(part)
+}
+
+// Finish implements PipeSink.
+func (s *CollectSink) Finish() (*column.Batch, error) {
+	if s.out == nil {
+		return s.proto, nil
+	}
+	return s.out, nil
+}
+
+// AggSink folds morsels straight into aggregation state — the fused
+// scan → filter → aggregate path with no intermediate batch. Morsels arrive
+// in source order (the driver guarantees it), so float accumulation and
+// group first-appearance order match the serial engine exactly; global
+// aggregates go through the same fixed-shape chunk tree as the batch
+// engines, so the result is bit-identical at every morsel size and worker
+// count.
+type AggSink struct {
+	groupBy []sql.Expr
+	aggs    []AggSpec
+	qm      *QueryMem
+
+	intKey    bool
+	protoKeys []*column.Column
+	protoArgs []aggArg
+
+	// Grouped state: a persistent index across morsels plus captured key
+	// values (the key columns live only as long as their morsel).
+	groups   []aggGroup
+	idxInt   map[int64]int
+	nullGrp  int
+	idxGen   map[string]int
+	keybuf   []byte
+	captured []*column.Column
+
+	// Global state: the fixed-shape chunk tree, fed in arrival order.
+	global *globalAgg
+
+	rowsIn int64
+}
+
+// NewAggSink builds an aggregation sink. proto is a zero-row prototype of
+// the pipeline's morsels; evaluating the expressions over it pins key and
+// argument types before any data flows. Distinct aggregates under a finite
+// memory budget are a planner-level fallback, not handled here.
+func NewAggSink(proto *column.Batch, groupBy []sql.Expr, aggs []AggSpec, qm *QueryMem) (*AggSink, error) {
+	keyCols, args, err := evalAggInputs(proto, groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	s := &AggSink{
+		groupBy:   groupBy,
+		aggs:      aggs,
+		qm:        qm,
+		protoKeys: keyCols,
+		protoArgs: args,
+		nullGrp:   -1,
+	}
+	if len(groupBy) == 0 {
+		s.global = newGlobalAgg(args)
+		return s, nil
+	}
+	s.intKey = intKeyed(groupBy, keyCols)
+	if s.intKey {
+		s.idxInt = make(map[int64]int, 64)
+	} else {
+		s.idxGen = make(map[string]int, 64)
+		s.keybuf = make([]byte, 0, 16*len(keyCols))
+	}
+	s.captured = make([]*column.Column, len(keyCols))
+	for i, kc := range keyCols {
+		s.captured[i] = column.New(kc.Name(), kc.Type())
+	}
+	return s, nil
+}
+
+// RowsIn returns the number of rows folded so far.
+func (s *AggSink) RowsIn() int64 { return s.rowsIn }
+
+// Consume implements PipeSink.
+func (s *AggSink) Consume(m Morsel) error {
+	keyCols, args, err := evalAggInputs(m.B, s.groupBy, s.aggs)
+	if err != nil {
+		return err
+	}
+	n := m.B.NumRows()
+	sel := m.Sel
+	if sel == nil {
+		sel = selAll(n)
+	}
+	s.rowsIn += int64(len(sel))
+	if s.global != nil {
+		for _, row := range sel {
+			s.global.add(args, int(row))
+		}
+		return nil
+	}
+	return s.consumeGrouped(keyCols, args, sel)
+}
+
+func (s *AggSink) consumeGrouped(keyCols []*column.Column, args []aggArg, sel []int32) error {
+	// newRows collects the morsel-local first rows of groups created by this
+	// morsel, in creation order (= ascending global first appearance), so
+	// their key values can be captured before the morsel is dropped.
+	var newRows []int32
+	addGroup := func(row int32) int {
+		s.groups = append(s.groups, aggGroup{
+			firstRow: int32(len(s.groups)),
+			states:   make([]aggState, len(s.aggs)),
+		})
+		newRows = append(newRows, row)
+		return len(s.groups) - 1
+	}
+	if s.intKey {
+		ints := keyCols[0].Int64s()
+		nulls := keyCols[0].Nulls()
+		for _, row := range sel {
+			var gi int
+			if nulls != nil && nulls[row] {
+				if s.nullGrp < 0 {
+					s.nullGrp = addGroup(row)
+				}
+				gi = s.nullGrp
+			} else {
+				k := ints[row]
+				g, ok := s.idxInt[k]
+				if !ok {
+					g = addGroup(row)
+					s.idxInt[k] = g
+				}
+				gi = g
+			}
+			updateAggStates(s.groups[gi].states, args, int(row))
+		}
+	} else {
+		for _, row := range sel {
+			buf := s.keybuf[:0]
+			for _, kc := range keyCols {
+				buf = appendRowKey(buf, kc, int(row))
+			}
+			s.keybuf = buf
+			gi, ok := s.idxGen[string(buf)]
+			if !ok {
+				gi = addGroup(row)
+				s.idxGen[string(buf)] = gi
+			}
+			updateAggStates(s.groups[gi].states, args, int(row))
+		}
+	}
+	for i, kc := range keyCols {
+		if err := s.captured[i].AppendColumn(kc.Gather(newRows)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finish implements PipeSink.
+func (s *AggSink) Finish() (*column.Batch, error) {
+	if s.global != nil {
+		groups := []aggGroup{{firstRow: 0, states: s.global.finish()}}
+		if s.rowsIn == 0 {
+			groups[0].firstRow = -1
+		}
+		return buildAggOutput(s.protoKeys, s.groupBy, s.protoArgs, s.aggs, groups)
+	}
+	// Account the group table's working set post hoc, mirroring the
+	// unlimited-budget batch path, so the ledger high-water mark stays
+	// meaningful.
+	if acct := s.qm.Ledger().NewGrant(); acct != nil {
+		keyEst := 9
+		if !s.intKey {
+			keyEst = 16 * len(s.protoKeys)
+		}
+		est := int64(len(s.groups)) * aggGroupBytes(len(s.aggs), keyEst)
+		for gi := range s.groups {
+			for si := range s.groups[gi].states {
+				if m := s.groups[gi].states[si].seen; m != nil {
+					est += int64(len(m)) * distinctSeenBytes
+				}
+			}
+		}
+		acct.Try(est)
+		acct.Close()
+	}
+	// groups are in creation order = first-appearance order, with firstRow
+	// rewritten to index the captured key columns.
+	return buildAggOutput(s.captured, s.groupBy, s.protoArgs, s.aggs, s.groups)
+}
+
+// Groups returns the number of output groups folded so far.
+func (s *AggSink) Groups() int {
+	if s.global != nil {
+		return 1
+	}
+	return len(s.groups)
+}
+
+// StageSummary formats one stage's in/out counters for observer events.
+func StageSummary(st PipeStage) string {
+	in, out := st.Rows()
+	return fmt.Sprintf("%s: %d -> %d rows", st.Label(), in, out)
+}

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/catalog"
@@ -57,6 +58,9 @@ type Env struct {
 	// partitions, probe volumes, sort strategies, spill activity) across
 	// queries.
 	Stats *ExecStats
+	// NoPipeline forces the materializing engine for every plan — the
+	// bit-identity oracle the push pipelines are tested against.
+	NoPipeline bool
 }
 
 func (e *Env) obs() Observer {
@@ -66,25 +70,55 @@ func (e *Env) obs() Observer {
 	return e.Obs
 }
 
-// Execute runs the plan to completion and returns the result batch.
+// Execute runs the plan to completion and returns the result batch. Plans
+// whose spine decomposes into a push pipeline (see pipeline.go) run
+// morsel-wise with no intermediate batches; everything else — and
+// everything when Env.NoPipeline is set — runs on the materializing
+// engine, which is retained as the bit-identity oracle.
 func Execute(n Node, env *Env) (*column.Batch, error) {
-	obs := env.obs()
-	switch x := n.(type) {
-	case *Scan:
-		b, err := env.Store.Table(x.Table)
+	if !env.NoPipeline {
+		if pp, ok := decompose(n); ok && pp.allowed(env) {
+			out, err := executePipelined(pp, env)
+			if err != nil && errors.Is(err, exec.ErrPipelineFallback) {
+				env.Stats.recordPipelineFallback()
+				return executeNode(n, env)
+			}
+			return out, err
+		}
+	}
+	return executeNode(n, env)
+}
+
+// scanBase loads a Scan's table and applies its column prefix, without
+// evaluating predicates.
+func scanBase(x *Scan, env *Env) (*column.Batch, error) {
+	b, err := env.Store.Table(x.Table)
+	if err != nil {
+		return nil, err
+	}
+	if x.Prefix != "" {
+		cols := make([]*column.Column, b.NumCols())
+		for i := 0; i < b.NumCols(); i++ {
+			c := b.ColAt(i)
+			cols[i] = c.WithName(x.Prefix + c.Name())
+		}
+		b, err = column.NewBatch(cols...)
 		if err != nil {
 			return nil, err
 		}
-		if x.Prefix != "" {
-			cols := make([]*column.Column, b.NumCols())
-			for i := 0; i < b.NumCols(); i++ {
-				c := b.ColAt(i)
-				cols[i] = c.WithName(x.Prefix + c.Name())
-			}
-			b, err = column.NewBatch(cols...)
-			if err != nil {
-				return nil, err
-			}
+	}
+	return b, nil
+}
+
+// executeNode is the materializing engine: every operator consumes a fully
+// materialized input batch and produces one.
+func executeNode(n Node, env *Env) (*column.Batch, error) {
+	obs := env.obs()
+	switch x := n.(type) {
+	case *Scan:
+		b, err := scanBase(x, env)
+		if err != nil {
+			return nil, err
 		}
 		rows := b.NumRows()
 		b, err = env.Pool.Filter(b, x.Preds)

@@ -33,6 +33,12 @@ type ExecStats struct {
 	rowsSpilled           atomic.Int64
 	bytesSpilled          atomic.Int64
 	spillNanos            atomic.Int64
+
+	pipelines         atomic.Int64
+	pipelineMorsels   atomic.Int64
+	pipelineFallbacks atomic.Int64
+	filterRowsIn      atomic.Int64
+	filterRowsOut     atomic.Int64
 }
 
 // ExecSnapshot is a point-in-time copy of ExecStats counters.
@@ -63,6 +69,17 @@ type ExecSnapshot struct {
 	RowsSpilled           int64
 	BytesSpilled          int64
 	SpillNanos            int64
+
+	// Push-pipeline counters: pipelined plan executions, the morsels they
+	// drove, and spine shapes that fell back to the materializing engine
+	// (joins and grouped aggregates under a finite memory budget). The
+	// filter counters sum rows into and out of every pipelined filter
+	// stage — per-operator selectivity for the stats surface.
+	Pipelines         int64
+	PipelineMorsels   int64
+	PipelineFallbacks int64
+	FilterRowsIn      int64
+	FilterRowsOut     int64
 }
 
 // Snapshot copies the counters.
@@ -93,7 +110,40 @@ func (s *ExecStats) Snapshot() ExecSnapshot {
 		RowsSpilled:           s.rowsSpilled.Load(),
 		BytesSpilled:          s.bytesSpilled.Load(),
 		SpillNanos:            s.spillNanos.Load(),
+
+		Pipelines:         s.pipelines.Load(),
+		PipelineMorsels:   s.pipelineMorsels.Load(),
+		PipelineFallbacks: s.pipelineFallbacks.Load(),
+		FilterRowsIn:      s.filterRowsIn.Load(),
+		FilterRowsOut:     s.filterRowsOut.Load(),
 	}
+}
+
+// recordPipeline folds one pipelined plan execution into the counters.
+func (s *ExecStats) recordPipeline(morsels int) {
+	if s == nil {
+		return
+	}
+	s.pipelines.Add(1)
+	s.pipelineMorsels.Add(int64(morsels))
+}
+
+// recordPipelineFallback counts a spine that qualified for pipelining but
+// was sent to the materializing engine instead.
+func (s *ExecStats) recordPipelineFallback() {
+	if s == nil {
+		return
+	}
+	s.pipelineFallbacks.Add(1)
+}
+
+// recordFilterStage folds one pipelined filter stage's row counters.
+func (s *ExecStats) recordFilterStage(in, out int64) {
+	if s == nil {
+		return
+	}
+	s.filterRowsIn.Add(in)
+	s.filterRowsOut.Add(out)
 }
 
 // recordJoin folds one join's stats into the counters.

@@ -1,0 +1,148 @@
+package warehouse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/column"
+	"repro/internal/etl"
+)
+
+// renderExact renders a batch preserving row order and full float bit
+// patterns: equality means bit identity with the oracle, not tolerance.
+func renderExact(b *column.Batch) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(b.Names(), ","))
+	sb.WriteByte('\n')
+	for i := 0; i < b.NumRows(); i++ {
+		for _, v := range b.Row(i) {
+			if v.Null {
+				sb.WriteString("∅")
+			} else if v.Type == column.Float64 {
+				sb.WriteString(strconv.FormatFloat(v.F, 'x', -1, 64))
+			} else {
+				sb.WriteString(v.String())
+			}
+			sb.WriteByte('|')
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// pipelineMatrixQueries exercise every pipeline shape: grouped aggregation
+// over the lazy stream, global aggregation, a raw collect with a data
+// predicate, and post-pipeline breakers (ORDER BY / LIMIT).
+var pipelineMatrixQueries = []string{
+	q2,
+	`SELECT COUNT(*), AVG(D.sample_value), MIN(D.sample_value), MAX(D.sample_value)
+	 FROM mseed.dataview WHERE F.channel = 'BHZ'`,
+	`SELECT D.sample_time, D.sample_value FROM mseed.dataview
+	 WHERE F.station = 'ISK' AND F.channel = 'BHE' AND D.sample_value > 50`,
+	`SELECT F.channel, COUNT(*), SUM(D.sample_value) FROM mseed.dataview
+	 WHERE F.network = 'KO' GROUP BY F.channel ORDER BY F.channel LIMIT 2`,
+}
+
+// TestPipelineOracleMatrix runs every matrix query pipelined across worker
+// counts x morsel sizes x memory budgets and requires output bit-identical
+// to the serial materializing oracle (NoPipeline, one worker, unlimited).
+func TestPipelineOracleMatrix(t *testing.T) {
+	dir := genRepo(t, 3000)
+	ref, err := Open(dir, Options{Mode: Lazy, Workers: 1, NoPipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]string)
+	for _, q := range pipelineMatrixQueries {
+		res, err := ref.Query(q)
+		if err != nil {
+			t.Fatalf("oracle: %v\nquery: %s", err, q)
+		}
+		want[q] = renderExact(res.Batch)
+	}
+	if got := ref.Stats().Exec.Pipelines; got != 0 {
+		t.Fatalf("oracle warehouse ran %d pipelines despite NoPipeline", got)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, morsel := range []int{7, 13, 61} {
+			for _, budget := range []int64{0, 2 << 20} {
+				name := fmt.Sprintf("workers=%d/morsel=%d/budget=%d", workers, morsel, budget)
+				w, err := Open(dir, Options{
+					Mode: Lazy, Workers: workers, MorselRows: morsel, MemoryBudget: budget,
+					ETL: etl.Options{Parallelism: workers},
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				for _, q := range pipelineMatrixQueries {
+					res, err := w.Query(q)
+					if err != nil {
+						t.Fatalf("%s: %v\nquery: %s", name, err, q)
+					}
+					if got := renderExact(res.Batch); got != want[q] {
+						t.Errorf("%s: output diverged from materializing oracle\nquery: %s\nwant:\n%s\ngot:\n%s",
+							name, q, want[q], got)
+					}
+				}
+				st := w.Stats()
+				if st.Exec.Pipelines == 0 {
+					t.Errorf("%s: no pipelined executions recorded", name)
+				}
+				if budget > 0 && st.Exec.PipelineFallbacks == 0 {
+					t.Errorf("%s: grouped aggregates under a budget should fall back at the root", name)
+				}
+				if st.Exec.FilterRowsIn == 0 || st.Exec.FilterRowsOut > st.Exec.FilterRowsIn {
+					t.Errorf("%s: filter stage counters not threaded: in=%d out=%d",
+						name, st.Exec.FilterRowsIn, st.Exec.FilterRowsOut)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinePrefetchOverlap checks that a cold lazy scan over many files
+// actually overlaps extract with compute: background workers decode runs
+// ahead of the pipeline, visible in the prefetch counters.
+func TestPipelinePrefetchOverlap(t *testing.T) {
+	dir := genRepo(t, 3000)
+	w, err := Open(dir, Options{
+		Mode: Lazy, Workers: 4,
+		ETL: etl.Options{Parallelism: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Query(`SELECT COUNT(*) FROM mseed.dataview`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Batch.Row(0)[0].I; got != 45_000 {
+		t.Fatalf("count = %d, want 45000", got)
+	}
+	st := w.Stats()
+	if st.Exec.Pipelines == 0 {
+		t.Error("query did not run pipelined")
+	}
+	if st.Extraction.PrefetchedRuns == 0 {
+		t.Errorf("cold 15-file scan prefetched no runs: %+v", st.Extraction)
+	}
+	if st.Extraction.RunsRead < 15 {
+		t.Errorf("runs read = %d, want >= 15 (one per file)", st.Extraction.RunsRead)
+	}
+
+	// Warm re-run: pure cache reads, same answer, no new extraction.
+	cold := st.Extraction.Extractions
+	res2, err := w.Query(`SELECT COUNT(*) FROM mseed.dataview`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Batch.Row(0)[0].I != 45_000 {
+		t.Fatalf("warm count = %d", res2.Batch.Row(0)[0].I)
+	}
+	if got := w.Stats().Extraction.Extractions; got != cold {
+		t.Errorf("warm run extracted: %d -> %d", cold, got)
+	}
+}

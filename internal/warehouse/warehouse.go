@@ -51,6 +51,14 @@ type Options struct {
 	// KeepLog bounds the in-memory operation log (entries); 0 means the
 	// default of 10000.
 	KeepLog int
+	// NoPipeline forces the materializing engine for every query — the
+	// bit-identity oracle the morsel-wise push pipelines are tested
+	// against. Off by default: eligible plans run pipelined.
+	NoPipeline bool
+	// MorselRows overrides the rows-per-morsel granularity of the parallel
+	// engine and the push pipelines. <= 0 keeps the default; tests shrink
+	// it to force multi-morsel schedules on small inputs.
+	MorselRows int
 }
 
 // LogEntry is one line of the operation log.
@@ -111,15 +119,16 @@ type InitStats struct {
 
 // Warehouse is an open scientific data warehouse over an mSEED repository.
 type Warehouse struct {
-	mu     sync.Mutex
-	mode   Mode
-	rp     *repo.Repository
-	store  *catalog.Store
-	engine *etl.Engine
-	pool   *exec.Pool
-	ledger *mem.Ledger
-	exec   plan.ExecStats
-	init   InitStats
+	mu         sync.Mutex
+	mode       Mode
+	rp         *repo.Repository
+	store      *catalog.Store
+	engine     *etl.Engine
+	pool       *exec.Pool
+	ledger     *mem.Ledger
+	noPipeline bool
+	exec       plan.ExecStats
+	init       InitStats
 
 	logMu   sync.Mutex
 	log     []LogEntry
@@ -144,13 +153,14 @@ func Open(dir string, opts Options) (*Warehouse, error) {
 	}
 	store := catalog.NewStore(catalog.MSEED())
 	w := &Warehouse{
-		mode:    opts.Mode,
-		rp:      rp,
-		store:   store,
-		engine:  etl.New(rp, store, opts.ETL),
-		pool:    exec.NewPool(opts.Workers),
-		ledger:  mem.New(opts.MemoryBudget),
-		keepLog: keep,
+		mode:       opts.Mode,
+		rp:         rp,
+		store:      store,
+		engine:     etl.New(rp, store, opts.ETL),
+		pool:       exec.NewPoolMorsel(opts.Workers, opts.MorselRows),
+		ledger:     mem.New(opts.MemoryBudget),
+		keepLog:    keep,
+		noPipeline: opts.NoPipeline,
 	}
 	// Recycler admissions draw on the same ledger as operator working
 	// sets, so a loaded cache and a heavy join compete for one budget.
@@ -263,7 +273,7 @@ func (w *Warehouse) Query(q string) (*Result, error) {
 	// deferred Cleanup removes on every exit path, error included.
 	qm := exec.NewQueryMem(w.ledger, "")
 	defer qm.Cleanup()
-	env := &plan.Env{Store: w.store, Source: w.engine, Obs: obs, Pool: w.pool, Mem: qm, Stats: &w.exec}
+	env := &plan.Env{Store: w.store, Source: w.engine, Obs: obs, Pool: w.pool, Mem: qm, Stats: &w.exec, NoPipeline: w.noPipeline}
 	batch, err := plan.Execute(plans.Root, env)
 	if err != nil {
 		return nil, err

@@ -16,6 +16,17 @@
 // worker count (0 = GOMAXPROCS, 1 = the serial engine); results are
 // bit-identical at every setting.
 //
+// Eligible plans run as morsel-wise push pipelines: scan, filter, join
+// probe and aggregation fuse over one morsel's selection vector with no
+// intermediate batch, breaking only at join build sides, sort, spill and
+// the final output. Lazy extraction feeds such pipelines as a stream —
+// background workers read and Steim-decode the next coalesced run while
+// the current run's morsels flow through the compute stages, with prefetch
+// buffers charged to the memory ledger so overlap degrades to synchronous
+// extraction under budget pressure. Pipelined output is bit-identical to
+// the materializing engine, which is retained behind Options.NoPipeline as
+// the oracle; Stats reports pipeline, fallback and prefetch counters.
+//
 // Execution memory is governed by Options.MemoryBudget (bytes; 0 =
 // unlimited): join tables, aggregation group tables and recycler-cache
 // admissions reserve from one budget ledger, and under pressure joins and
