@@ -376,6 +376,53 @@ func BenchmarkExtractOverlap(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentQueries measures query throughput with many clients on
+// one warm warehouse: the concurrent path (per-query snapshots + admission
+// control) against the retained Options.SerializeQueries oracle, which
+// funnels every query through one global mutex the way the pre-concurrency
+// warehouse did. Workers=1 keeps each query serial so the speedup isolates
+// inter-query concurrency rather than intra-query parallelism.
+func BenchmarkConcurrentQueries(b *testing.B) {
+	dir := benchRepo(b, "d2", lazyetl.RepoConfig{Days: 2, SamplesPerDay: 20000})
+	queries := []string{
+		benchQuery,
+		`SELECT COUNT(*) FROM mseed.records WHERE sample_rate >= 40`,
+		`SELECT network, COUNT(*) FROM mseed.files GROUP BY network ORDER BY network`,
+		`SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK' AND F.channel = 'BHE'`,
+	}
+	for _, serialize := range []bool{true, false} {
+		name := "concurrent"
+		if serialize {
+			name = "serialized"
+		}
+		b.Run(name, func(b *testing.B) {
+			w, err := lazyetl.Open(dir, lazyetl.Options{
+				Mode: lazyetl.Lazy, Workers: 1, SerializeQueries: serialize,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, q := range queries {
+				mustQuery(b, w, q) // warm the recycler cache
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					mustQueryPB(b, w, queries[i%len(queries)])
+					i++
+				}
+			})
+		})
+	}
+}
+
+func mustQueryPB(b *testing.B, w *lazyetl.Warehouse, q string) {
+	if _, err := w.Query(q); err != nil {
+		b.Error(err)
+	}
+}
+
 func touchFuture(b *testing.B, path string) {
 	b.Helper()
 	st, err := os.Stat(path)

@@ -1,0 +1,311 @@
+// Command lazyetld is the long-lived serving front-end of the warehouse:
+// one process, one open warehouse, many concurrent clients over HTTP/JSON.
+// It is the "millions of users sharing one scientific warehouse" shape of
+// the paper's demo — where cmd/lazyetl is a single-user REPL, lazyetld
+// serves the same lazy-ETL warehouse to a fleet.
+//
+//	lazyetld -repo DIR [-addr :8632] [-mode lazy|eager|external]
+//	         [-workers N] [-mem-budget BYTES] [-max-concurrent N]
+//	         [-per-client N] [-gen]
+//
+// Endpoints:
+//
+//	POST /query   {"sql": "SELECT ..."}  ->  {"columns": [...], "rows": [[...]], ...}
+//	GET  /stats   warehouse + server counters
+//
+// Queries execute concurrently inside the warehouse (see the concurrency
+// contract in internal/warehouse): per-query snapshots, a shared memory
+// ledger carved into per-query sub-budgets, and admission control at
+// -max-concurrent. The server adds a per-client in-flight cap
+// (-per-client, keyed by client IP) so one greedy client cannot occupy
+// every admission slot, and drains in-flight queries on SIGINT/SIGTERM
+// before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/column"
+	"repro/internal/etl"
+	"repro/internal/seisgen"
+	"repro/internal/warehouse"
+)
+
+func main() {
+	repoDir := flag.String("repo", "", "mSEED repository directory (required)")
+	addr := flag.String("addr", ":8632", "listen address")
+	modeStr := flag.String("mode", "lazy", "warehouse mode: lazy, eager or external")
+	gen := flag.Bool("gen", false, "generate a demo repository into -repo if it is missing")
+	workers := flag.Int("workers", 0, "query-execution workers per query (0 = GOMAXPROCS, 1 = serial engine)")
+	memBudget := flag.Int64("mem-budget", 0, "execution-memory budget in bytes, shared by all queries (0 = unlimited)")
+	cache := flag.Int64("cache", 0, "recycler cache budget in bytes (0 = default 256MiB)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "queries admitted to execute simultaneously (0 = GOMAXPROCS)")
+	perClient := flag.Int("per-client", 4, "in-flight queries allowed per client IP")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight queries")
+	flag.Parse()
+
+	if *repoDir == "" {
+		fmt.Fprintln(os.Stderr, "lazyetld: -repo is required (use -gen to create a demo repository)")
+		os.Exit(2)
+	}
+	if *gen {
+		if _, err := os.Stat(*repoDir); os.IsNotExist(err) {
+			fmt.Printf("generating demo repository under %s ...\n", *repoDir)
+			if _, err := seisgen.Generate(seisgen.RepoConfig{
+				Dir: *repoDir, SampleRate: 1, SamplesPerDay: 24 * 3600,
+				EventsPerDay: 2, Seed: 42,
+			}); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	var mode warehouse.Mode
+	switch *modeStr {
+	case "lazy":
+		mode = warehouse.Lazy
+	case "eager":
+		mode = warehouse.Eager
+	case "external":
+		mode = warehouse.External
+	default:
+		fmt.Fprintf(os.Stderr, "lazyetld: unknown mode %q\n", *modeStr)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	w, err := warehouse.Open(*repoDir, warehouse.Options{
+		Mode:                 mode,
+		Workers:              *workers,
+		MemoryBudget:         *memBudget,
+		MaxConcurrentQueries: *maxConcurrent,
+		ETL:                  etl.Options{CacheBudget: *cache},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ist := w.InitStats()
+	fmt.Printf("lazyetld: %v warehouse over %s: %d files, %d records loaded in %v\n",
+		mode, *repoDir, ist.Files, ist.Records, time.Since(start).Round(time.Millisecond))
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(w, *perClient)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("lazyetld: serving on %s (POST /query, GET /stats)\n", *addr)
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("lazyetld: shutting down, draining in-flight queries ...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "lazyetld: drain window expired: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("lazyetld: drained, bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lazyetld:", err)
+	os.Exit(1)
+}
+
+// server is the HTTP surface over one warehouse. Separated from main so
+// tests drive it through httptest.
+type server struct {
+	w   *warehouse.Warehouse
+	mux *http.ServeMux
+
+	clients *clientLimiter
+
+	served   atomic.Int64 // queries answered successfully
+	failed   atomic.Int64 // queries that returned an error
+	rejected atomic.Int64 // requests bounced by the per-client limit
+}
+
+func newServer(w *warehouse.Warehouse, perClient int) *server {
+	s := &server{w: w, clients: newClientLimiter(perClient)}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+func (s *server) ServeHTTP(rw http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(rw, r) }
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// queryResponse is the POST /query answer.
+type queryResponse struct {
+	Columns   []string `json:"columns"`
+	Rows      [][]any  `json:"rows"`
+	RowCount  int      `json:"row_count"`
+	ElapsedNS int64    `json:"elapsed_ns"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) handleQuery(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(rw, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	client := clientKey(r)
+	if !s.clients.acquire(client) {
+		s.rejected.Add(1)
+		writeJSON(rw, http.StatusTooManyRequests,
+			errorResponse{fmt.Sprintf("client %s exceeds its in-flight query limit", client)})
+		return
+	}
+	defer s.clients.release(client)
+
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil || req.SQL == "" {
+		if err == nil {
+			err = errors.New("missing \"sql\" field")
+		}
+		writeJSON(rw, http.StatusBadRequest, errorResponse{"bad request: " + err.Error()})
+		return
+	}
+	res, err := s.w.Query(req.SQL)
+	if err != nil {
+		s.failed.Add(1)
+		writeJSON(rw, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		return
+	}
+	s.served.Add(1)
+	out := queryResponse{
+		Columns:   res.Columns,
+		Rows:      make([][]any, res.Batch.NumRows()),
+		RowCount:  res.Batch.NumRows(),
+		ElapsedNS: res.Elapsed.Nanoseconds(),
+	}
+	for i := range out.Rows {
+		vals := res.Batch.Row(i)
+		row := make([]any, len(vals))
+		for j, v := range vals {
+			row[j] = jsonValue(v)
+		}
+		out.Rows[i] = row
+	}
+	writeJSON(rw, http.StatusOK, out)
+}
+
+// statsResponse decorates warehouse stats with server-level counters.
+type statsResponse struct {
+	Server struct {
+		Served   int64 `json:"served"`
+		Failed   int64 `json:"failed"`
+		Rejected int64 `json:"rejected"`
+	} `json:"server"`
+	Warehouse warehouse.Stats `json:"warehouse"`
+}
+
+func (s *server) handleStats(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(rw, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	var out statsResponse
+	out.Server.Served = s.served.Load()
+	out.Server.Failed = s.failed.Load()
+	out.Server.Rejected = s.rejected.Load()
+	out.Warehouse = s.w.Stats()
+	writeJSON(rw, http.StatusOK, out)
+}
+
+func writeJSON(rw http.ResponseWriter, code int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	enc := json.NewEncoder(rw)
+	_ = enc.Encode(v)
+}
+
+// jsonValue converts one column.Value to a JSON-encodable scalar. Nulls map
+// to null, timestamps to their display format, and non-finite floats (which
+// encoding/json rejects) to their string rendering.
+func jsonValue(v column.Value) any {
+	if v.Null {
+		return nil
+	}
+	switch v.Type {
+	case column.Int64:
+		return v.I
+	case column.Float64:
+		if math.IsNaN(v.F) || math.IsInf(v.F, 0) {
+			return v.String()
+		}
+		return v.F
+	case column.Bool:
+		return v.I != 0
+	default: // String, Timestamp
+		return v.String()
+	}
+}
+
+// clientKey identifies the requesting client: the IP half of RemoteAddr.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// clientLimiter caps in-flight queries per client key.
+type clientLimiter struct {
+	mu    sync.Mutex
+	limit int
+	inUse map[string]int
+}
+
+func newClientLimiter(limit int) *clientLimiter {
+	if limit <= 0 {
+		limit = 4
+	}
+	return &clientLimiter{limit: limit, inUse: make(map[string]int)}
+}
+
+func (l *clientLimiter) acquire(key string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inUse[key] >= l.limit {
+		return false
+	}
+	l.inUse[key]++
+	return true
+}
+
+func (l *clientLimiter) release(key string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inUse[key] <= 1 {
+		delete(l.inUse, key) // keep the map bounded by active clients
+	} else {
+		l.inUse[key]--
+	}
+}

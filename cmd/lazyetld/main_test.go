@@ -1,0 +1,259 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/column"
+	"repro/internal/seisgen"
+	"repro/internal/warehouse"
+)
+
+func testServer(t *testing.T) (*server, *warehouse.Warehouse) {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := seisgen.Generate(seisgen.RepoConfig{
+		Dir:           dir,
+		SamplesPerDay: 2000,
+		EventsPerDay:  1,
+		Seed:          42,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := warehouse.Open(dir, warehouse.Options{Mode: warehouse.Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(w, 4), w
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, sql string) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(queryRequest{SQL: sql})
+	resp, err := ts.Client().Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv, w := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const q = "SELECT station, COUNT(*) AS n FROM mseed.files GROUP BY station ORDER BY station"
+	resp, body := postQuery(t, ts, q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out queryResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad response body %s: %v", body, err)
+	}
+	want, err := w.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.RowCount; got != want.Batch.NumRows() {
+		t.Fatalf("row_count = %d, direct query returned %d rows", got, want.Batch.NumRows())
+	}
+	if len(out.Columns) != len(want.Columns) {
+		t.Fatalf("columns = %v, want %v", out.Columns, want.Columns)
+	}
+	for i := range out.Rows {
+		for j, v := range want.Batch.Row(i) {
+			// Compare via JSON so int64(5) and the round-tripped float64(5)
+			// render identically.
+			wantJSON, _ := json.Marshal(jsonValue(v))
+			gotJSON, _ := json.Marshal(out.Rows[i][j])
+			if !bytes.Equal(wantJSON, gotJSON) {
+				t.Fatalf("row %d col %d: server sent %s, direct query has %s", i, j, gotJSON, wantJSON)
+			}
+		}
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query status = %d, want 405", resp.StatusCode)
+	}
+
+	resp2, body := postQuery(t, ts, "")
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty sql status = %d (%s), want 400", resp2.StatusCode, body)
+	}
+
+	resp3, body := postQuery(t, ts, "SELEC nonsense")
+	if resp3.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad sql status = %d (%s), want 422", resp3.StatusCode, body)
+	}
+	if srv.failed.Load() != 1 {
+		t.Fatalf("failed counter = %d, want 1", srv.failed.Load())
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if _, body := postQuery(t, ts, "SELECT COUNT(*) FROM mseed.files"); len(body) == 0 {
+		t.Fatal("empty query response")
+	}
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Server.Served != 1 {
+		t.Fatalf("served = %d, want 1", out.Server.Served)
+	}
+	if out.Warehouse.Queries != 1 {
+		t.Fatalf("warehouse queries = %d, want 1", out.Warehouse.Queries)
+	}
+	if out.Warehouse.MaxConcurrentQueries <= 0 {
+		t.Fatalf("MaxConcurrentQueries = %d, want > 0", out.Warehouse.MaxConcurrentQueries)
+	}
+}
+
+func TestConcurrentHTTPQueries(t *testing.T) {
+	srv, w := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const q = "SELECT station, COUNT(*) AS n FROM mseed.files GROUP BY station ORDER BY station"
+	want, err := w.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				resp, body := postQuery(t, ts, q)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d: %s", resp.StatusCode, body)
+					return
+				}
+				var out queryResponse
+				if err := json.Unmarshal(body, &out); err != nil {
+					errs <- err
+					return
+				}
+				if out.RowCount != want.Batch.NumRows() {
+					errs <- fmt.Errorf("row_count = %d, want %d", out.RowCount, want.Batch.NumRows())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := srv.served.Load(); got != 16 {
+		t.Fatalf("served = %d, want 16", got)
+	}
+}
+
+func TestPerClientLimiter(t *testing.T) {
+	l := newClientLimiter(2)
+	if !l.acquire("a") || !l.acquire("a") {
+		t.Fatal("first two acquires for client a should succeed")
+	}
+	if l.acquire("a") {
+		t.Fatal("third acquire for client a should be rejected")
+	}
+	if !l.acquire("b") {
+		t.Fatal("client b must not be affected by client a's load")
+	}
+	l.release("a")
+	if !l.acquire("a") {
+		t.Fatal("acquire after release should succeed")
+	}
+	l.release("a")
+	l.release("a")
+	l.release("b")
+	if len(l.inUse) != 0 {
+		t.Fatalf("limiter map not drained: %v", l.inUse)
+	}
+}
+
+func TestPerClientLimitOverHTTP(t *testing.T) {
+	srv, _ := testServer(t)
+	srv.clients = newClientLimiter(1)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Hold the single slot for this client, then issue a request that must
+	// bounce with 429. httptest requests all share the loopback client IP.
+	key := "127.0.0.1"
+	if !srv.clients.acquire(key) {
+		t.Fatal("setup acquire failed")
+	}
+	resp, body := postQuery(t, ts, "SELECT COUNT(*) FROM mseed.files")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d (%s), want 429", resp.StatusCode, body)
+	}
+	if srv.rejected.Load() != 1 {
+		t.Fatalf("rejected counter = %d, want 1", srv.rejected.Load())
+	}
+	srv.clients.release(key)
+	resp2, body := postQuery(t, ts, "SELECT COUNT(*) FROM mseed.files")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("after release: status = %d (%s), want 200", resp2.StatusCode, body)
+	}
+}
+
+func TestJSONValue(t *testing.T) {
+	cases := []struct {
+		v    column.Value
+		want string
+	}{
+		{column.Value{Type: column.Int64, Null: true}, "null"},
+		{column.Value{Type: column.Int64, I: 42}, "42"},
+		{column.Value{Type: column.Float64, F: 1.5}, "1.5"},
+		{column.Value{Type: column.Float64, F: math.NaN()}, `"NaN"`},
+		{column.Value{Type: column.Float64, F: math.Inf(1)}, `"+Inf"`},
+		{column.Value{Type: column.Bool, I: 1}, "true"},
+		{column.Value{Type: column.String, S: "GE"}, `"GE"`},
+	}
+	for _, c := range cases {
+		got, err := json.Marshal(jsonValue(c.v))
+		if err != nil {
+			t.Fatalf("%+v: %v", c.v, err)
+		}
+		if string(got) != c.want {
+			t.Errorf("jsonValue(%+v) marshals to %s, want %s", c.v, got, c.want)
+		}
+	}
+}

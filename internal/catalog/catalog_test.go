@@ -195,3 +195,66 @@ func contains(s, sub string) bool {
 	}
 	return false
 }
+
+// TestStoreSnapshotIsolation: a snapshot keeps serving the tables loaded at
+// snapshot time, unaffected by later Replace/Truncate on the live store.
+func TestStoreSnapshotIsolation(t *testing.T) {
+	s := NewStore(MSEED())
+	if err := s.AppendRow(TableRecords,
+		column.NewInt64(1), column.NewInt64(1), column.NewTimestamp(100),
+		column.NewTimestamp(200), column.NewFloat64(40), column.NewInt64(50),
+		column.NewInt64(0),
+	); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if err := s.Truncate(TableRecords); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows(TableRecords) != 0 {
+		t.Fatalf("live store rows = %d after truncate", s.Rows(TableRecords))
+	}
+	if snap.Rows(TableRecords) != 1 {
+		t.Fatalf("snapshot rows = %d, want 1 (isolation broken)", snap.Rows(TableRecords))
+	}
+	if snap.Catalog() != s.Catalog() {
+		t.Fatal("snapshot must share the schema registry")
+	}
+}
+
+// TestStoreReplaceAllAtomic: ReplaceAll validates everything before
+// committing anything, and commits every table in one step.
+func TestStoreReplaceAllAtomic(t *testing.T) {
+	s := NewStore(MSEED())
+	goodData := column.MustNewBatch(
+		column.New("file_id", column.Int64),
+		column.New("seqno", column.Int64),
+		column.New("sample_time", column.Timestamp),
+		column.New("sample_value", column.Float64),
+	)
+	goodData.ColAt(0).AppendInt64(7)
+	goodData.ColAt(1).AppendInt64(1)
+	goodData.ColAt(2).AppendInt64(0)
+	goodData.ColAt(3).AppendFloat64(1.5)
+	bad := column.MustNewBatch(column.New("wrong", column.Int64))
+
+	// One invalid batch fails the whole commit; the valid one must not land.
+	if err := s.ReplaceAll(map[string]*column.Batch{
+		TableData:  goodData,
+		TableFiles: bad,
+	}); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if s.Rows(TableData) != 0 {
+		t.Fatal("partial ReplaceAll commit observed")
+	}
+	if err := s.ReplaceAll(map[string]*column.Batch{TableData: goodData}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows(TableData) != 1 {
+		t.Fatalf("rows = %d after ReplaceAll", s.Rows(TableData))
+	}
+	if err := s.ReplaceAll(map[string]*column.Batch{"nosuch": goodData}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}

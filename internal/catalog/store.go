@@ -2,6 +2,7 @@ package catalog
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/column"
 )
@@ -10,7 +11,19 @@ import (
 // In eager mode all three tables are populated; in lazy mode only the two
 // metadata tables are (mseed.data stays empty and is produced at query time
 // by the lazy extraction operators).
+//
+// # Concurrency
+//
+// All methods are safe for concurrent use. Readers that need a consistent
+// multi-table view (a query executing against several base tables, a stats
+// report) should take a Snapshot: a copy-on-write view that shares the
+// batch data but is immune to subsequent Replace/ReplaceAll/Truncate calls.
+// Writers only ever swap whole batch pointers — batches installed in a
+// store are treated as immutable — so a snapshot needs no further locking.
+// AppendRow mutates a live batch in place and is intended for load-time
+// assembly only; it must not race queries reading that table.
 type Store struct {
+	mu   sync.RWMutex
 	cat  *Catalog
 	data map[string]*column.Batch
 }
@@ -19,17 +32,35 @@ type Store struct {
 func NewStore(cat *Catalog) *Store {
 	s := &Store{cat: cat, data: make(map[string]*column.Batch)}
 	for _, t := range cat.Tables() {
-		cols := make([]*column.Column, len(t.Columns))
-		for i, cd := range t.Columns {
-			cols[i] = column.New(cd.Name, cd.Type)
-		}
-		s.data[t.Name] = column.MustNewBatch(cols...)
+		s.data[t.Name] = emptyBatch(t)
 	}
 	return s
 }
 
+func emptyBatch(t *TableDef) *column.Batch {
+	cols := make([]*column.Column, len(t.Columns))
+	for i, cd := range t.Columns {
+		cols[i] = column.New(cd.Name, cd.Type)
+	}
+	return column.MustNewBatch(cols...)
+}
+
 // Catalog returns the schema registry.
 func (s *Store) Catalog() *Catalog { return s.cat }
+
+// Snapshot returns a copy-on-write view of the store: it shares the batch
+// data loaded at the time of the call and is unaffected by later writes to
+// s. Queries execute against a snapshot so a concurrent Refresh cannot swap
+// tables out from under them mid-plan.
+func (s *Store) Snapshot() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data := make(map[string]*column.Batch, len(s.data))
+	for k, v := range s.data {
+		data[k] = v
+	}
+	return &Store{cat: s.cat, data: data}
+}
 
 // Table returns the loaded batch of a base table.
 func (s *Store) Table(name string) (*column.Batch, error) {
@@ -37,16 +68,21 @@ func (s *Store) Table(name string) (*column.Batch, error) {
 	if !ok {
 		return nil, fmt.Errorf("catalog: unknown table %q", name)
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.data[t.Name], nil
 }
 
 // AppendRow appends one row of values to a table, checked against the
-// table definition.
+// table definition. Load-time only: it mutates the live batch in place, so
+// it must not race queries snapshotting or scanning the table.
 func (s *Store) AppendRow(table string, vals ...column.Value) error {
 	t, ok := s.cat.Table(table)
 	if !ok {
 		return fmt.Errorf("catalog: unknown table %q", table)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	b := s.data[t.Name]
 	if len(vals) != b.NumCols() {
 		return fmt.Errorf("catalog: %s has %d columns, got %d values", table, b.NumCols(), len(vals))
@@ -59,6 +95,21 @@ func (s *Store) AppendRow(table string, vals ...column.Value) error {
 	return nil
 }
 
+// validate checks a batch against a table definition.
+func (s *Store) validate(t *TableDef, b *column.Batch) error {
+	if b.NumCols() != len(t.Columns) {
+		return fmt.Errorf("catalog: %s has %d columns, batch has %d", t.Name, len(t.Columns), b.NumCols())
+	}
+	for i, cd := range t.Columns {
+		c := b.ColAt(i)
+		if c.Name() != cd.Name || c.Type() != cd.Type {
+			return fmt.Errorf("catalog: %s column %d: batch has %s %v, want %s %v",
+				t.Name, i, c.Name(), c.Type(), cd.Name, cd.Type)
+		}
+	}
+	return nil
+}
+
 // Replace swaps in a fully built batch for a table (bulk loading). The
 // batch column names and types must match the definition.
 func (s *Store) Replace(table string, b *column.Batch) error {
@@ -66,17 +117,36 @@ func (s *Store) Replace(table string, b *column.Batch) error {
 	if !ok {
 		return fmt.Errorf("catalog: unknown table %q", table)
 	}
-	if b.NumCols() != len(t.Columns) {
-		return fmt.Errorf("catalog: %s has %d columns, batch has %d", table, len(t.Columns), b.NumCols())
+	if err := s.validate(t, b); err != nil {
+		return err
 	}
-	for i, cd := range t.Columns {
-		c := b.ColAt(i)
-		if c.Name() != cd.Name || c.Type() != cd.Type {
-			return fmt.Errorf("catalog: %s column %d: batch has %s %v, want %s %v",
-				table, i, c.Name(), c.Type(), cd.Name, cd.Type)
-		}
-	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.data[t.Name] = b
+	return nil
+}
+
+// ReplaceAll validates and swaps in batches for several tables as one
+// atomic commit: a concurrent Snapshot sees either every table before the
+// call or every table after it, never a mix. Refresh loads go through here
+// so queries cannot observe new files rows next to old records rows.
+func (s *Store) ReplaceAll(batches map[string]*column.Batch) error {
+	defs := make(map[string]*TableDef, len(batches))
+	for name, b := range batches {
+		t, ok := s.cat.Table(name)
+		if !ok {
+			return fmt.Errorf("catalog: unknown table %q", name)
+		}
+		if err := s.validate(t, b); err != nil {
+			return err
+		}
+		defs[name] = t
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, b := range batches {
+		s.data[defs[name].Name] = b
+	}
 	return nil
 }
 
@@ -86,16 +156,16 @@ func (s *Store) Truncate(table string) error {
 	if !ok {
 		return fmt.Errorf("catalog: unknown table %q", table)
 	}
-	cols := make([]*column.Column, len(t.Columns))
-	for i, cd := range t.Columns {
-		cols[i] = column.New(cd.Name, cd.Type)
-	}
-	s.data[t.Name] = column.MustNewBatch(cols...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[t.Name] = emptyBatch(t)
 	return nil
 }
 
 // Bytes reports the in-memory footprint of all loaded tables.
 func (s *Store) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var n int64
 	for _, b := range s.data {
 		n += b.Bytes()
@@ -109,5 +179,7 @@ func (s *Store) Rows(table string) int {
 	if !ok {
 		return 0
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.data[t.Name].NumRows()
 }

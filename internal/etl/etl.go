@@ -88,15 +88,31 @@ type Stats struct {
 	Duration  time.Duration
 }
 
+// repoSnapshot pairs one repository scan with its dense file-id
+// assignment. The engine publishes the current snapshot through an atomic
+// pointer: refreshes build a fresh snapshot and swap it in, while each
+// extraction captures one snapshot up front and works against it for the
+// whole call — a refresh landing mid-extraction cannot tear the view.
+type repoSnapshot struct {
+	repo *repo.Repository
+	// fileID assigns dense ids in repository order; stable per snapshot.
+	fileID map[string]int64
+}
+
+func newRepoSnapshot(rp *repo.Repository) *repoSnapshot {
+	sn := &repoSnapshot{repo: rp, fileID: make(map[string]int64, len(rp.Files))}
+	for i, f := range rp.Files {
+		sn.fileID[f.URI] = int64(i)
+	}
+	return sn
+}
+
 // Engine drives ETL for one repository snapshot into one store.
 type Engine struct {
-	repo  *repo.Repository
+	snap  atomic.Pointer[repoSnapshot]
 	store *catalog.Store
 	cache *recycler.Cache
 	opts  Options
-
-	// fileID assigns dense ids in repository order; stable per snapshot.
-	fileID map[string]int64
 
 	// xstats counters are updated atomically; extraction may run on a
 	// worker pool.
@@ -164,15 +180,11 @@ func New(rp *repo.Repository, store *catalog.Store, opts Options) *Engine {
 		budget = 0
 	}
 	e := &Engine{
-		repo:   rp,
-		store:  store,
-		cache:  recycler.New(budget),
-		opts:   opts,
-		fileID: make(map[string]int64, len(rp.Files)),
+		store: store,
+		cache: recycler.New(budget),
+		opts:  opts,
 	}
-	for i, f := range rp.Files {
-		e.fileID[f.URI] = int64(i)
-	}
+	e.snap.Store(newRepoSnapshot(rp))
 	e.scratch.New = func() any { return new(extractScratch) }
 	return e
 }
@@ -181,21 +193,22 @@ func New(rp *repo.Repository, store *catalog.Store, opts Options) *Engine {
 func (e *Engine) Cache() *recycler.Cache { return e.cache }
 
 // Repository returns the engine's current repository snapshot.
-func (e *Engine) Repository() *repo.Repository { return e.repo }
+func (e *Engine) Repository() *repo.Repository { return e.snap.Load().repo }
 
 // LoadMetadata is the lazy initial load: header-only scans fill the two
 // metadata tables; mseed.data stays empty.
 func (e *Engine) LoadMetadata() (Stats, error) {
 	start := time.Now()
 	var st Stats
+	sn := e.snap.Load()
 	fb := newFilesBuilder()
 	rb := newRecordsBuilder()
-	for _, f := range e.repo.Files {
+	for _, f := range sn.repo.Files {
 		infos, err := mseed.ScanFile(f.AbsPath)
 		if err != nil {
 			return st, fmt.Errorf("etl: metadata scan %s: %w", f.URI, err)
 		}
-		id := e.fileID[f.URI]
+		id := sn.fileID[f.URI]
 		fb.add(id, f, infos)
 		for _, ri := range infos {
 			rb.add(id, ri)
@@ -205,13 +218,14 @@ func (e *Engine) LoadMetadata() (Stats, error) {
 		st.Records += len(infos)
 		st.BytesRead += int64(len(infos)) * 64 // header-scan bytes per record
 	}
-	if err := e.store.Replace(catalog.TableFiles, fb.batch()); err != nil {
-		return st, err
-	}
-	if err := e.store.Replace(catalog.TableRecords, rb.batch()); err != nil {
-		return st, err
-	}
-	if err := e.store.Truncate(catalog.TableData); err != nil {
+	// One atomic commit: a concurrent query snapshot sees either the old
+	// or the new metadata, never files rows from one scan next to records
+	// rows from another.
+	if err := e.store.ReplaceAll(map[string]*column.Batch{
+		catalog.TableFiles:   fb.batch(),
+		catalog.TableRecords: rb.batch(),
+		catalog.TableData:    newDataBuilder().batch(),
+	}); err != nil {
 		return st, err
 	}
 	st.Duration = time.Since(start)
@@ -223,15 +237,16 @@ func (e *Engine) LoadMetadata() (Stats, error) {
 func (e *Engine) LoadAll() (Stats, error) {
 	start := time.Now()
 	var st Stats
+	sn := e.snap.Load()
 	fb := newFilesBuilder()
 	rb := newRecordsBuilder()
 	db := newDataBuilder()
-	for _, f := range e.repo.Files {
+	for _, f := range sn.repo.Files {
 		recs, err := mseed.ReadFile(f.AbsPath)
 		if err != nil {
 			return st, fmt.Errorf("etl: eager load %s: %w", f.URI, err)
 		}
-		id := e.fileID[f.URI]
+		id := sn.fileID[f.URI]
 		infos := make([]mseed.RecordInfo, len(recs))
 		var off int64
 		for i, r := range recs {
@@ -249,13 +264,11 @@ func (e *Engine) LoadAll() (Stats, error) {
 		st.Records += len(recs)
 		st.BytesRead += f.Size
 	}
-	if err := e.store.Replace(catalog.TableFiles, fb.batch()); err != nil {
-		return st, err
-	}
-	if err := e.store.Replace(catalog.TableRecords, rb.batch()); err != nil {
-		return st, err
-	}
-	if err := e.store.Replace(catalog.TableData, db.batch()); err != nil {
+	if err := e.store.ReplaceAll(map[string]*column.Batch{
+		catalog.TableFiles:   fb.batch(),
+		catalog.TableRecords: rb.batch(),
+		catalog.TableData:    db.batch(),
+	}); err != nil {
 		return st, err
 	}
 	st.Duration = time.Since(start)
@@ -267,7 +280,8 @@ func (e *Engine) LoadAll() (Stats, error) {
 // modified files are invalidated lazily via their mtime; entries of
 // removed files are dropped here.
 func (e *Engine) RefreshMetadata() (Stats, error) {
-	fresh, err := repo.Open(e.repo.Root)
+	old := e.snap.Load()
+	fresh, err := repo.Open(old.repo.Root)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -276,31 +290,23 @@ func (e *Engine) RefreshMetadata() (Stats, error) {
 	for _, f := range fresh.Files {
 		known[f.URI] = true
 	}
-	for _, f := range e.repo.Files {
+	for _, f := range old.repo.Files {
 		if !known[f.URI] {
 			e.cache.InvalidateFile(f.URI)
 		}
 	}
-	e.repo = fresh
-	e.fileID = make(map[string]int64, len(fresh.Files))
-	for i, f := range fresh.Files {
-		e.fileID[f.URI] = int64(i)
-	}
+	e.snap.Store(newRepoSnapshot(fresh))
 	return e.LoadMetadata()
 }
 
 // RefreshAll is the eager counterpart of RefreshMetadata: re-open and fully
 // reload everything (the traditional warehouse refresh).
 func (e *Engine) RefreshAll() (Stats, error) {
-	fresh, err := repo.Open(e.repo.Root)
+	fresh, err := repo.Open(e.snap.Load().repo.Root)
 	if err != nil {
 		return Stats{}, err
 	}
-	e.repo = fresh
-	e.fileID = make(map[string]int64, len(fresh.Files))
-	for i, f := range fresh.Files {
-		e.fileID[f.URI] = int64(i)
-	}
+	e.snap.Store(newRepoSnapshot(fresh))
 	return e.LoadAll()
 }
 

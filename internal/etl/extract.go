@@ -230,13 +230,18 @@ func (e *Engine) prepare(meta *column.Batch, obs plan.Observer, allowDirect bool
 		recLens = c.Int64s()
 	}
 
+	// Capture one repository snapshot for the whole extraction: a refresh
+	// landing mid-call swaps the engine's snapshot pointer but cannot
+	// change which files this extraction resolves against.
+	sn := e.snap.Load()
+
 	// Stat each distinct file once per query for staleness checks.
 	states := make(map[string]*fileState)
 	stateOf := func(uri string) (*fileState, error) {
 		if fs, ok := states[uri]; ok {
 			return fs, nil
 		}
-		f, ok := e.repo.Lookup(uri)
+		f, ok := sn.repo.Lookup(uri)
 		if !ok {
 			return nil, fmt.Errorf("etl: file %q not in repository snapshot; run a metadata refresh", uri)
 		}

@@ -21,6 +21,14 @@
 // a nil *Grant) behaves as an unlimited ledger that grants everything and
 // records nothing, so callers thread the governor through without
 // branching.
+//
+// Ledgers compose: Child carves a sub-budget out of a parent ledger, so a
+// warehouse serving many queries at once can hand each one a fair slice of
+// the machine budget. A child's reservations are forwarded to the parent
+// (the parent's Used is the whole fleet's footprint), and a reservation is
+// denied if it exceeds either the child's own cap or the parent's budget —
+// one spilling query exhausts its slice and degrades to disk instead of
+// starving its siblings.
 package mem
 
 import "sync/atomic"
@@ -30,6 +38,7 @@ import "sync/atomic"
 // accounted, so high-water marks stay meaningful without a budget.
 type Ledger struct {
 	budget  int64
+	parent  *Ledger // non-nil for Child ledgers; reservations forward up
 	used    atomic.Int64
 	high    atomic.Int64
 	denials atomic.Int64
@@ -44,8 +53,23 @@ func New(budget int64) *Ledger {
 	return &Ledger{budget: budget}
 }
 
-// Limited reports whether the ledger enforces a finite budget.
-func (l *Ledger) Limited() bool { return l != nil && l.budget > 0 }
+// Child returns a ledger that enforces its own budget (<= 0 = no cap of
+// its own) on top of l's: every reservation made through the child is also
+// reserved from l, and succeeds only if both ledgers admit it. Release and
+// Close symmetrically return the bytes to both. A nil receiver yields a
+// plain ledger with the given budget, so callers need not branch on
+// whether a shared ledger exists.
+func (l *Ledger) Child(budget int64) *Ledger {
+	c := New(budget)
+	c.parent = l // nil parent is fine: the child acts as a root ledger
+	return c
+}
+
+// Limited reports whether the ledger enforces a finite budget anywhere on
+// its parent chain.
+func (l *Ledger) Limited() bool {
+	return l != nil && (l.budget > 0 || l.parent.Limited())
+}
 
 // Budget returns the configured budget (0 = unlimited).
 func (l *Ledger) Budget() int64 {
@@ -70,6 +94,14 @@ func (l *Ledger) TryReserve(n int64) bool {
 			return false
 		}
 		if l.used.CompareAndSwap(cur, cur+n) {
+			if l.parent != nil && !l.parent.TryReserve(n) {
+				// The sub-budget had room but the shared ledger is full
+				// (siblings or the cache hold it); roll back and deny.
+				l.used.Add(-n)
+				l.denials.Add(1)
+				l.denied.Add(n)
+				return false
+			}
 			l.raiseHigh(cur + n)
 			return true
 		}
@@ -84,6 +116,7 @@ func (l *Ledger) Reserve(n int64) {
 		return
 	}
 	l.raiseHigh(l.used.Add(n))
+	l.parent.Reserve(n)
 }
 
 // Release returns n reserved bytes to the ledger.
@@ -92,6 +125,7 @@ func (l *Ledger) Release(n int64) {
 		return
 	}
 	l.used.Add(-n)
+	l.parent.Release(n)
 }
 
 // Used returns the bytes currently reserved.

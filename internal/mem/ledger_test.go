@@ -126,3 +126,62 @@ func TestLedgerConcurrentAccounting(t *testing.T) {
 		t.Fatalf("high water = %d, want >= 3", l.HighWater())
 	}
 }
+
+func TestChildLedgerSubBudget(t *testing.T) {
+	parent := New(1000)
+	a := parent.Child(400)
+	b := parent.Child(400)
+
+	// A child denies what exceeds its own cap even if the parent has room.
+	if a.TryReserve(500) {
+		t.Fatal("child admitted past its own cap")
+	}
+	if !a.TryReserve(400) {
+		t.Fatal("child denied a fitting reservation")
+	}
+	if !b.TryReserve(400) {
+		t.Fatal("sibling denied despite parent room")
+	}
+	// Parent sees the fleet's footprint.
+	if got := parent.Used(); got != 800 {
+		t.Fatalf("parent used = %d, want 800", got)
+	}
+	// The parent budget still binds: a third slice cannot push past 1000.
+	c := parent.Child(400)
+	if c.TryReserve(300) {
+		t.Fatal("parent admitted past its budget through a child")
+	}
+	if c.Used() != 0 {
+		t.Fatalf("denied child reservation left %d bytes held", c.Used())
+	}
+	// Must (minimum working set) overshoots honestly on both ledgers.
+	c.Reserve(300)
+	if parent.Used() != 1100 || parent.HighWater() < 1100 {
+		t.Fatalf("parent used=%d high=%d after Must-overshoot", parent.Used(), parent.HighWater())
+	}
+	// Releases flow back up.
+	a.Release(400)
+	b.Release(400)
+	c.Release(300)
+	if parent.Used() != 0 {
+		t.Fatalf("parent used = %d after children released", parent.Used())
+	}
+}
+
+func TestChildOfNilLedger(t *testing.T) {
+	var root *Ledger
+	c := root.Child(100)
+	if !c.TryReserve(100) || c.TryReserve(1) {
+		t.Fatal("child of nil ledger must enforce its own budget only")
+	}
+	c.Release(100)
+	if c.Used() != 0 {
+		t.Fatalf("used = %d", c.Used())
+	}
+	if !c.Limited() {
+		t.Fatal("budgeted child should report limited")
+	}
+	if New(0).Child(0).Limited() {
+		t.Fatal("unlimited chain should not report limited")
+	}
+}

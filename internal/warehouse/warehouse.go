@@ -4,11 +4,36 @@
 // surface that the paper's demo exposes: plan traces (points 4 and 6),
 // touched files (point 5), cache contents (point 7) and the operation log
 // (point 8).
+//
+// # Concurrency contract
+//
+// A *Warehouse is safe for concurrent use. Query, Explain, Stats, Log,
+// ClearLog and the read-only accessors may all be called from any number
+// of goroutines at once; answers are bit-identical to the ones a single
+// serial client would get (Options.SerializeQueries retains the old
+// one-query-at-a-time path as the oracle).
+//
+// Queries execute against per-query snapshots: each Query captures a
+// copy-on-write view of the catalog store and the engine's repository
+// snapshot, so it observes one consistent warehouse state for its whole
+// parse -> plan -> execute span. Refresh is the only writer. It takes the
+// write side of the snapshot lock: it waits for in-flight queries to
+// drain, rebuilds the metadata (one atomic multi-table commit), and only
+// then admits new queries — a query never sees a half-applied refresh.
+//
+// Execution memory is shared fairly: when Options.MemoryBudget is set,
+// each query draws from a per-query sub-budget carved out of the shared
+// ledger (budget / MaxConcurrentQueries, at least 1 MiB), so one spilling
+// join degrades itself to disk instead of starving every other client.
+// Admission control bounds the number of simultaneously executing queries
+// at Options.MaxConcurrentQueries; excess callers wait in Query.
 package warehouse
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -48,9 +73,19 @@ type Options struct {
 	// to per-query temp files and results stay bit-identical to the
 	// in-memory path; cache admissions are declined under pressure.
 	MemoryBudget int64
-	// KeepLog bounds the in-memory operation log (entries); 0 means the
-	// default of 10000.
+	// KeepLog bounds the in-memory operation log (entries); values <= 0
+	// select the default of 10000.
 	KeepLog int
+	// MaxConcurrentQueries bounds how many queries execute simultaneously;
+	// additional Query calls wait for a slot. It also sets the per-query
+	// memory sub-budget under MemoryBudget (budget / slots, floored at
+	// 1 MiB — the shared ledger still enforces the global bound). 0 means
+	// GOMAXPROCS.
+	MaxConcurrentQueries int
+	// SerializeQueries retains the historical global-mutex behavior: one
+	// query at a time, each with the full memory budget. It is the oracle
+	// knob concurrent serving is benchmarked and tested against.
+	SerializeQueries bool
 	// NoPipeline forces the materializing engine for every query — the
 	// bit-identity oracle the morsel-wise push pipelines are tested
 	// against. Off by default: eligible plans run pipelined.
@@ -118,10 +153,9 @@ type InitStats struct {
 }
 
 // Warehouse is an open scientific data warehouse over an mSEED repository.
+// See the package documentation for the concurrency contract.
 type Warehouse struct {
-	mu         sync.Mutex
 	mode       Mode
-	rp         *repo.Repository
 	store      *catalog.Store
 	engine     *etl.Engine
 	pool       *exec.Pool
@@ -130,10 +164,27 @@ type Warehouse struct {
 	exec       plan.ExecStats
 	init       InitStats
 
+	// refreshMu is the snapshot lock: queries hold the read side for their
+	// parse -> plan -> execute span, Refresh holds the write side while it
+	// rebuilds and swaps the catalog/engine state.
+	refreshMu sync.RWMutex
+	// rp is the repository snapshot of the last (re)load; refreshMu-guarded.
+	rp *repo.Repository
+	// admit is the admission semaphore: one slot per concurrently
+	// executing query. queryBudget is the per-query memory sub-budget
+	// carved from ledger (0 = unlimited).
+	admit       chan struct{}
+	queryBudget int64
+	// serialize retains the historical one-query-at-a-time behavior
+	// (Options.SerializeQueries); serialMu implements it.
+	serialize bool
+	serialMu  sync.Mutex
+
+	queries atomic.Int64
+
 	logMu   sync.Mutex
 	log     []LogEntry
 	keepLog int
-	queries int64
 }
 
 // Open scans the repository under dir and performs the initial load
@@ -148,19 +199,36 @@ func Open(dir string, opts Options) (*Warehouse, error) {
 		return nil, fmt.Errorf("warehouse: no mSEED files under %s", dir)
 	}
 	keep := opts.KeepLog
-	if keep == 0 {
+	if keep <= 0 {
 		keep = 10000
+	}
+	slots := opts.MaxConcurrentQueries
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	var queryBudget int64
+	if opts.MemoryBudget > 0 {
+		queryBudget = opts.MemoryBudget / int64(slots)
+		if minQB := int64(1 << 20); queryBudget < minQB {
+			queryBudget = minQB
+			if queryBudget > opts.MemoryBudget {
+				queryBudget = opts.MemoryBudget
+			}
+		}
 	}
 	store := catalog.NewStore(catalog.MSEED())
 	w := &Warehouse{
-		mode:       opts.Mode,
-		rp:         rp,
-		store:      store,
-		engine:     etl.New(rp, store, opts.ETL),
-		pool:       exec.NewPoolMorsel(opts.Workers, opts.MorselRows),
-		ledger:     mem.New(opts.MemoryBudget),
-		keepLog:    keep,
-		noPipeline: opts.NoPipeline,
+		mode:        opts.Mode,
+		rp:          rp,
+		store:       store,
+		engine:      etl.New(rp, store, opts.ETL),
+		pool:        exec.NewPoolMorsel(opts.Workers, opts.MorselRows),
+		ledger:      mem.New(opts.MemoryBudget),
+		admit:       make(chan struct{}, slots),
+		queryBudget: queryBudget,
+		serialize:   opts.SerializeQueries,
+		keepLog:     keep,
+		noPipeline:  opts.NoPipeline,
 	}
 	// Recycler admissions draw on the same ledger as operator working
 	// sets, so a loaded cache and a heavy join compete for one budget.
@@ -246,19 +314,43 @@ func (o *observer) Event(op, detail string) {
 	o.w.logf(op, "%s", detail)
 }
 
-// Query parses, plans, and executes one SELECT statement.
+// Query parses, plans, and executes one SELECT statement. It is safe to
+// call from many goroutines at once: queries execute concurrently against
+// per-query snapshots of the warehouse state (see the package doc), and
+// every failure path leaves an "error" entry in the operation log so
+// failed queries stay attributable when many clients share the log.
 func (w *Warehouse) Query(q string) (*Result, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	res, err := w.query(q)
+	if err != nil {
+		w.logf("error", "query failed: %v", err)
+	}
+	return res, err
+}
+
+func (w *Warehouse) query(q string) (*Result, error) {
 	start := time.Now()
-	w.queries++
+	if w.serialize {
+		w.serialMu.Lock()
+		defer w.serialMu.Unlock()
+	}
+	// Admission control: at most cap(w.admit) queries execute at once;
+	// the rest wait here, keeping the per-query memory sub-budgets honest.
+	w.admit <- struct{}{}
+	defer func() { <-w.admit }()
+	// Snapshot lock (read side): a Refresh cannot swap the catalog or the
+	// repository snapshot out from under this query.
+	w.refreshMu.RLock()
+	defer w.refreshMu.RUnlock()
+
+	w.queries.Add(1)
 	w.logf("query", "%s", q)
 
 	stmt, err := sql.Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	plans, err := plan.Build(stmt, w.store.Catalog(), w.mode)
+	store := w.store.Snapshot()
+	plans, err := plan.Build(stmt, store.Catalog(), w.mode)
 	if err != nil {
 		return nil, err
 	}
@@ -268,12 +360,13 @@ func (w *Warehouse) Query(q string) (*Result, error) {
 		Optimized: plan.Render(plans.Root),
 	}
 	obs := &observer{w: w, trace: &tr, touched: make(map[string]bool)}
-	// The query's memory context: operator reservations come from the
-	// warehouse ledger; spill files live in a per-query temp dir that the
-	// deferred Cleanup removes on every exit path, error included.
-	qm := exec.NewQueryMem(w.ledger, "")
+	// The query's memory context: operator reservations come from a
+	// per-query sub-budget of the warehouse ledger (so one spilling query
+	// cannot starve the fleet); spill files live in a per-query temp dir
+	// that the deferred Cleanup removes on every exit path, error included.
+	qm := exec.NewQueryMem(w.ledger.Child(w.queryBudget), "")
 	defer qm.Cleanup()
-	env := &plan.Env{Store: w.store, Source: w.engine, Obs: obs, Pool: w.pool, Mem: qm, Stats: &w.exec, NoPipeline: w.noPipeline}
+	env := &plan.Env{Store: store, Source: w.engine, Obs: obs, Pool: w.pool, Mem: qm, Stats: &w.exec, NoPipeline: w.noPipeline}
 	batch, err := plan.Execute(plans.Root, env)
 	if err != nil {
 		return nil, err
@@ -308,9 +401,12 @@ func (w *Warehouse) Explain(q string) (*Trace, error) {
 // Refresh re-synchronizes the warehouse with the repository: lazy modes
 // reload metadata (cached data refreshes itself via mtime staleness at the
 // next query); eager mode re-runs the full load.
+// Refresh blocks until every in-flight query has drained, applies the
+// reload as one atomic commit, and only then admits new queries; queries
+// arriving during a refresh wait for it to finish.
 func (w *Warehouse) Refresh() (etl.Stats, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.refreshMu.Lock()
+	defer w.refreshMu.Unlock()
 	var st etl.Stats
 	var err error
 	if w.mode == Eager {
@@ -330,16 +426,23 @@ func (w *Warehouse) Refresh() (etl.Stats, error) {
 
 // Stats summarizes the warehouse state.
 type Stats struct {
-	Mode         Mode
-	Workers      int
-	Queries      int64
-	FilesRows    int
-	RecordsRows  int
-	DataRows     int
-	StoreBytes   int64
-	CacheEntries int
-	CacheBytes   int64
-	CacheStats   string
+	Mode    Mode
+	Workers int
+	// MaxConcurrentQueries is the admission-control slot count; InFlight
+	// is how many queries currently hold a slot.
+	MaxConcurrentQueries int
+	InFlight             int
+	// QueryMemBudget is the per-query memory sub-budget carved from the
+	// shared ledger (0 = unlimited).
+	QueryMemBudget int64
+	Queries        int64
+	FilesRows      int
+	RecordsRows    int
+	DataRows       int
+	StoreBytes     int64
+	CacheEntries   int
+	CacheBytes     int64
+	CacheStats     string
 	// Extraction counts lazy-extraction work, including the coalesced-run
 	// read path: RunsRead / RunRecords give the records-per-syscall ratio
 	// and DecodeNanos the in-memory parse+decode share of extraction.
@@ -355,19 +458,26 @@ type Stats struct {
 	Mem mem.Snapshot
 }
 
-// Stats returns a snapshot of warehouse counters.
+// Stats returns a snapshot of warehouse counters. Safe to call while
+// queries and refreshes are in flight: counters are atomic and the store
+// row/byte figures come from one copy-on-write snapshot, so they are
+// mutually consistent even mid-refresh.
 func (w *Warehouse) Stats() Stats {
+	store := w.store.Snapshot()
 	cs := w.engine.Cache().Stats()
 	return Stats{
-		Mode:         w.mode,
-		Workers:      w.pool.Workers(),
-		Queries:      w.queries,
-		FilesRows:    w.store.Rows(catalog.TableFiles),
-		RecordsRows:  w.store.Rows(catalog.TableRecords),
-		DataRows:     w.store.Rows(catalog.TableData),
-		StoreBytes:   w.store.Bytes(),
-		CacheEntries: w.engine.Cache().Len(),
-		CacheBytes:   w.engine.Cache().Used(),
+		Mode:                 w.mode,
+		Workers:              w.pool.Workers(),
+		MaxConcurrentQueries: cap(w.admit),
+		InFlight:             len(w.admit),
+		QueryMemBudget:       w.queryBudget,
+		Queries:              w.queries.Load(),
+		FilesRows:            store.Rows(catalog.TableFiles),
+		RecordsRows:          store.Rows(catalog.TableRecords),
+		DataRows:             store.Rows(catalog.TableData),
+		StoreBytes:           store.Bytes(),
+		CacheEntries:         w.engine.Cache().Len(),
+		CacheBytes:           w.engine.Cache().Used(),
 		CacheStats: fmt.Sprintf("hits=%d misses=%d evictions=%d invalidations=%d declined=%d/%dB",
 			cs.Hits, cs.Misses, cs.Evictions, cs.Invalidations, cs.Declined, cs.DeclinedBytes),
 		Extraction: w.engine.ExtractionStats(),
@@ -396,8 +506,14 @@ func (w *Warehouse) logf(op, format string, args ...any) {
 	w.logMu.Lock()
 	defer w.logMu.Unlock()
 	if len(w.log) >= w.keepLog {
-		// Drop the oldest half to amortize trimming.
-		n := copy(w.log, w.log[len(w.log)/2:])
+		// Make room so the appended entry keeps len <= keepLog, dropping
+		// the oldest half when possible to amortize the copy (dropping
+		// exactly half of a 1-entry log drops nothing, so take the max).
+		drop := len(w.log) - w.keepLog + 1
+		if half := len(w.log) / 2; half > drop {
+			drop = half
+		}
+		n := copy(w.log, w.log[drop:])
 		w.log = w.log[:n]
 	}
 	w.log = append(w.log, LogEntry{At: time.Now(), Op: op, Detail: fmt.Sprintf(format, args...)})

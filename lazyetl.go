@@ -34,6 +34,17 @@
 // temp files — results stay bit-identical to the in-memory path, and
 // Stats reports the ledger high-water mark and spill counters.
 //
+// A Warehouse serves queries concurrently: Query, Explain, Stats, Log and
+// ClearLog may be called from any number of goroutines. Each query runs
+// against an immutable snapshot of the catalog store and repository
+// metadata; Refresh is the only writer and drains in-flight queries
+// before swapping state. Admitted queries (Options.MaxConcurrentQueries
+// at a time) each get a sub-budget carved from the shared memory ledger
+// so one spilling query cannot starve the rest. Concurrent answers are
+// bit-identical to serial execution; Options.SerializeQueries retains the
+// old one-query-at-a-time path as a verification oracle. cmd/lazyetld
+// serves a warehouse to many clients over HTTP/JSON.
+//
 // Quickstart:
 //
 //	files, _ := lazyetl.GenerateRepository(lazyetl.RepoConfig{Dir: dir, Seed: 1})
