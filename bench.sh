@@ -16,7 +16,7 @@ cd "$(dirname "$0")"
 
 count=5
 benchtime=1s
-pattern='E[1-9]|Filter|Aggregate|HashJoin|JoinBuild|Sort|OrderBy|Like|Steim|Extract|Spill|Pipeline|Overlap|Concurrent'
+pattern='E[1-9]|Filter|Aggregate|HashJoin|JoinBuild|Sort|OrderBy|Like|Steim|Extract|Spill|Pipeline|Overlap|Concurrent|Skip|JoinOrder'
 
 for arg in "$@"; do
   case "$arg" in

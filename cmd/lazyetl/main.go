@@ -144,6 +144,34 @@ func runQuery(w *warehouse.Warehouse, q string, lastTrace **warehouse.Trace) {
 	*lastTrace = &tr
 }
 
+// printExplain renders the zone-map skipping and join-ordering record of a
+// trace: per-scan runs/records/rows read vs skipped, and the chosen join
+// order with its cardinality estimates.
+func printExplain(tr *warehouse.Trace) {
+	if tr.Join != nil {
+		j := tr.Join
+		if j.Reordered {
+			fmt.Printf("-- join order (stats-driven): %s\n", strings.Join(j.Order, " -> "))
+			fmt.Printf("   SQL order was: %s\n", strings.Join(j.SQLOrder, " -> "))
+		} else {
+			fmt.Printf("-- join order: SQL order kept: %s\n", strings.Join(j.Order, " -> "))
+		}
+		fmt.Printf("   estimated rows: %v\n", j.Estimates)
+	}
+	if len(tr.Scans) == 0 {
+		fmt.Println("-- no zone-map pruning applied (no statistics yet, or no eligible predicate)")
+		return
+	}
+	for _, s := range tr.Scans {
+		if s.Target == "extract" {
+			fmt.Printf("-- extract: %d runs read, %d skipped; %d records extracted, %d skipped; %d cache reads\n",
+				s.Runs, s.RunsSkipped, s.Records, s.RecordsSkipped, s.CacheReads)
+		} else {
+			fmt.Printf("-- scan %s: %d rows fed, %d skipped by zone ranges\n", s.Target, s.Rows, s.RowsSkipped)
+		}
+	}
+}
+
 func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, repoDir string) (quit bool) {
 	fields := strings.Fields(line)
 	cmd, rest := fields[0], strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
@@ -154,6 +182,7 @@ func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, r
   \tables           list tables and views with row counts          (demo point 2)
   \schema [name]    show columns of a table or view                (demo point 2)
   \plan <sql>       show naive and reorganized plans               (demo points 4, 6)
+  \explain <sql>    run a query and show zone-map skipping + join order
   \trace            show plans + injected operators of last query  (demo points 4-6)
   \touched          files the last query extracted from            (demo point 5)
   \cache            recycler contents and statistics               (demo point 7)
@@ -208,6 +237,22 @@ func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, r
 		fmt.Print(tr.Naive)
 		fmt.Println("-- plan after metadata-predicates-first reorganization:")
 		fmt.Print(tr.Optimized)
+	case `\explain`:
+		if rest == "" {
+			fmt.Println("usage: \\explain <sql>")
+			break
+		}
+		res, err := w.Query(strings.TrimSuffix(rest, ";"))
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		tr := res.Trace
+		*lastTrace = &tr
+		fmt.Println("-- plan executed:")
+		fmt.Print(tr.Optimized)
+		printExplain(&tr)
+		fmt.Printf("(%d rows in %v)\n", res.Batch.NumRows(), res.Elapsed.Round(time.Microsecond))
 	case `\trace`:
 		if *lastTrace == nil {
 			fmt.Println("no query has run yet")
@@ -273,6 +318,12 @@ func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, r
 				st.Extraction.RunsRead,
 				float64(st.Extraction.RunRecords)/float64(st.Extraction.RunsRead),
 				time.Duration(st.Extraction.DecodeNanos).Round(time.Microsecond))
+		}
+		if st.Extraction.RecordsSkipped > 0 || st.Extraction.RunsSkipped > 0 ||
+			st.Exec.ScanRowsSkipped > 0 || st.Exec.JoinReorders > 0 {
+			fmt.Printf("skipping: %d records pruned before decode (%d runs never read), %d scan rows skipped (%d zone ranges), %d join reorders\n",
+				st.Extraction.RecordsSkipped, st.Extraction.RunsSkipped,
+				st.Exec.ScanRowsSkipped, st.Exec.ScanRangesSkipped, st.Exec.JoinReorders)
 		}
 		if st.Extraction.PrefetchedRuns > 0 || st.Extraction.PrefetchStallNanos > 0 {
 			fmt.Printf("prefetch: %d runs decoded ahead of the pipeline, %v consumer stall\n",

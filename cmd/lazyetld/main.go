@@ -10,8 +10,11 @@
 //
 // Endpoints:
 //
-//	POST /query   {"sql": "SELECT ..."}  ->  {"columns": [...], "rows": [[...]], ...}
-//	GET  /stats   warehouse + server counters
+//	POST /query    {"sql": "SELECT ..."}  ->  {"columns": [...], "rows": [[...]], ...}
+//	POST /explain  {"sql": "SELECT ..."}  ->  executed plan, per-scan zone-map
+//	               skipping (runs/records/rows read vs skipped) and the
+//	               stats-driven join order
+//	GET  /stats    warehouse + server counters
 //
 // Queries execute concurrently inside the warehouse (see the concurrency
 // contract in internal/warehouse): per-query snapshots, a shared memory
@@ -40,6 +43,7 @@ import (
 
 	"repro/internal/column"
 	"repro/internal/etl"
+	"repro/internal/plan"
 	"repro/internal/seisgen"
 	"repro/internal/warehouse"
 )
@@ -106,7 +110,7 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("lazyetld: serving on %s (POST /query, GET /stats)\n", *addr)
+	fmt.Printf("lazyetld: serving on %s (POST /query, POST /explain, GET /stats)\n", *addr)
 
 	select {
 	case err := <-errCh:
@@ -145,6 +149,7 @@ func newServer(w *warehouse.Warehouse, perClient int) *server {
 	s := &server{w: w, clients: newClientLimiter(perClient)}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
 }
@@ -213,6 +218,58 @@ func (s *server) handleQuery(rw http.ResponseWriter, r *http.Request) {
 		out.Rows[i] = row
 	}
 	writeJSON(rw, http.StatusOK, out)
+}
+
+// explainResponse is the POST /explain answer: the query is executed (the
+// per-scan skip tallies only exist at run time) but its rows are discarded;
+// what comes back is the observability record.
+type explainResponse struct {
+	SQL       string            `json:"sql"`
+	Plan      string            `json:"plan"`
+	Scans     []plan.ScanReport `json:"scans"`
+	Join      *plan.ReorderInfo `json:"join,omitempty"`
+	RowCount  int               `json:"row_count"`
+	ElapsedNS int64             `json:"elapsed_ns"`
+}
+
+func (s *server) handleExplain(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(rw, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	client := clientKey(r)
+	if !s.clients.acquire(client) {
+		s.rejected.Add(1)
+		writeJSON(rw, http.StatusTooManyRequests,
+			errorResponse{fmt.Sprintf("client %s exceeds its in-flight query limit", client)})
+		return
+	}
+	defer s.clients.release(client)
+
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil || req.SQL == "" {
+		if err == nil {
+			err = errors.New("missing \"sql\" field")
+		}
+		writeJSON(rw, http.StatusBadRequest, errorResponse{"bad request: " + err.Error()})
+		return
+	}
+	res, err := s.w.Query(req.SQL)
+	if err != nil {
+		s.failed.Add(1)
+		writeJSON(rw, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		return
+	}
+	s.served.Add(1)
+	writeJSON(rw, http.StatusOK, explainResponse{
+		SQL:       res.Trace.SQL,
+		Plan:      res.Trace.Optimized,
+		Scans:     res.Trace.Scans,
+		Join:      res.Trace.Join,
+		RowCount:  res.Batch.NumRows(),
+		ElapsedNS: res.Elapsed.Nanoseconds(),
+	})
 }
 
 // statsResponse decorates warehouse stats with server-level counters.

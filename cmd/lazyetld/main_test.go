@@ -141,6 +141,82 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+func TestExplainEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Run the pruning query twice: the first execution extracts everything
+	// and collects zone maps as a by-product, the second consults them.
+	// seisgen amplitudes top out in the tens of thousands, so > 1e9 prunes
+	// every record.
+	const q = "SELECT COUNT(*) FROM mseed.dataview WHERE D.sample_value > 1000000000"
+	if resp, body := postQuery(t, ts, q); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up query status %d: %s", resp.StatusCode, body)
+	}
+	body, _ := json.Marshal(queryRequest{SQL: q})
+	resp, err := ts.Client().Post(ts.URL+"/explain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /explain status = %d", resp.StatusCode)
+	}
+	var out explainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Plan == "" {
+		t.Fatal("explain response has no plan")
+	}
+	var skipped int64
+	for _, sc := range out.Scans {
+		skipped += sc.RecordsSkipped + sc.RowsSkipped
+	}
+	if len(out.Scans) == 0 || skipped == 0 {
+		t.Fatalf("explain scans report no skipping after zone collection: %+v", out.Scans)
+	}
+
+	resp2, err := ts.Client().Get(ts.URL + "/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /explain status = %d, want 405", resp2.StatusCode)
+	}
+}
+
+func TestStatsReportSkipping(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const q = "SELECT COUNT(*) FROM mseed.dataview WHERE D.sample_value > 1000000000"
+	for i := 0; i < 2; i++ {
+		if resp, body := postQuery(t, ts, q); resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	ex := out.Warehouse.Extraction
+	if ex.RecordsSkipped == 0 {
+		t.Fatalf("extraction records skipped = 0 after pruning query, stats: %+v", ex)
+	}
+	if ex.RunsSkipped == 0 {
+		t.Fatalf("extraction runs skipped = 0 after pruning query, stats: %+v", ex)
+	}
+}
+
 func TestConcurrentHTTPQueries(t *testing.T) {
 	srv, w := testServer(t)
 	ts := httptest.NewServer(srv)

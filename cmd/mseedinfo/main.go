@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mseedinfo [-records] [-decode] FILE...
+//	mseedinfo [-records] [-decode] [-zones] FILE...
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/mseed"
 	"repro/internal/seismic"
 )
@@ -19,15 +20,16 @@ import (
 func main() {
 	showRecords := flag.Bool("records", false, "list every record header")
 	decode := flag.Bool("decode", false, "decode payloads and report amplitude statistics")
+	zones := flag.Bool("zones", false, "decode payloads and report zone-map statistics (sample min/max, NaN and null counts) per file, per record with -records")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mseedinfo [-records] [-decode] FILE...")
+		fmt.Fprintln(os.Stderr, "usage: mseedinfo [-records] [-decode] [-zones] FILE...")
 		os.Exit(2)
 	}
 	exit := 0
 	for _, path := range flag.Args() {
-		if err := describe(path, *showRecords, *decode); err != nil {
+		if err := describe(path, *showRecords, *decode, *zones); err != nil {
 			fmt.Fprintf(os.Stderr, "mseedinfo: %s: %v\n", path, err)
 			exit = 1
 		}
@@ -35,7 +37,7 @@ func main() {
 	os.Exit(exit)
 }
 
-func describe(path string, showRecords, decode bool) error {
+func describe(path string, showRecords, decode, zones bool) error {
 	infos, err := mseed.ScanFile(path)
 	if err != nil {
 		return err
@@ -75,24 +77,57 @@ func describe(path string, showRecords, decode bool) error {
 				h.SeqNo, ri.Offset, h.Start, h.NumSamples, h.Encoding)
 		}
 	}
-	if decode {
+	if decode || zones {
 		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		var all []float64
+		// file is the zone-map roll-up over every record: the same
+		// per-record statistics the warehouse collects lazily during
+		// extraction, aggregated with CollectZone's merge semantics.
+		var file catalog.ZoneEntry
 		for _, ri := range infos {
 			s, err := mseed.ReadRecordSamples(f, ri)
 			if err != nil {
 				return fmt.Errorf("record %d: %w", ri.Header.SeqNo, err)
 			}
-			for _, v := range s {
-				all = append(all, float64(v))
+			vals := make([]float64, len(s))
+			for i, v := range s {
+				vals[i] = float64(v)
+			}
+			z := catalog.CollectZone(vals)
+			if zones && showRecords {
+				fmt.Printf("  seq %06d  zone min=%g max=%g samples=%d finite=%d nan=%d null=%d\n",
+					ri.Header.SeqNo, z.Min, z.Max, z.Samples, z.Finite, z.NaNs, z.Nulls)
+			}
+			if file.Samples == 0 {
+				file = z
+			} else {
+				if z.Finite > 0 && (file.Finite == 0 || z.Min < file.Min) {
+					file.Min = z.Min
+				}
+				if z.Finite > 0 && (file.Finite == 0 || z.Max > file.Max) {
+					file.Max = z.Max
+				}
+				file.Finite += z.Finite
+				file.NaNs += z.NaNs
+				file.Nulls += z.Nulls
+				file.Samples += z.Samples
+			}
+			if decode {
+				all = append(all, vals...)
 			}
 		}
-		a := seismic.Amplitude(all)
-		fmt.Printf("  amplitude   min=%.0f max=%.0f mean=%.2f rms=%.2f\n", a.Min, a.Max, a.Mean, a.RMS)
+		if zones {
+			fmt.Printf("  zones       min=%g max=%g samples=%d finite=%d nan=%d null=%d\n",
+				file.Min, file.Max, file.Samples, file.Finite, file.NaNs, file.Nulls)
+		}
+		if decode {
+			a := seismic.Amplitude(all)
+			fmt.Printf("  amplitude   min=%.0f max=%.0f mean=%.2f rms=%.2f\n", a.Min, a.Max, a.Mean, a.RMS)
+		}
 	}
 	return nil
 }

@@ -23,14 +23,21 @@ import (
 // AppendRow mutates a live batch in place and is intended for load-time
 // assembly only; it must not race queries reading that table.
 type Store struct {
-	mu   sync.RWMutex
-	cat  *Catalog
-	data map[string]*column.Batch
+	mu     sync.RWMutex
+	cat    *Catalog
+	data   map[string]*column.Batch
+	tstats map[string]*column.BatchZones
+	zones  *ZoneMaps
 }
 
 // NewStore creates a store with an empty batch per catalog table.
 func NewStore(cat *Catalog) *Store {
-	s := &Store{cat: cat, data: make(map[string]*column.Batch)}
+	s := &Store{
+		cat:    cat,
+		data:   make(map[string]*column.Batch),
+		tstats: make(map[string]*column.BatchZones),
+		zones:  NewZoneMaps(),
+	}
 	for _, t := range cat.Tables() {
 		s.data[t.Name] = emptyBatch(t)
 	}
@@ -59,7 +66,30 @@ func (s *Store) Snapshot() *Store {
 	for k, v := range s.data {
 		data[k] = v
 	}
-	return &Store{cat: s.cat, data: data}
+	tstats := make(map[string]*column.BatchZones, len(s.tstats))
+	for k, v := range s.tstats {
+		tstats[k] = v
+	}
+	// Record zone maps are shared, not copied: they are monotone statistics
+	// keyed by (uri, mtime, seqno), never query-visible data, so snapshots
+	// benefit from entries collected after the snapshot was taken.
+	return &Store{cat: s.cat, data: data, tstats: tstats, zones: s.zones}
+}
+
+// Zones returns the store's record zone-map collection (shared by all
+// snapshots of this store).
+func (s *Store) Zones() *ZoneMaps { return s.zones }
+
+// TableZones returns the batch zone statistics of a table, or nil when none
+// are held (empty table, or a table assembled row-at-a-time).
+func (s *Store) TableZones(table string) *column.BatchZones {
+	t, ok := s.cat.Table(table)
+	if !ok {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tstats[t.Name]
 }
 
 // Table returns the loaded batch of a base table.
@@ -92,6 +122,7 @@ func (s *Store) AppendRow(table string, vals ...column.Value) error {
 			return fmt.Errorf("catalog: %s: %w", table, err)
 		}
 	}
+	delete(s.tstats, t.Name) // row-at-a-time growth makes range stats stale
 	return nil
 }
 
@@ -120,9 +151,11 @@ func (s *Store) Replace(table string, b *column.Batch) error {
 	if err := s.validate(t, b); err != nil {
 		return err
 	}
+	zs := column.BuildZones(b, 0)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.data[t.Name] = b
+	s.tstats[t.Name] = zs
 	return nil
 }
 
@@ -142,10 +175,15 @@ func (s *Store) ReplaceAll(batches map[string]*column.Batch) error {
 		}
 		defs[name] = t
 	}
+	zs := make(map[string]*column.BatchZones, len(batches))
+	for name, b := range batches {
+		zs[defs[name].Name] = column.BuildZones(b, 0)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for name, b := range batches {
 		s.data[defs[name].Name] = b
+		s.tstats[defs[name].Name] = zs[defs[name].Name]
 	}
 	return nil
 }
@@ -159,6 +197,7 @@ func (s *Store) Truncate(table string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.data[t.Name] = emptyBatch(t)
+	delete(s.tstats, t.Name)
 	return nil
 }
 

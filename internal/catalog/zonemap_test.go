@@ -1,0 +1,144 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/column"
+)
+
+func TestCollectZone(t *testing.T) {
+	z := CollectZone([]float64{3, -7, math.NaN(), 12, math.NaN()})
+	if z.Min != -7 || z.Max != 12 {
+		t.Errorf("min/max = %g/%g, want -7/12", z.Min, z.Max)
+	}
+	if z.Finite != 3 || z.NaNs != 2 || z.Samples != 5 {
+		t.Errorf("counts = %+v", z)
+	}
+
+	// All-NaN record: min/max are the empty-range sentinels and Finite is 0,
+	// so a pruner must not trust the bounds.
+	z = CollectZone([]float64{math.NaN()})
+	if z.Finite != 0 || !math.IsInf(z.Min, 1) || !math.IsInf(z.Max, -1) {
+		t.Errorf("all-NaN zone = %+v", z)
+	}
+
+	if z = CollectZone(nil); z.Samples != 0 || z.Finite != 0 {
+		t.Errorf("empty zone = %+v", z)
+	}
+}
+
+func TestZoneMapsMtimeInvalidation(t *testing.T) {
+	zm := NewZoneMaps()
+	t1 := time.Unix(1000, 0)
+	t2 := time.Unix(2000, 0)
+
+	zm.Put("a", t1, 1, ZoneEntry{Min: 1, Max: 2, Finite: 10, Samples: 10})
+	zm.Put("a", t1, 2, ZoneEntry{Min: 3, Max: 4, Finite: 10, Samples: 10})
+	if zm.Records() != 2 {
+		t.Fatalf("records = %d, want 2", zm.Records())
+	}
+	if z, ok := zm.Get("a", t1, 1); !ok || z.Min != 1 {
+		t.Fatalf("Get(a, t1, 1) = %+v, %v", z, ok)
+	}
+
+	// Same seqno at a different mtime: stale, must miss.
+	if _, ok := zm.Get("a", t2, 1); ok {
+		t.Fatal("stale mtime must not serve zone entries")
+	}
+	// A Put at the new mtime drops every entry collected at the old one.
+	zm.Put("a", t2, 1, ZoneEntry{Min: 9, Max: 9, Finite: 1, Samples: 1})
+	if zm.Records() != 1 {
+		t.Fatalf("records after mtime change = %d, want 1", zm.Records())
+	}
+	if _, ok := zm.Get("a", t1, 2); ok {
+		t.Fatal("old-mtime entry survived a new-mtime Put")
+	}
+
+	zm.InvalidateFile("a")
+	if zm.Records() != 0 {
+		t.Fatalf("records after invalidate = %d, want 0", zm.Records())
+	}
+}
+
+// TestSnapshotSharesZones pins the persistence contract: zone maps live on
+// the catalog store and are SHARED across snapshots (statistics are monotone
+// metadata, not query-visible data), so zones collected by a query running
+// against an older snapshot benefit every later query.
+func TestSnapshotSharesZones(t *testing.T) {
+	s := NewStore(MSEED())
+	snap := s.Snapshot()
+
+	mt := time.Unix(42, 0)
+	snap.Zones().Put("x", mt, 7, ZoneEntry{Min: -1, Max: 1, Finite: 2, Samples: 2})
+	if z, ok := s.Zones().Get("x", mt, 7); !ok || z.Max != 1 {
+		t.Fatalf("zone written through a snapshot not visible on the store: %+v, %v", z, ok)
+	}
+	if s.Zones() != snap.Zones() {
+		t.Fatal("snapshot must share the store's ZoneMaps instance")
+	}
+}
+
+// TestReplaceComputesTableZones checks the stored-table side: installing a
+// batch computes per-range statistics, and AppendRow/Truncate discard them
+// (row-at-a-time growth makes range stats stale).
+func TestReplaceComputesTableZones(t *testing.T) {
+	s := NewStore(MSEED())
+	n := 100
+	ids := make([]int64, n)
+	seqs := make([]int64, n)
+	times := make([]int64, n)
+	vals := make([]float64, n)
+	for i := range vals {
+		ids[i] = 1
+		seqs[i] = int64(i)
+		times[i] = int64(i) * 1e9
+		vals[i] = float64(i) - 50
+	}
+	b, err := column.NewBatch(
+		column.NewInt64s("file_id", ids),
+		column.NewInt64s("seqno", seqs),
+		column.NewTimestamps("sample_time", times),
+		column.NewFloat64s("sample_value", vals),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplaceAll(map[string]*column.Batch{TableData: b}); err != nil {
+		t.Fatal(err)
+	}
+	bz := s.TableZones(TableData)
+	if bz == nil || bz.Rows != n {
+		t.Fatalf("table zones = %+v", bz)
+	}
+	zs := bz.Cols["sample_value"]
+	if len(zs) != 1 || zs[0].FMin != -50 || zs[0].FMax != 49 {
+		t.Fatalf("sample_value zones = %+v", zs)
+	}
+
+	if err := s.AppendRow(TableData,
+		column.Value{Type: column.Int64, I: 1},
+		column.Value{Type: column.Int64, I: int64(n)},
+		column.Value{Type: column.Timestamp, I: 0},
+		column.Value{Type: column.Float64, F: 1e9},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if s.TableZones(TableData) != nil {
+		t.Fatal("AppendRow must drop stale table zones")
+	}
+
+	if err := s.Replace(TableData, b); err != nil {
+		t.Fatal(err)
+	}
+	if s.TableZones(TableData) == nil {
+		t.Fatal("Replace must rebuild table zones")
+	}
+	if err := s.Truncate(TableData); err != nil {
+		t.Fatal(err)
+	}
+	if s.TableZones(TableData) != nil {
+		t.Fatal("Truncate must drop table zones")
+	}
+}

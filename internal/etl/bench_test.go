@@ -78,7 +78,7 @@ func BenchmarkExtractColdCache(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		out, err := e.Extract(meta, plan.NopObserver{})
+		out, err := e.Extract(meta, nil, plan.NopObserver{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +96,7 @@ func BenchmarkExtractColdCache(b *testing.B) {
 // warming pass, then every iteration serves all records from the cache.
 func BenchmarkExtractWarmCache(b *testing.B) {
 	e, meta := benchEngine(b, Options{})
-	if _, err := e.Extract(meta, plan.NopObserver{}); err != nil {
+	if _, err := e.Extract(meta, nil, plan.NopObserver{}); err != nil {
 		b.Fatal(err)
 	}
 	cold := e.ExtractionStats().Extractions
@@ -104,7 +104,7 @@ func BenchmarkExtractWarmCache(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		out, err := e.Extract(meta, plan.NopObserver{})
+		out, err := e.Extract(meta, nil, plan.NopObserver{})
 		if err != nil {
 			b.Fatal(err)
 		}

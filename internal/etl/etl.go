@@ -134,6 +134,9 @@ type extractCounters struct {
 	runRecords    atomic.Int64
 	decodeNanos   atomic.Int64
 
+	runsSkipped    atomic.Int64
+	recordsSkipped atomic.Int64
+
 	prefetchedRuns     atomic.Int64
 	prefetchStallNanos atomic.Int64
 }

@@ -198,11 +198,11 @@ func TestPrefetchWholeFileAblation(t *testing.T) {
 func TestExtractMissingMetadataColumns(t *testing.T) {
 	e, _, _ := newEngine(t, 100, Options{})
 	bad := column.MustNewBatch(column.NewInt64s("x", []int64{1}))
-	if _, err := e.Extract(bad, plan.NopObserver{}); err == nil {
+	if _, err := e.Extract(bad, nil, plan.NopObserver{}); err == nil {
 		t.Error("extraction without F.uri should fail")
 	}
 	noSeq := column.MustNewBatch(column.NewStrings("F.uri", []string{"a"}))
-	if _, err := e.Extract(noSeq, plan.NopObserver{}); err == nil {
+	if _, err := e.Extract(noSeq, nil, plan.NopObserver{}); err == nil {
 		t.Error("extraction without R.seqno should fail")
 	}
 }
@@ -214,7 +214,7 @@ func TestExtractUnknownFile(t *testing.T) {
 		column.NewInt64s("R.seqno", []int64{1}),
 		column.NewInt64s("R.file_offset", []int64{0}),
 	)
-	if _, err := e.Extract(meta, plan.NopObserver{}); err == nil {
+	if _, err := e.Extract(meta, nil, plan.NopObserver{}); err == nil {
 		t.Error("extraction of unknown file should fail")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/column"
 	"repro/internal/mseed"
 	"repro/internal/plan"
@@ -24,6 +25,13 @@ type ExtractStats struct {
 	RunsRead      int64 // coalesced reads issued (one ReadAt each)
 	RunRecords    int64 // records decoded out of coalesced runs
 	DecodeNanos   int64 // time spent parsing and decoding run bytes
+
+	// Zone-map pruning counters: qualifying records whose collected zone
+	// entry failed the query's pushed-down value predicate and were dropped
+	// before any read or decode, and the coalesced runs that never had to
+	// be issued because of it.
+	RunsSkipped    int64
+	RecordsSkipped int64
 
 	// Streaming extraction (ExtractStream) counters: runs read+decoded by
 	// background prefetch workers ahead of the consumer, and time the
@@ -100,6 +108,18 @@ type extractSink struct {
 	quiet bool
 }
 
+// prunedEntry marks rows dropped by zone-map pruning: a shared empty entry,
+// so downstream assembly (batch and stream alike) sees a delivered row that
+// contributes zero samples.
+var prunedEntry = &recycler.Entry{}
+
+// zonesPut collects a record's zone entry from its transformed values and
+// installs it in the store's zone maps under (uri, mtime, seqno) — the same
+// staleness key the recycler uses, so a touched file invalidates its zones.
+func (e *Engine) zonesPut(fs *fileState, seqno int, values []float64) {
+	e.store.Zones().Put(fs.uri, fs.mtime, seqno, catalog.CollectZone(values))
+}
+
 // deliver hands one decoded record to the sink. Called from workers; i is
 // owned exclusively by the calling run.
 func (s *extractSink) deliver(fs *fileState, i int, h *mseed.Header, samples []int32) {
@@ -110,6 +130,7 @@ func (s *extractSink) deliver(fs *fileState, i int, h *mseed.Header, samples []i
 		times := s.dTimes[o : o+len(samples)]
 		values := s.dValues[o : o+len(samples)]
 		e.transformInto(h, samples, times, values)
+		e.zonesPut(fs, int(s.seqs[i]), values)
 		if e.cache.Enabled() {
 			ent := &recycler.Entry{
 				Times:     append([]int64(nil), times...),
@@ -121,6 +142,7 @@ func (s *extractSink) deliver(fs *fileState, i int, h *mseed.Header, samples []i
 		return
 	}
 	times, values := e.transform(h, samples)
+	e.zonesPut(fs, int(s.seqs[i]), values)
 	ent := &recycler.Entry{Times: times, Values: values, FileMtime: fs.mtime}
 	s.entries[i] = ent
 	if s.direct {
@@ -139,8 +161,14 @@ func (s *extractSink) deliver(fs *fileState, i int, h *mseed.Header, samples []i
 // and each injection is reported to the observer. Misses are read in
 // coalesced runs (see the package documentation) so a cold-cache query
 // costs O(1) syscalls and allocations per run, not per record.
-func (e *Engine) Extract(meta *column.Batch, obs plan.Observer) (*column.Batch, error) {
-	pr, err := e.prepare(meta, obs, true)
+//
+// prune, when non-nil, is consulted against the zone maps collected by
+// earlier extractions: records whose zone entry proves no sample can pass
+// are skipped before any ReadAt or decode (they still yield a metadata row
+// with zero samples, which the enclosing data filter would have deleted
+// anyway). Records without a fresh zone entry always extract.
+func (e *Engine) Extract(meta *column.Batch, prune *plan.PruneRange, obs plan.Observer) (*column.Batch, error) {
+	pr, err := e.prepare(meta, prune, obs, true)
 	if err != nil {
 		return nil, err
 	}
@@ -196,12 +224,13 @@ type extractPrep struct {
 }
 
 // prepare validates the metadata batch, stats the source files, and runs
-// pass 1: rows with a fresh cache entry are served immediately (reported as
-// CacheRead injections); the rest become missIdx. allowDirect enables the
-// pre-sized direct output layout when every miss length is known — the
+// pass 1: rows pruned by the zone maps are closed out immediately (zero
+// samples, no I/O), rows with a fresh cache entry are served (reported as
+// CacheRead injections), and the rest become missIdx. allowDirect enables
+// the pre-sized direct output layout when every miss length is known — the
 // batch path uses it, the streaming path always routes records through
 // entries.
-func (e *Engine) prepare(meta *column.Batch, obs plan.Observer, allowDirect bool) (*extractPrep, error) {
+func (e *Engine) prepare(meta *column.Batch, prune *plan.PruneRange, obs plan.Observer, allowDirect bool) (*extractPrep, error) {
 	uriCol, ok := meta.Col("F.uri")
 	if !ok {
 		return nil, fmt.Errorf("etl: extraction metadata lacks F.uri (have %v)", meta.Names())
@@ -264,13 +293,24 @@ func (e *Engine) prepare(meta *column.Batch, obs plan.Observer, allowDirect bool
 		quiet:   quiet,
 	}
 
-	// Pass 1: serve what the cache has (fresh entries only).
-	var missIdx []int
+	// Pass 1: skip what the zone maps prove irrelevant, then serve what the
+	// cache has (fresh entries only).
+	zones := e.store.Zones()
+	var missIdx, prunedIdx []int
+	var cacheHits int64
 	sink.direct = allowDirect
 	for i := 0; i < n; i++ {
 		fs, err := stateOf(uris[i])
 		if err != nil {
 			return nil, err
+		}
+		if prune != nil {
+			if z, ok := zones.Get(uris[i], fs.mtime, int(seqs[i])); ok && !prune.Admits(z) {
+				sink.lens[i] = 0
+				sink.entries[i] = prunedEntry
+				prunedIdx = append(prunedIdx, i)
+				continue
+			}
 		}
 		key := recycler.Key{URI: uris[i], SeqNo: int(seqs[i])}
 		if ent, hit := e.cache.Lookup(key, fs.mtime); hit {
@@ -280,6 +320,7 @@ func (e *Engine) prepare(meta *column.Batch, obs plan.Observer, allowDirect bool
 				obs.InjectedOp("CacheRead", fmt.Sprintf("%s seq=%d (%d samples)", uris[i], seqs[i], len(ent.Times)))
 			}
 			e.xstats.cacheReads.Add(1)
+			cacheHits++
 			continue
 		}
 		if nums != nil && nums[i] >= 0 {
@@ -291,6 +332,37 @@ func (e *Engine) prepare(meta *column.Batch, obs plan.Observer, allowDirect bool
 		missIdx = append(missIdx, i)
 	}
 
+	if prune != nil {
+		// Count the reads pruning saved by replaying the run-coalescing
+		// arithmetic over the would-be miss set (pruned rows would all have
+		// been misses: a pruned record was extracted under an older query,
+		// whose cache entry may since have been evicted). No files are
+		// opened here — only the already-stat'ed sizes are consulted.
+		runsPlanned := e.countRuns(missIdx, uris, offs, recLens, stateOf)
+		runsSkipped := 0
+		if len(prunedIdx) > 0 {
+			all := make([]int, 0, len(missIdx)+len(prunedIdx))
+			all = append(all, missIdx...)
+			all = append(all, prunedIdx...)
+			sort.Ints(all)
+			runsSkipped = e.countRuns(all, uris, offs, recLens, stateOf) - runsPlanned
+			e.xstats.runsSkipped.Add(int64(runsSkipped))
+			e.xstats.recordsSkipped.Add(int64(len(prunedIdx)))
+			if !quiet {
+				obs.Event("zone-prune", fmt.Sprintf("zone maps skip %d of %d qualifying records (%d coalesced runs never read)",
+					len(prunedIdx), n, runsSkipped))
+			}
+		}
+		plan.ReportScan(obs, plan.ScanReport{
+			Target:         "extract",
+			Runs:           int64(runsPlanned),
+			RunsSkipped:    int64(runsSkipped),
+			Records:        int64(len(missIdx)),
+			RecordsSkipped: int64(len(prunedIdx)),
+			CacheReads:     cacheHits,
+		})
+	}
+
 	return &extractPrep{
 		uris:    uris,
 		seqs:    seqs,
@@ -300,6 +372,64 @@ func (e *Engine) prepare(meta *column.Batch, obs plan.Observer, allowDirect bool
 		sink:    sink,
 		missIdx: missIdx,
 	}, nil
+}
+
+// countRuns replays planRuns' coalescing arithmetic over idx (ascending meta
+// row indices) without opening any file, returning how many coalesced reads
+// the set would cost. Used to attribute saved reads to zone-map pruning.
+func (e *Engine) countRuns(idx []int, uris []string, offs, recLens []int64,
+	stateOf func(string) (*fileState, error)) int {
+	if len(idx) == 0 {
+		return 0
+	}
+	byFile := make(map[string][]int)
+	var fileOrder []string
+	for _, i := range idx {
+		if _, seen := byFile[uris[i]]; !seen {
+			fileOrder = append(fileOrder, uris[i])
+		}
+		byFile[uris[i]] = append(byFile[uris[i]], i)
+	}
+	if e.opts.PrefetchWholeFile {
+		return len(fileOrder) // one whole-file run per file
+	}
+	estLen := func(i int) int64 {
+		if recLens != nil && recLens[i] > 0 {
+			return recLens[i]
+		}
+		return fallbackRecordLen
+	}
+	runs := 0
+	for _, uri := range fileOrder {
+		fs, err := stateOf(uri) // already stat'ed in pass 1
+		if err != nil {
+			continue
+		}
+		rows := append([]int(nil), byFile[uri]...)
+		sort.Slice(rows, func(a, b int) bool { return offs[rows[a]] < offs[rows[b]] })
+		var curStart, curEnd int64
+		open := false
+		for _, i := range rows {
+			start := offs[i]
+			end := start + estLen(i)
+			if end > fs.size {
+				end = fs.size
+			}
+			if end < start {
+				end = start
+			}
+			if open && start <= curEnd+coalesceGap && end-curStart <= maxRunBytes {
+				if end > curEnd {
+					curEnd = end
+				}
+				continue
+			}
+			runs++
+			open = true
+			curStart, curEnd = start, end
+		}
+	}
+	return runs
 }
 
 func closeFiles(opened []*fileState) {
@@ -557,6 +687,7 @@ func (e *Engine) prefetchRun(run *runPlan, buf []byte, sc *extractScratch, sink 
 		e.xstats.extractions.Add(1)
 		e.xstats.runRecords.Add(1)
 		times, values := e.transform(h, samples)
+		e.zonesPut(fs, h.SeqNo, values)
 		e.cache.Admit(
 			recycler.Key{URI: fs.uri, SeqNo: h.SeqNo},
 			&recycler.Entry{Times: times, Values: values, FileMtime: fs.mtime},
@@ -691,6 +822,9 @@ func (e *Engine) ExtractionStats() ExtractStats {
 		RunsRead:      e.xstats.runsRead.Load(),
 		RunRecords:    e.xstats.runRecords.Load(),
 		DecodeNanos:   e.xstats.decodeNanos.Load(),
+
+		RunsSkipped:    e.xstats.runsSkipped.Load(),
+		RecordsSkipped: e.xstats.recordsSkipped.Load(),
 
 		PrefetchedRuns:     e.xstats.prefetchedRuns.Load(),
 		PrefetchStallNanos: e.xstats.prefetchStallNanos.Load(),

@@ -35,8 +35,8 @@ var errStreamClosed = errors.New("etl: extraction stream closed")
 // deterministic materializing error: in-flight runs drain, remaining runs
 // execute in plan order, and the earliest failing run in plan order is the
 // one reported — the same error at every parallelism and budget.
-func (e *Engine) ExtractStream(meta *column.Batch, obs plan.Observer, morselRows int, led *mem.Ledger) (exec.BatchSource, error) {
-	pr, err := e.prepare(meta, obs, false)
+func (e *Engine) ExtractStream(meta *column.Batch, prune *plan.PruneRange, obs plan.Observer, morselRows int, led *mem.Ledger) (exec.BatchSource, error) {
+	pr, err := e.prepare(meta, prune, obs, false)
 	if err != nil {
 		return nil, err
 	}

@@ -225,7 +225,10 @@ func buildDataview(conjuncts []sql.Expr, mode Mode) (naive, opt Node, err error)
 		if len(frPreds) > 0 {
 			meta = &Filter{Child: meta, Preds: frPreds}
 		}
-		opt = &LazyExtract{Meta: meta, DataPreds: dPreds}
+		// Compile the zone-map admissibility test from the data predicates:
+		// records whose collected sample-value zone cannot satisfy them are
+		// skipped before any read or decode. Env.NoSkipping disables it.
+		opt = &LazyExtract{Meta: meta, DataPreds: dPreds, Prune: CompilePrune(dPreds)}
 		if len(dPreds) > 0 {
 			opt = &Filter{Child: opt, Preds: dPreds}
 		}

@@ -18,8 +18,13 @@ import (
 // Implementations may exploit additional metadata columns when present
 // (R.num_samples to pre-size output, F.record_length to coalesce adjacent
 // misses into run-granular reads) but must not require them.
+//
+// prune, when non-nil, is the zone-map admissibility test for the records'
+// sample values: the source may drop records whose collected zone entry
+// fails it (never reading nor decoding them), because the enclosing Filter
+// would delete every one of their rows anyway. nil means extract everything.
 type ExtractSource interface {
-	Extract(meta *column.Batch, obs Observer) (*column.Batch, error)
+	Extract(meta *column.Batch, prune *PruneRange, obs Observer) (*column.Batch, error)
 }
 
 // Observer receives the run-time injected operators and operational events.
@@ -61,6 +66,12 @@ type Env struct {
 	// NoPipeline forces the materializing engine for every plan — the
 	// bit-identity oracle the push pipelines are tested against.
 	NoPipeline bool
+	// NoSkipping disables every statistics-driven shortcut — record
+	// zone-map pruning before extraction and batch zone-range skipping on
+	// table scans — making this Env the oracle the skipping paths are
+	// tested against. (Join reordering is decided before Execute; the
+	// warehouse skips it under the same option.)
+	NoSkipping bool
 }
 
 func (e *Env) obs() Observer {
@@ -96,11 +107,28 @@ func scanBase(x *Scan, env *Env) (*column.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	if x.Prefix != "" {
-		cols := make([]*column.Column, b.NumCols())
+	if x.Prefix != "" || x.RowID != "" || x.Cols != nil {
+		keep := func(string) bool { return true }
+		if x.Cols != nil {
+			set := make(map[string]bool, len(x.Cols))
+			for _, name := range x.Cols {
+				set[name] = true
+			}
+			keep = func(name string) bool { return set[name] }
+		}
+		cols := make([]*column.Column, 0, b.NumCols()+1)
 		for i := 0; i < b.NumCols(); i++ {
 			c := b.ColAt(i)
-			cols[i] = c.WithName(x.Prefix + c.Name())
+			if name := x.Prefix + c.Name(); keep(name) {
+				cols = append(cols, c.WithName(name))
+			}
+		}
+		if x.RowID != "" {
+			ids := make([]int64, b.NumRows())
+			for i := range ids {
+				ids[i] = int64(i)
+			}
+			cols = append(cols, column.NewInt64s(x.RowID, ids))
 		}
 		b, err = column.NewBatch(cols...)
 		if err != nil {
@@ -186,8 +214,13 @@ func executeNode(n Node, env *Env) (*column.Batch, error) {
 			return nil, fmt.Errorf("plan: LazyExtract requires an ExtractSource in the environment")
 		}
 		// Step 2: the rewriting operator injects cache-read / extract
-		// operators for exactly the qualifying records.
-		out, err := env.Source.Extract(meta, obs)
+		// operators for exactly the qualifying records, minus the ones the
+		// zone maps prove irrelevant.
+		prune := x.Prune
+		if env.NoSkipping {
+			prune = nil
+		}
+		out, err := env.Source.Extract(meta, prune, obs)
 		if err != nil {
 			return nil, err
 		}
@@ -239,6 +272,18 @@ func executeNode(n Node, env *Env) (*column.Batch, error) {
 			return nil, err
 		}
 		return exec.Limit(in, x.N), nil
+
+	case *RestoreOrder:
+		in, err := Execute(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		out, err := restoreOrder(in, x.RowIDs, x.Cols)
+		if err != nil {
+			return nil, err
+		}
+		obs.Event("restore-order", fmt.Sprintf("%d rows re-sequenced to the SQL join order", out.NumRows()))
+		return out, nil
 
 	default:
 		return nil, fmt.Errorf("plan: unknown node %T", n)

@@ -55,6 +55,15 @@ type Scan struct {
 	Table  string
 	Prefix string     // "" or "F." / "R." / "D." / "<alias>."
 	Preds  []sql.Expr // conjuncts over the (prefixed) scan output
+	// RowID, when non-empty, appends an Int64 provenance column of that name
+	// holding each row's pre-filter ordinal. Join reordering uses it to
+	// restore the original output order (see RestoreOrder).
+	RowID string
+	// Cols, when non-nil, restricts the scan output to these (prefixed)
+	// columns — projection pushdown so a reordered spine never materializes
+	// columns nothing above references. Column slices are shared, so this
+	// narrows join gathers rather than copying data.
+	Cols []string
 }
 
 func (s *Scan) Describe() string {
@@ -106,11 +115,19 @@ type LazyExtract struct {
 	// DataPreds are predicates over D.* columns, applied by the enclosing
 	// Filter after extraction; recorded here for plan display.
 	DataPreds []sql.Expr
+	// Prune is the zone-map admissibility test compiled from DataPreds:
+	// records whose zone entry fails it are skipped before any ReadAt or
+	// decode. Disabled at run time by Env.NoSkipping.
+	Prune *PruneRange
 }
 
 func (l *LazyExtract) Describe() string {
 	if len(l.DataPreds) > 0 {
-		return "LazyExtract (data predicates: " + exprList(l.DataPreds) + ")"
+		s := "LazyExtract (data predicates: " + exprList(l.DataPreds) + ")"
+		if l.Prune != nil {
+			s += " (zone prune: " + l.Prune.String() + ")"
+		}
+		return s
 	}
 	return "LazyExtract"
 }
@@ -175,6 +192,24 @@ func (s *Sort) Describe() string {
 	return "Sort [" + strings.Join(parts, ", ") + "]"
 }
 func (s *Sort) Children() []Node { return []Node{s.Child} }
+
+// RestoreOrder undoes a join reordering's row and column permutation: it
+// sorts its input lexicographically by the scans' RowID provenance columns
+// (listed in the original join order's priority) and projects the canonical
+// column set, dropping the provenance columns. A left-deep equi-join spine
+// emits rows lexicographic in (base row, 1st build row, 2nd build row, ...),
+// so this restores bit-identical output — float accumulation downstream
+// included — no matter how the joins were reordered.
+type RestoreOrder struct {
+	Child  Node
+	RowIDs []string // provenance columns, highest priority first
+	Cols   []string // canonical output columns, in original order
+}
+
+func (r *RestoreOrder) Describe() string {
+	return "RestoreOrder BY " + strings.Join(r.RowIDs, ", ")
+}
+func (r *RestoreOrder) Children() []Node { return []Node{r.Child} }
 
 // Limit caps the row count.
 type Limit struct {

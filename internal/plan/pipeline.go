@@ -26,10 +26,12 @@ import (
 // overlapping read+decode of run N+1 with compute over run N. Prefetch
 // buffers are charged to led (nil = unlimited), so overlap degrades to
 // synchronous extraction under budget pressure rather than blowing it.
-// Returning a nil BatchSource (with nil error) means streaming is not
-// available for this request and the caller should fall back to Extract.
+// prune carries the same zone-map admissibility test as Extract (nil =
+// stream everything). Returning a nil BatchSource (with nil error) means
+// streaming is not available for this request and the caller should fall
+// back to Extract.
 type StreamSource interface {
-	ExtractStream(meta *column.Batch, obs Observer, morselRows int, led *mem.Ledger) (exec.BatchSource, error)
+	ExtractStream(meta *column.Batch, prune *PruneRange, obs Observer, morselRows int, led *mem.Ledger) (exec.BatchSource, error)
 }
 
 // RowsServedCounter reports how many rows a source has delivered; a
@@ -41,10 +43,11 @@ type RowsServedCounter interface {
 
 // pipePlan is a decomposed pipeline spine.
 type pipePlan struct {
-	leaf Node       // *Scan or *LazyExtract
-	ops  []Node     // *Filter / *Join stages, leaf-to-root order
-	agg  *Aggregate // optional aggregation breaker
-	post []Node     // *Project / *Sort / *Limit, outermost-first
+	leaf    Node          // *Scan or *LazyExtract
+	ops     []Node        // *Filter / *Join stages, leaf-to-root order
+	restore *RestoreOrder // optional provenance re-sequencing breaker
+	agg     *Aggregate    // optional aggregation breaker
+	post    []Node        // *Project / *Sort / *Limit, outermost-first
 }
 
 // decompose peels a plan into a pipePlan, reporting whether the spine fits
@@ -70,6 +73,14 @@ peel:
 	if a, ok := n.(*Aggregate); ok {
 		pp.agg = a
 		n = a.Child
+	}
+	// A reordered join spine re-sequences its output below the aggregate.
+	// The spine underneath still pipelines; the restore itself is a breaker
+	// (it needs every row), so the aggregate then runs materializing on the
+	// restored batch.
+	if r, ok := n.(*RestoreOrder); ok {
+		pp.restore = r
+		n = r.Child
 	}
 	var rev []Node
 	for {
@@ -186,6 +197,30 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 			stages = append(stages, scanFS)
 		}
 		src = exec.NewBatchMorsels(b, env.Pool.MorselRows())
+		// Zone-range skipping: morsels over ranges the batch statistics
+		// prove empty against the pushed-down predicates never enter the
+		// pipeline. The filter stage stays — surviving ranges are a
+		// superset — so output is bit-identical to the full feed.
+		if !env.NoSkipping && len(leaf.Preds) > 0 {
+			stored, _ := env.Store.Table(leaf.Table)
+			bz := env.Store.TableZones(leaf.Table)
+			if stored != nil && bz != nil && bz.Rows == b.NumRows() {
+				if checks := compileZoneChecks(leaf.Preds, leaf.Prefix, stored); len(checks) > 0 {
+					segs, skRanges, skRows := keptSegments(bz, checks)
+					if skRanges > 0 {
+						src = newSegmentMorsels(b, segs, env.Pool.MorselRows())
+						env.Stats.recordScanSkip(skRanges, skRows)
+						ReportScan(obs, ScanReport{
+							Target:      leaf.Table,
+							Rows:        int64(scanRows) - skRows,
+							RowsSkipped: skRows,
+						})
+						obs.Event("scan-skip", fmt.Sprintf("%s: zone maps skip %d ranges (%d of %d rows) against %s",
+							leaf.Table, skRanges, skRows, scanRows, exprList(leaf.Preds)))
+					}
+				}
+			}
+		}
 
 	case *LazyExtract:
 		meta, err := Execute(leaf.Meta, env)
@@ -196,8 +231,12 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 		if env.Source == nil {
 			return nil, fmt.Errorf("plan: LazyExtract requires an ExtractSource in the environment")
 		}
+		prune := leaf.Prune
+		if env.NoSkipping {
+			prune = nil
+		}
 		if ss, ok := env.Source.(StreamSource); ok {
-			s, err := ss.ExtractStream(meta, obs, env.Pool.MorselRows(), env.Mem.Ledger())
+			s, err := ss.ExtractStream(meta, prune, obs, env.Pool.MorselRows(), env.Mem.Ledger())
 			if err != nil {
 				return nil, err
 			}
@@ -210,7 +249,7 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 		} else {
 			// Source cannot stream: extract in one batch, pipeline the
 			// compute above it.
-			out, err := env.Source.Extract(meta, obs)
+			out, err := env.Source.Extract(meta, prune, obs)
 			if err != nil {
 				return nil, err
 			}
@@ -252,7 +291,7 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 
 	var sink exec.PipeSink
 	var aggSink *exec.AggSink
-	if pp.agg != nil {
+	if pp.agg != nil && pp.restore == nil {
 		var err error
 		aggSink, err = exec.NewAggSink(proto, pp.agg.GroupBy, pp.agg.Aggs, env.Mem)
 		if err != nil {
@@ -314,6 +353,22 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 		obs.Event("aggregate", fmt.Sprintf("%d rows -> %d groups", aggSink.RowsIn(), out.NumRows()))
 	}
 	obs.Event("pipeline", fmt.Sprintf("%d stage(s) fused over %d morsels", len(stages), ps.Morsels))
+
+	if pp.restore != nil {
+		if out, err = restoreOrder(out, pp.restore.RowIDs, pp.restore.Cols); err != nil {
+			return nil, err
+		}
+		obs.Event("restore-order", fmt.Sprintf("%d rows re-sequenced to the SQL join order", out.NumRows()))
+		if pp.agg != nil {
+			in := out.NumRows()
+			var as exec.AggStats
+			if out, as, err = env.Pool.AggregateMem(env.Mem, out, pp.agg.GroupBy, pp.agg.Aggs); err != nil {
+				return nil, err
+			}
+			env.Stats.recordAgg(as)
+			obs.Event("aggregate", fmt.Sprintf("%d rows -> %d groups", in, out.NumRows()))
+		}
+	}
 
 	// Post-pipeline breakers, innermost first.
 	for i := len(pp.post) - 1; i >= 0; i-- {

@@ -1,0 +1,197 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// PruneRange is the zone-map admissibility test compiled from the eligible
+// comparison conjuncts over D.sample_value. A record whose zone entry fails
+// Admits provably contains no sample that passes every conjunct — its run is
+// never read nor decoded. Ineligible conjuncts (ORs, arithmetic, other
+// columns) are simply not folded in, so the admitted set is always a
+// superset of the qualifying set: pruning can only delete work, never rows.
+//
+// The test mirrors the exec float comparison kernels exactly, including
+// their NaN convention (comparisons are phrased via < and >, so Eq/Le/Ge
+// hold against NaN while Ne/Lt/Gt do not): NaNPasses tracks whether a NaN
+// sample satisfies every folded conjunct, and a zone containing NaNs is
+// admitted whenever it does.
+type PruneRange struct {
+	Lo, Hi         float64
+	HasLo, HasHi   bool
+	LoOpen, HiOpen bool // strict bound (> / <) rather than inclusive
+	AlwaysFalse    bool // some conjunct admits no value at all
+	NaNPasses      bool // a NaN sample satisfies every folded conjunct
+}
+
+// CompilePrune folds the eligible conjuncts of dPreds (comparisons of
+// D.sample_value against a numeric literal) into a PruneRange. Returns nil
+// when nothing eligible constrains the value — callers treat nil as
+// "no pruning".
+func CompilePrune(dPreds []sql.Expr) *PruneRange {
+	p := &PruneRange{NaNPasses: true}
+	folded := false
+	for _, e := range dPreds {
+		b, ok := e.(*sql.Binary)
+		if !ok {
+			continue
+		}
+		ref, lit, op, ok := normalizeComparison(b)
+		if !ok || ref.Name != "D.sample_value" {
+			continue
+		}
+		if lit.Val.Null {
+			// NULL comparisons select nothing (the exec kernels return an
+			// empty selection), NaN samples included.
+			p.AlwaysFalse = true
+			p.NaNPasses = false
+			folded = true
+			continue
+		}
+		if !lit.Val.Type.Numeric() {
+			continue // a type mismatch errors at execution; not our concern
+		}
+		v := lit.Val.AsFloat()
+		if math.IsNaN(v) {
+			// The kernels phrase every op via < and >, both false against a
+			// NaN literal: Eq/Le/Ge pass every value (no constraint), while
+			// Lt/Gt/Ne pass none.
+			switch op {
+			case sql.OpLt, sql.OpGt, sql.OpNe:
+				p.AlwaysFalse = true
+				p.NaNPasses = false
+			}
+			folded = true
+			continue
+		}
+		switch op {
+		case sql.OpEq:
+			p.addLo(v, false)
+			p.addHi(v, false)
+		case sql.OpLe:
+			p.addHi(v, false)
+		case sql.OpGe:
+			p.addLo(v, false)
+		case sql.OpLt:
+			p.addHi(v, true)
+			p.NaNPasses = false
+		case sql.OpGt:
+			p.addLo(v, true)
+			p.NaNPasses = false
+		case sql.OpNe:
+			// No interval constraint, but a NaN sample fails <>.
+			p.NaNPasses = false
+		default:
+			continue
+		}
+		folded = true
+	}
+	if !folded {
+		return nil
+	}
+	return p
+}
+
+func (p *PruneRange) addLo(v float64, open bool) {
+	if !p.HasLo || v > p.Lo || (v == p.Lo && open) {
+		p.Lo, p.LoOpen, p.HasLo = v, open, true
+	}
+}
+
+func (p *PruneRange) addHi(v float64, open bool) {
+	if !p.HasHi || v < p.Hi || (v == p.Hi && open) {
+		p.Hi, p.HiOpen, p.HasHi = v, open, true
+	}
+}
+
+// Admits reports whether a record with zone statistic z may contain a sample
+// satisfying every folded conjunct. nil admits everything.
+func (p *PruneRange) Admits(z catalog.ZoneEntry) bool {
+	if p == nil {
+		return true
+	}
+	if z.NaNs > 0 && p.NaNPasses {
+		return true
+	}
+	if p.AlwaysFalse {
+		return false
+	}
+	if z.Finite == 0 {
+		return false // only NaNs (or empty), and NaN fails some conjunct here
+	}
+	if p.HasLo && p.HasHi {
+		if p.Lo > p.Hi || (p.Lo == p.Hi && (p.LoOpen || p.HiOpen)) {
+			return false // empty interval
+		}
+	}
+	if p.HasLo && (z.Max < p.Lo || (p.LoOpen && z.Max == p.Lo)) {
+		return false
+	}
+	if p.HasHi && (z.Min > p.Hi || (p.HiOpen && z.Min == p.Hi)) {
+		return false
+	}
+	return true
+}
+
+// String renders the admissible interval for plan display.
+func (p *PruneRange) String() string {
+	if p == nil {
+		return ""
+	}
+	if p.AlwaysFalse {
+		return "none"
+	}
+	lo, hi := "(-inf", "+inf)"
+	if p.HasLo {
+		br := "["
+		if p.LoOpen {
+			br = "("
+		}
+		lo = fmt.Sprintf("%s%g", br, p.Lo)
+	}
+	if p.HasHi {
+		br := "]"
+		if p.HiOpen {
+			br = ")"
+		}
+		hi = fmt.Sprintf("%g%s", p.Hi, br)
+	}
+	s := lo + ", " + hi
+	if p.NaNPasses {
+		s += " or NaN"
+	}
+	return s
+}
+
+// ScanReport carries one scan's skip accounting to the observer: how many
+// runs/records (lazy extraction) or row ranges/rows (table scans) were read
+// versus proven irrelevant by zone statistics. Target names the scanned
+// relation.
+type ScanReport struct {
+	Target         string
+	Runs           int64 // coalesced read runs actually planned
+	RunsSkipped    int64 // runs deleted by record zone maps
+	Records        int64 // records extracted (cache misses)
+	RecordsSkipped int64 // records pruned before ReadAt/decode
+	CacheReads     int64 // records served from the recycler cache
+	Rows           int64 // table-scan rows fed to the pipeline
+	RowsSkipped    int64 // table-scan rows skipped via batch zone ranges
+}
+
+// ScanReporter is an optional extension of Observer: observers that
+// implement it receive per-scan skip accounting (the \explain surface).
+type ScanReporter interface {
+	ScanReport(r ScanReport)
+}
+
+// ReportScan delivers a ScanReport to obs when it implements ScanReporter.
+// Exported because the etl engine (the ExtractSource) reports through it.
+func ReportScan(obs Observer, r ScanReport) {
+	if sr, ok := obs.(ScanReporter); ok {
+		sr.ScanReport(r)
+	}
+}

@@ -1,0 +1,235 @@
+package plan
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/column"
+	"repro/internal/exec"
+	"repro/internal/sql"
+)
+
+// zoneCheck is one compiled comparison predicate a batch zone range can be
+// tested against: "no row of this range can satisfy col op literal". The
+// literal is held in the column's native domain — int64 for the integer
+// family (timestamps at nanosecond precision do not survive float64),
+// float64 for Float64, string for String.
+type zoneCheck struct {
+	zkey string // column name in the stored batch (zone-map key)
+	typ  column.Type
+	op   sql.BinaryOp
+	i    int64
+	f    float64
+	s    string
+}
+
+// compileZoneChecks folds the eligible conjuncts of preds — comparisons of a
+// scanned column against a literal of a compatible type — into zone checks.
+// prefix is the scan's column prefix (stored "seqno" scans as "R.seqno");
+// stored is the un-renamed stored batch the zone maps were built over, and
+// supplies the column types. Ineligible conjuncts are skipped, so the
+// surviving ranges are a superset of the qualifying rows: the filter above
+// still runs and the result is unchanged.
+func compileZoneChecks(preds []sql.Expr, prefix string, stored *column.Batch) []zoneCheck {
+	var checks []zoneCheck
+	for _, e := range preds {
+		bin, ok := e.(*sql.Binary)
+		if !ok {
+			continue
+		}
+		ref, lit, op, ok := normalizeComparison(bin)
+		if !ok || lit.Val.Null {
+			continue
+		}
+		switch op {
+		case sql.OpEq, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+		default:
+			continue // <> prunes almost nothing; not worth the range test
+		}
+		zkey := strings.TrimPrefix(ref.Name, prefix) // Prefix carries its dot
+		col, ok := stored.Col(zkey)
+		if !ok {
+			continue
+		}
+		c := zoneCheck{zkey: zkey, typ: col.Type(), op: op}
+		switch col.Type() {
+		case column.Float64:
+			if !lit.Val.Type.Numeric() {
+				continue
+			}
+			c.f = lit.Val.AsFloat()
+		case column.String:
+			if lit.Val.Type != column.String {
+				continue
+			}
+			c.s = lit.Val.S
+		case column.Timestamp:
+			switch lit.Val.Type {
+			case column.String:
+				ns, err := column.ParseTimestamp(lit.Val.S)
+				if err != nil {
+					continue
+				}
+				c.i = ns
+			case column.Int64, column.Timestamp:
+				c.i = lit.Val.I
+			default:
+				continue
+			}
+		case column.Int64:
+			if lit.Val.Type != column.Int64 {
+				continue // a float literal drives the float kernel; skip
+			}
+			c.i = lit.Val.I
+		default: // Bool: rare, not worth a kernel-semantics replica
+			continue
+		}
+		checks = append(checks, c)
+	}
+	return checks
+}
+
+// mayPass reports whether any row of the zone range cz can satisfy the
+// check. False is a proof of emptiness; true is merely "cannot rule out".
+// The float branch mirrors the exec comparison kernels' NaN convention
+// (ops phrased via < and >): a NaN value passes Eq/Le/Ge and fails Lt/Gt,
+// so ranges holding NaNs are only skippable under strict bounds.
+func (c zoneCheck) mayPass(cz column.ColZone) bool {
+	if cz.NonNull == 0 {
+		return false // NULL passes no comparison
+	}
+	switch c.typ {
+	case column.Float64:
+		if math.IsNaN(c.f) {
+			switch c.op {
+			case sql.OpLt, sql.OpGt:
+				return false // nothing compares against a NaN literal
+			default:
+				return true // Eq/Le/Ge hold for every value
+			}
+		}
+		nanPasses := c.op == sql.OpEq || c.op == sql.OpLe || c.op == sql.OpGe
+		if cz.NaNs > 0 && nanPasses {
+			return true
+		}
+		if cz.Finite == 0 {
+			return false
+		}
+		switch c.op {
+		case sql.OpEq:
+			return cz.FMin <= c.f && c.f <= cz.FMax
+		case sql.OpLt:
+			return cz.FMin < c.f
+		case sql.OpLe:
+			return cz.FMin <= c.f
+		case sql.OpGt:
+			return cz.FMax > c.f
+		case sql.OpGe:
+			return cz.FMax >= c.f
+		}
+	case column.String:
+		switch c.op {
+		case sql.OpEq:
+			return cz.SMin <= c.s && c.s <= cz.SMax
+		case sql.OpLt:
+			return cz.SMin < c.s
+		case sql.OpLe:
+			return cz.SMin <= c.s
+		case sql.OpGt:
+			return cz.SMax > c.s
+		case sql.OpGe:
+			return cz.SMax >= c.s
+		}
+	default: // integer family
+		switch c.op {
+		case sql.OpEq:
+			return cz.IMin <= c.i && c.i <= cz.IMax
+		case sql.OpLt:
+			return cz.IMin < c.i
+		case sql.OpLe:
+			return cz.IMin <= c.i
+		case sql.OpGt:
+			return cz.IMax > c.i
+		case sql.OpGe:
+			return cz.IMax >= c.i
+		}
+	}
+	return true
+}
+
+// keptSegments applies the checks to every zone range of bz and returns the
+// merged row segments that survive, plus the skipped-range/row tallies.
+func keptSegments(bz *column.BatchZones, checks []zoneCheck) (segs [][2]int, skippedRanges int, skippedRows int64) {
+	n := bz.Ranges()
+	for ri := 0; ri < n; ri++ {
+		keep := true
+		for _, c := range checks {
+			zones, ok := bz.Cols[c.zkey]
+			if !ok {
+				continue
+			}
+			if !c.mayPass(zones[ri]) {
+				keep = false
+				break
+			}
+		}
+		lo, hi := bz.Bounds(ri)
+		if !keep {
+			skippedRanges++
+			skippedRows += int64(hi - lo)
+			continue
+		}
+		if len(segs) > 0 && segs[len(segs)-1][1] == lo {
+			segs[len(segs)-1][1] = hi // merge adjacent kept ranges
+		} else {
+			segs = append(segs, [2]int{lo, hi})
+		}
+	}
+	return segs, skippedRanges, skippedRows
+}
+
+// segmentMorsels is a BatchSource over the kept row segments of a batch:
+// morsels stream each segment in row order, so the pipeline sees exactly the
+// surviving rows in their original order — the filter above still decides
+// row membership, skipping only deletes ranges it would have emptied.
+type segmentMorsels struct {
+	b      *column.Batch
+	segs   [][2]int
+	cur    int
+	pos    int
+	morsel int
+}
+
+func newSegmentMorsels(b *column.Batch, segs [][2]int, morselRows int) exec.BatchSource {
+	if morselRows <= 0 {
+		morselRows = exec.DefaultMorselRows
+	}
+	s := &segmentMorsels{b: b, segs: segs, morsel: morselRows}
+	if len(segs) > 0 {
+		s.pos = segs[0][0]
+	}
+	return s
+}
+
+func (s *segmentMorsels) Next() (exec.Morsel, bool, error) {
+	for s.cur < len(s.segs) {
+		seg := s.segs[s.cur]
+		if s.pos >= seg[1] {
+			s.cur++
+			if s.cur < len(s.segs) {
+				s.pos = s.segs[s.cur][0]
+			}
+			continue
+		}
+		hi := s.pos + s.morsel
+		if hi > seg[1] {
+			hi = seg[1]
+		}
+		m := exec.Morsel{B: s.b.Range(s.pos, hi)}
+		s.pos = hi
+		return m, true, nil
+	}
+	return exec.Morsel{}, false, nil
+}
+
+func (s *segmentMorsels) Close() {}

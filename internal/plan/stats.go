@@ -39,6 +39,10 @@ type ExecStats struct {
 	pipelineFallbacks atomic.Int64
 	filterRowsIn      atomic.Int64
 	filterRowsOut     atomic.Int64
+
+	scanRangesSkipped atomic.Int64
+	scanRowsSkipped   atomic.Int64
+	joinReorders      atomic.Int64
 }
 
 // ExecSnapshot is a point-in-time copy of ExecStats counters.
@@ -80,6 +84,13 @@ type ExecSnapshot struct {
 	PipelineFallbacks int64
 	FilterRowsIn      int64
 	FilterRowsOut     int64
+
+	// Zone-map skipping counters: scan zone ranges (and the rows inside
+	// them) proven empty against pushed-down predicates and never fed to a
+	// pipeline, plus join spines rewritten into a cheaper build order.
+	ScanRangesSkipped int64
+	ScanRowsSkipped   int64
+	JoinReorders      int64
 }
 
 // Snapshot copies the counters.
@@ -116,7 +127,29 @@ func (s *ExecStats) Snapshot() ExecSnapshot {
 		PipelineFallbacks: s.pipelineFallbacks.Load(),
 		FilterRowsIn:      s.filterRowsIn.Load(),
 		FilterRowsOut:     s.filterRowsOut.Load(),
+
+		ScanRangesSkipped: s.scanRangesSkipped.Load(),
+		ScanRowsSkipped:   s.scanRowsSkipped.Load(),
+		JoinReorders:      s.joinReorders.Load(),
 	}
+}
+
+// recordScanSkip folds one scan's zone-range skipping into the counters.
+func (s *ExecStats) recordScanSkip(ranges int, rows int64) {
+	if s == nil {
+		return
+	}
+	s.scanRangesSkipped.Add(int64(ranges))
+	s.scanRowsSkipped.Add(rows)
+}
+
+// RecordJoinReorder counts one join spine rewritten into a cheaper order.
+// The warehouse calls it when ReorderJoins changes a plan.
+func (s *ExecStats) RecordJoinReorder() {
+	if s == nil {
+		return
+	}
+	s.joinReorders.Add(1)
 }
 
 // recordPipeline folds one pipelined plan execution into the counters.

@@ -1,0 +1,88 @@
+package warehouse
+
+import (
+	"testing"
+)
+
+// BenchmarkColdScanSkip measures skip-before-decode pruning on a cold
+// recycler cache: zone maps (which live on the catalog store, not in the
+// cache) are collected by one warm-up query, then every iteration clears
+// the cache and re-runs the query. The skip variant must answer without
+// re-reading pruned runs; the NoSkipping oracle re-extracts everything.
+// Compare the two sub-benchmarks' ns/op and runs-read/op.
+func BenchmarkColdScanSkip(b *testing.B) {
+	const q = `SELECT COUNT(*) FROM mseed.dataview
+	 WHERE F.station = 'ISK' AND D.sample_value > 1000000000`
+	run := func(b *testing.B, noSkip bool) {
+		dir := genFullDayRepo(b)
+		w, err := Open(dir, Options{Mode: Lazy, NoSkipping: noSkip})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Query(q); err != nil { // collect zones (skip variant)
+			b.Fatal(err)
+		}
+		runs0 := w.Stats().Extraction.RunsRead
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Engine().Cache().Clear()
+			res, err := w.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Batch.Row(0)[0].I != 0 {
+				b.Fatalf("count = %d, want 0 (threshold above every amplitude)", res.Batch.Row(0)[0].I)
+			}
+		}
+		b.StopTimer()
+		st := w.Stats().Extraction
+		read := st.RunsRead - runs0
+		b.ReportMetric(float64(read)/float64(b.N), "runs-read/op")
+		if noSkip {
+			if read == 0 {
+				b.Fatal("oracle read no runs despite cleared cache")
+			}
+		} else {
+			if read != 0 {
+				b.Fatalf("skip variant read %d runs; zone maps should prune every record", read)
+			}
+			if st.RecordsSkipped == 0 {
+				b.Fatal("skip variant pruned no records")
+			}
+		}
+	}
+	b.Run("skip", func(b *testing.B) { run(b, false) })
+	b.Run("oracle", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkJoinOrder measures the stats-driven join reordering on the
+// explicit three-table spine whose SQL order builds the records table
+// before the 15-row files table. The reordered variant pays the RowID +
+// RestoreOrder provenance tax but builds the tiny table first.
+func BenchmarkJoinOrder(b *testing.B) {
+	run := func(b *testing.B, noSkip bool) {
+		dir := genRepo(b, 20000)
+		w, err := Open(dir, Options{Mode: Eager, NoSkipping: noSkip})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := w.Query(joinQ)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Batch.NumRows() != 1 {
+				b.Fatalf("rows = %d, want 1", res.Batch.NumRows())
+			}
+		}
+		b.StopTimer()
+		if !noSkip && w.Stats().Exec.JoinReorders == 0 {
+			b.Fatal("no join reorder recorded")
+		}
+	}
+	b.Run("reordered", func(b *testing.B) { run(b, false) })
+	b.Run("sqlorder", func(b *testing.B) { run(b, true) })
+}

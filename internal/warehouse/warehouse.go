@@ -27,6 +27,32 @@
 // join degrades itself to disk instead of starving every other client.
 // Admission control bounds the number of simultaneously executing queries
 // at Options.MaxConcurrentQueries; excess callers wait in Query.
+//
+// # Statistics-driven skipping
+//
+// Lazy extraction collects zone maps as a by-product: every record it
+// decodes leaves a min/max/NaN/null summary of its transformed sample
+// values in the catalog, keyed by (uri, mtime, seqno) — the same staleness
+// key the recycler cache uses, so modifying a file invalidates its zones
+// exactly like its cached payloads. Later queries consult them twice:
+//
+//   - Skip-before-decode pruning: comparison predicates on D.sample_value
+//     compile into a PruneRange carried below extraction, and qualifying
+//     records whose zone entry proves no sample can pass are never ReadAt
+//     nor Steim-decoded. Batches installed in the store carry per-range
+//     statistics too, so pipelined table scans skip whole morsel ranges the
+//     pushed-down predicates prove empty.
+//   - Join ordering: multi-join spines are reordered smallest-estimated
+//     build side first, using the same zone statistics for cardinality
+//     estimates; provenance columns and a RestoreOrder step keep the output
+//     bit-identical to the SQL-order plan.
+//
+// Both shortcuts are semantically invisible: pruning only drops rows an
+// enclosing filter would delete, and skipping only removes ranges a proof
+// shows empty. Options.NoSkipping disables all of it and is the retained
+// oracle the skipping paths are tested against, across the full
+// workers x morsel x budget matrix. Per-query effects surface in
+// Result.Trace (Scans, Join) and cumulatively in Stats.
 package warehouse
 
 import (
@@ -90,6 +116,11 @@ type Options struct {
 	// bit-identity oracle the morsel-wise push pipelines are tested
 	// against. Off by default: eligible plans run pipelined.
 	NoPipeline bool
+	// NoSkipping disables every zone-map shortcut: record pruning before
+	// extraction, zone-range skipping on table scans, and stats-driven join
+	// reordering. It is the bit-identity oracle the skipping paths are
+	// tested against. Off by default: statistics are exploited when present.
+	NoSkipping bool
 	// MorselRows overrides the rows-per-morsel granularity of the parallel
 	// engine and the push pipelines. <= 0 keeps the default; tests shrink
 	// it to force multi-morsel schedules on small inputs.
@@ -118,6 +149,13 @@ type Trace struct {
 	RuntimeOps []string
 	// TouchedFiles are the distinct source files opened by the query.
 	TouchedFiles []string
+	// Scans reports, per data access, what the zone maps skipped: coalesced
+	// runs and records never read/decoded (lazy extraction) or batch rows
+	// never fed to the pipeline (table scans).
+	Scans []plan.ScanReport
+	// Join is the stats-driven join-ordering decision for this query's
+	// spine, when it had one eligible (estimates, SQL order, chosen order).
+	Join *plan.ReorderInfo
 }
 
 // Result is the answer to one query plus its observability record.
@@ -161,6 +199,7 @@ type Warehouse struct {
 	pool       *exec.Pool
 	ledger     *mem.Ledger
 	noPipeline bool
+	noSkipping bool
 	exec       plan.ExecStats
 	init       InitStats
 
@@ -229,6 +268,7 @@ func Open(dir string, opts Options) (*Warehouse, error) {
 		serialize:   opts.SerializeQueries,
 		keepLog:     keep,
 		noPipeline:  opts.NoPipeline,
+		noSkipping:  opts.NoSkipping,
 	}
 	// Recycler admissions draw on the same ledger as operator working
 	// sets, so a loaded cache and a heavy join compete for one budget.
@@ -300,6 +340,14 @@ func (o *observer) InjectedOp(kind, detail string) {
 	o.w.logf(kind, "%s", detail)
 }
 
+// ScanReport implements plan.ScanReporter: per-scan skipping tallies land
+// in the trace for the \explain surface.
+func (o *observer) ScanReport(r plan.ScanReport) {
+	o.mu.Lock()
+	o.trace.Scans = append(o.trace.Scans, r)
+	o.mu.Unlock()
+}
+
 func (o *observer) Event(op, detail string) {
 	if op == "open" {
 		o.mu.Lock()
@@ -359,6 +407,20 @@ func (w *Warehouse) query(q string) (*Result, error) {
 		Naive:     plan.Render(plans.Naive),
 		Optimized: plan.Render(plans.Root),
 	}
+	if !w.noSkipping {
+		// Statistics-driven join ordering: decided per query against the
+		// snapshot's zone statistics, before execution.
+		if root, info := plan.ReorderJoins(plans.Root, store); info != nil {
+			tr.Join = info
+			if info.Reordered {
+				plans.Root = root
+				tr.Optimized = plan.Render(root)
+				w.exec.RecordJoinReorder()
+				w.logf("reorder", "join spine reordered %v -> %v (estimated build rows %v)",
+					info.SQLOrder, info.Order, info.Estimates)
+			}
+		}
+	}
 	obs := &observer{w: w, trace: &tr, touched: make(map[string]bool)}
 	// The query's memory context: operator reservations come from a
 	// per-query sub-budget of the warehouse ledger (so one spilling query
@@ -366,7 +428,7 @@ func (w *Warehouse) query(q string) (*Result, error) {
 	// that the deferred Cleanup removes on every exit path, error included.
 	qm := exec.NewQueryMem(w.ledger.Child(w.queryBudget), "")
 	defer qm.Cleanup()
-	env := &plan.Env{Store: store, Source: w.engine, Obs: obs, Pool: w.pool, Mem: qm, Stats: &w.exec, NoPipeline: w.noPipeline}
+	env := &plan.Env{Store: store, Source: w.engine, Obs: obs, Pool: w.pool, Mem: qm, Stats: &w.exec, NoPipeline: w.noPipeline, NoSkipping: w.noSkipping}
 	batch, err := plan.Execute(plans.Root, env)
 	if err != nil {
 		return nil, err
@@ -381,21 +443,33 @@ func (w *Warehouse) query(q string) (*Result, error) {
 	return res, nil
 }
 
-// Explain builds the plans for a query without executing it.
+// Explain builds the plans for a query without executing it, including the
+// stats-driven join-ordering decision the query would run with. Per-scan
+// skip tallies require execution; use Query and read Result.Trace.Scans.
 func (w *Warehouse) Explain(q string) (*Trace, error) {
 	stmt, err := sql.Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	plans, err := plan.Build(stmt, w.store.Catalog(), w.mode)
+	store := w.store.Snapshot()
+	plans, err := plan.Build(stmt, store.Catalog(), w.mode)
 	if err != nil {
 		return nil, err
 	}
-	return &Trace{
+	tr := &Trace{
 		SQL:       stmt.String(),
 		Naive:     plan.Render(plans.Naive),
 		Optimized: plan.Render(plans.Root),
-	}, nil
+	}
+	if !w.noSkipping {
+		if root, info := plan.ReorderJoins(plans.Root, store); info != nil {
+			tr.Join = info
+			if info.Reordered {
+				tr.Optimized = plan.Render(root)
+			}
+		}
+	}
+	return tr, nil
 }
 
 // Refresh re-synchronizes the warehouse with the repository: lazy modes
