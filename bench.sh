@@ -6,6 +6,8 @@
 #   ./bench.sh             full run (count=5, suitable for benchstat)
 #   ./bench.sh -quick      single short iteration (CI smoke / trajectory)
 #   ./bench.sh E5          only benchmarks matching the given regex
+#   ./bench.sh -json=F.json  also write the parsed results (name, ns/op,
+#                            B/op, allocs/op) as a JSON array to F.json
 #
 # Compare two trees with:
 #   git checkout main  && ./bench.sh > old.txt
@@ -16,7 +18,8 @@ cd "$(dirname "$0")"
 
 count=5
 benchtime=1s
-pattern='E[1-9]|Filter|Aggregate|HashJoin|JoinBuild|Sort|OrderBy|Like|Steim|Extract|Spill|Pipeline|Overlap|Concurrent|Skip|JoinOrder'
+json_out=''
+pattern='E[1-9]|Filter|Aggregate|HashJoin|JoinBuild|Sort|OrderBy|Like|Steim|Extract|Spill|Pipeline|Overlap|Concurrent|Skip|JoinOrder|Prepared|ResultCache'
 
 for arg in "$@"; do
   case "$arg" in
@@ -24,11 +27,38 @@ for arg in "$@"; do
       count=1
       benchtime=1x
       ;;
+    -json=*)
+      json_out="${arg#-json=}"
+      ;;
     *)
       pattern="$arg"
       ;;
   esac
 done
 
-exec go test -run '^$' -bench "$pattern" -benchmem \
-  -count "$count" -benchtime "$benchtime" ./...
+if [ -z "$json_out" ]; then
+  exec go test -run '^$' -bench "$pattern" -benchmem \
+    -count "$count" -benchtime "$benchtime" ./...
+fi
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+go test -run '^$' -bench "$pattern" -benchmem \
+  -count "$count" -benchtime "$benchtime" ./... | tee "$out"
+
+awk '
+  BEGIN { printf "[" }
+  /^Benchmark/ && /ns\/op/ {
+    name = $1; ns = ""; b = "null"; a = "null"
+    for (i = 2; i < NF; i++) {
+      if ($(i+1) == "ns/op")     ns = $i
+      if ($(i+1) == "B/op")      b  = $i
+      if ($(i+1) == "allocs/op") a  = $i
+    }
+    if (ns == "") next
+    printf "%s\n  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, ns, b, a
+    sep = ","
+  }
+  END { printf "\n]\n" }
+' "$out" > "$json_out"
+echo "wrote $json_out" >&2

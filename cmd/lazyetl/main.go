@@ -25,8 +25,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/column"
 	"repro/internal/etl"
 	"repro/internal/seisgen"
+	"repro/internal/sql"
 	"repro/internal/warehouse"
 )
 
@@ -38,6 +40,7 @@ func main() {
 	workers := flag.Int("workers", 0, "query-execution workers (0 = GOMAXPROCS, 1 = serial engine)")
 	memBudget := flag.Int64("mem-budget", 0, "execution-memory budget in bytes (0 = unlimited); joins and aggregations spill to disk under pressure, cache admissions are declined")
 	noPipeline := flag.Bool("no-pipeline", false, "disable morsel-wise push pipelines; run every query on the materializing oracle engine")
+	noQueryCache := flag.Bool("no-query-cache", false, "disable the two-tier query cache (plan/statement cache and snapshot-versioned result cache); every query pays full parse -> plan -> execute")
 	flag.Parse()
 
 	if *repoDir == "" {
@@ -72,8 +75,8 @@ func main() {
 	start := time.Now()
 	w, err := warehouse.Open(*repoDir, warehouse.Options{
 		Mode: mode, Workers: *workers, MemoryBudget: *memBudget,
-		NoPipeline: *noPipeline,
-		ETL:        etl.Options{CacheBudget: *cache},
+		NoPipeline: *noPipeline, NoQueryCache: *noQueryCache,
+		ETL: etl.Options{CacheBudget: *cache},
 	})
 	if err != nil {
 		fatal(err)
@@ -101,6 +104,7 @@ func repl(w *warehouse.Warehouse, repoDir string) {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var lastTrace *warehouse.Trace
 	var pending strings.Builder
+	prepared := make(map[string]*warehouse.Prepared)
 
 	prompt := func() {
 		if pending.Len() > 0 {
@@ -115,7 +119,7 @@ func repl(w *warehouse.Warehouse, repoDir string) {
 		switch {
 		case line == "":
 		case strings.HasPrefix(line, `\`) && pending.Len() == 0:
-			if quit := command(w, line, &lastTrace, repoDir); quit {
+			if quit := command(w, line, &lastTrace, repoDir, prepared); quit {
 				return
 			}
 		default:
@@ -172,7 +176,7 @@ func printExplain(tr *warehouse.Trace) {
 	}
 }
 
-func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, repoDir string) (quit bool) {
+func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, repoDir string, prepared map[string]*warehouse.Prepared) (quit bool) {
 	fields := strings.Fields(line)
 	cmd, rest := fields[0], strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
 	switch cmd {
@@ -183,6 +187,8 @@ func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, r
   \schema [name]    show columns of a table or view                (demo point 2)
   \plan <sql>       show naive and reorganized plans               (demo points 4, 6)
   \explain <sql>    run a query and show zone-map skipping + join order
+  \prepare <name> <sql>      prepare a statement ('?' parameter markers)
+  \execute <name> [params]   run a prepared statement ('ISK', 42, -3.5, TRUE, NULL)
   \trace            show plans + injected operators of last query  (demo points 4-6)
   \touched          files the last query extracted from            (demo point 5)
   \cache            recycler contents and statistics               (demo point 7)
@@ -242,7 +248,9 @@ func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, r
 			fmt.Println("usage: \\explain <sql>")
 			break
 		}
-		res, err := w.Query(strings.TrimSuffix(rest, ";"))
+		// Uncached: a result-cache hit would carry no per-scan skip
+		// tallies; \explain is about watching a real execution.
+		res, err := w.QueryUncached(strings.TrimSuffix(rest, ";"))
 		if err != nil {
 			fmt.Println("error:", err)
 			break
@@ -253,6 +261,48 @@ func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, r
 		fmt.Print(tr.Optimized)
 		printExplain(&tr)
 		fmt.Printf("(%d rows in %v)\n", res.Batch.NumRows(), res.Elapsed.Round(time.Microsecond))
+	case `\prepare`:
+		parts := strings.SplitN(rest, " ", 2)
+		if len(parts) < 2 || parts[0] == "" {
+			fmt.Println("usage: \\prepare <name> <sql>   ('?' marks parameters)")
+			break
+		}
+		name, src := parts[0], strings.TrimSuffix(strings.TrimSpace(parts[1]), ";")
+		ps, err := w.Prepare(src)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		prepared[name] = ps
+		fmt.Printf("prepared %s (%d parameter(s)): %s\n", name, ps.NumParams(), ps.SQL())
+	case `\execute`:
+		parts := strings.SplitN(rest, " ", 2)
+		if len(parts) == 0 || parts[0] == "" {
+			fmt.Println("usage: \\execute <name> [param, ...]")
+			break
+		}
+		ps, ok := prepared[parts[0]]
+		if !ok {
+			fmt.Printf("no prepared statement %q (use \\prepare)\n", parts[0])
+			break
+		}
+		var params []column.Value
+		if len(parts) == 2 {
+			var err error
+			if params, err = sql.ParseParams(parts[1]); err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+		}
+		res, err := ps.Execute(params...)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Print(res.Batch)
+		fmt.Printf("(%d rows in %v)\n", res.Batch.NumRows(), res.Elapsed.Round(time.Microsecond))
+		tr := res.Trace
+		*lastTrace = &tr
 	case `\trace`:
 		if *lastTrace == nil {
 			fmt.Println("no query has run yet")
@@ -310,6 +360,11 @@ func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, r
 		fmt.Printf("store: files=%d records=%d data=%d rows, %d bytes\n",
 			st.FilesRows, st.RecordsRows, st.DataRows, st.StoreBytes)
 		fmt.Printf("cache: %d entries, %d bytes (%s)\n", st.CacheEntries, st.CacheBytes, st.CacheStats)
+		qc := st.QueryCache
+		fmt.Printf("query cache: plans hits=%d misses=%d entries=%d; results hits=%d misses=%d entries=%d bytes=%d evictions=%d invalidations=%d declined=%d/%dB\n",
+			qc.PlanHits, qc.PlanMisses, qc.PlanEntries,
+			qc.ResultHits, qc.ResultMisses, qc.ResultEntries, qc.ResultBytes,
+			qc.ResultEvictions, qc.ResultInvalidations, qc.ResultDeclined, qc.ResultDeclinedBytes)
 		fmt.Printf("extraction: %d records extracted, %d cache reads, %d files opened, %d bytes read\n",
 			st.Extraction.Extractions, st.Extraction.CacheReads,
 			st.Extraction.FilesTouched, st.Extraction.BytesRead)

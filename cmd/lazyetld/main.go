@@ -14,7 +14,9 @@
 //	POST /explain  {"sql": "SELECT ..."}  ->  executed plan, per-scan zone-map
 //	               skipping (runs/records/rows read vs skipped) and the
 //	               stats-driven join order
-//	GET  /stats    warehouse + server counters
+//	POST /prepare  {"sql": "SELECT ... WHERE x = ?"}  ->  {"id": "p1", ...}
+//	POST /execute  {"id": "p1", "params": ["ISK", 500]}  ->  same shape as /query
+//	GET  /stats    warehouse + server counters (including the query cache)
 //
 // Queries execute concurrently inside the warehouse (see the concurrency
 // contract in internal/warehouse): per-query snapshots, a shared memory
@@ -59,6 +61,7 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "queries admitted to execute simultaneously (0 = GOMAXPROCS)")
 	perClient := flag.Int("per-client", 4, "in-flight queries allowed per client IP")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight queries")
+	noQueryCache := flag.Bool("no-query-cache", false, "disable the two-tier query cache (plan/statement cache and snapshot-versioned result cache); every query pays full parse -> plan -> execute")
 	flag.Parse()
 
 	if *repoDir == "" {
@@ -95,6 +98,7 @@ func main() {
 		Workers:              *workers,
 		MemoryBudget:         *memBudget,
 		MaxConcurrentQueries: *maxConcurrent,
+		NoQueryCache:         *noQueryCache,
 		ETL:                  etl.Options{CacheBudget: *cache},
 	})
 	if err != nil {
@@ -110,7 +114,7 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("lazyetld: serving on %s (POST /query, POST /explain, GET /stats)\n", *addr)
+	fmt.Printf("lazyetld: serving on %s (POST /query, /explain, /prepare, /execute; GET /stats)\n", *addr)
 
 	select {
 	case err := <-errCh:
@@ -140,16 +144,28 @@ type server struct {
 
 	clients *clientLimiter
 
+	// prepared is the server-wide statement registry: /prepare parses once
+	// and returns an id, /execute binds parameters per call. Bounded so a
+	// client cannot grow it without limit.
+	prepMu   sync.Mutex
+	prepared map[string]*warehouse.Prepared
+	prepSeq  int64
+
 	served   atomic.Int64 // queries answered successfully
 	failed   atomic.Int64 // queries that returned an error
 	rejected atomic.Int64 // requests bounced by the per-client limit
 }
 
+// maxPreparedStatements bounds the /prepare registry.
+const maxPreparedStatements = 1024
+
 func newServer(w *warehouse.Warehouse, perClient int) *server {
-	s := &server{w: w, clients: newClientLimiter(perClient)}
+	s := &server{w: w, clients: newClientLimiter(perClient), prepared: make(map[string]*warehouse.Prepared)}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/prepare", s.handlePrepare)
+	s.mux.HandleFunc("/execute", s.handleExecute)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
 }
@@ -203,6 +219,12 @@ func (s *server) handleQuery(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.served.Add(1)
+	writeJSON(rw, http.StatusOK, marshalResult(res))
+}
+
+// marshalResult converts a warehouse result to the /query (and /execute)
+// response shape.
+func marshalResult(res *warehouse.Result) queryResponse {
 	out := queryResponse{
 		Columns:   res.Columns,
 		Rows:      make([][]any, res.Batch.NumRows()),
@@ -217,7 +239,7 @@ func (s *server) handleQuery(rw http.ResponseWriter, r *http.Request) {
 		}
 		out.Rows[i] = row
 	}
-	writeJSON(rw, http.StatusOK, out)
+	return out
 }
 
 // explainResponse is the POST /explain answer: the query is executed (the
@@ -255,7 +277,9 @@ func (s *server) handleExplain(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusBadRequest, errorResponse{"bad request: " + err.Error()})
 		return
 	}
-	res, err := s.w.Query(req.SQL)
+	// Uncached: a result-cache hit carries no per-scan skip tallies, and
+	// /explain exists to observe a real execution.
+	res, err := s.w.QueryUncached(req.SQL)
 	if err != nil {
 		s.failed.Add(1)
 		writeJSON(rw, http.StatusUnprocessableEntity, errorResponse{err.Error()})
@@ -270,6 +294,128 @@ func (s *server) handleExplain(rw http.ResponseWriter, r *http.Request) {
 		RowCount:  res.Batch.NumRows(),
 		ElapsedNS: res.Elapsed.Nanoseconds(),
 	})
+}
+
+// prepareResponse is the POST /prepare answer: the handle /execute wants,
+// plus the canonical statement text and its parameter count.
+type prepareResponse struct {
+	ID        string `json:"id"`
+	SQL       string `json:"sql"`
+	NumParams int    `json:"num_params"`
+}
+
+func (s *server) handlePrepare(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(rw, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil || req.SQL == "" {
+		if err == nil {
+			err = errors.New("missing \"sql\" field")
+		}
+		writeJSON(rw, http.StatusBadRequest, errorResponse{"bad request: " + err.Error()})
+		return
+	}
+	ps, err := s.w.Prepare(req.SQL)
+	if err != nil {
+		writeJSON(rw, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		return
+	}
+	s.prepMu.Lock()
+	if len(s.prepared) >= maxPreparedStatements {
+		s.prepMu.Unlock()
+		writeJSON(rw, http.StatusInsufficientStorage,
+			errorResponse{fmt.Sprintf("prepared-statement registry full (%d)", maxPreparedStatements)})
+		return
+	}
+	s.prepSeq++
+	id := fmt.Sprintf("p%d", s.prepSeq)
+	s.prepared[id] = ps
+	s.prepMu.Unlock()
+	writeJSON(rw, http.StatusOK, prepareResponse{ID: id, SQL: ps.SQL(), NumParams: ps.NumParams()})
+}
+
+// executeRequest is the POST /execute body. Params take JSON scalars:
+// strings, numbers (integers stay int64, anything fractional becomes
+// float64), booleans and null.
+type executeRequest struct {
+	ID     string `json:"id"`
+	Params []any  `json:"params"`
+}
+
+func (s *server) handleExecute(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(rw, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	client := clientKey(r)
+	if !s.clients.acquire(client) {
+		s.rejected.Add(1)
+		writeJSON(rw, http.StatusTooManyRequests,
+			errorResponse{fmt.Sprintf("client %s exceeds its in-flight query limit", client)})
+		return
+	}
+	defer s.clients.release(client)
+
+	var req executeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<20))
+	dec.UseNumber() // keep integer parameters exact (no float round-trip)
+	if err := dec.Decode(&req); err != nil || req.ID == "" {
+		if err == nil {
+			err = errors.New("missing \"id\" field")
+		}
+		writeJSON(rw, http.StatusBadRequest, errorResponse{"bad request: " + err.Error()})
+		return
+	}
+	s.prepMu.Lock()
+	ps, ok := s.prepared[req.ID]
+	s.prepMu.Unlock()
+	if !ok {
+		writeJSON(rw, http.StatusNotFound, errorResponse{fmt.Sprintf("no prepared statement %q", req.ID)})
+		return
+	}
+	params := make([]column.Value, len(req.Params))
+	for i, p := range req.Params {
+		v, err := paramValue(p)
+		if err != nil {
+			writeJSON(rw, http.StatusBadRequest, errorResponse{fmt.Sprintf("param %d: %v", i, err)})
+			return
+		}
+		params[i] = v
+	}
+	res, err := ps.Execute(params...)
+	if err != nil {
+		s.failed.Add(1)
+		writeJSON(rw, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		return
+	}
+	s.served.Add(1)
+	writeJSON(rw, http.StatusOK, marshalResult(res))
+}
+
+// paramValue converts one decoded JSON scalar to a column value.
+func paramValue(p any) (column.Value, error) {
+	switch x := p.(type) {
+	case nil:
+		return column.NewNull(column.Int64), nil
+	case string:
+		return column.NewString(x), nil
+	case bool:
+		return column.NewBool(x), nil
+	case json.Number:
+		if n, err := x.Int64(); err == nil {
+			return column.NewInt64(n), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return column.Value{}, fmt.Errorf("bad number %q", x.String())
+		}
+		return column.NewFloat64(f), nil
+	default:
+		return column.Value{}, fmt.Errorf("unsupported parameter type %T", p)
+	}
 }
 
 // statsResponse decorates warehouse stats with server-level counters.

@@ -193,8 +193,13 @@ func TestStatsReportSkipping(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	const q = "SELECT COUNT(*) FROM mseed.dataview WHERE D.sample_value > 1000000000"
-	for i := 0; i < 2; i++ {
+	// Distinct literals so the second request re-executes (one template,
+	// plan-cache hit) instead of being served from the result cache; the
+	// first run collects zone maps, the second prunes with them.
+	for i, q := range []string{
+		"SELECT COUNT(*) FROM mseed.dataview WHERE D.sample_value > 1000000000",
+		"SELECT COUNT(*) FROM mseed.dataview WHERE D.sample_value > 999999999",
+	} {
 		if resp, body := postQuery(t, ts, q); resp.StatusCode != http.StatusOK {
 			t.Fatalf("query %d status %d: %s", i, resp.StatusCode, body)
 		}
@@ -214,6 +219,124 @@ func TestStatsReportSkipping(t *testing.T) {
 	}
 	if ex.RunsSkipped == 0 {
 		t.Fatalf("extraction runs skipped = 0 after pruning query, stats: %+v", ex)
+	}
+}
+
+// TestRepeatedQueryReportsCacheHit: the same statement twice over /query
+// must surface a result-cache hit in GET /stats.
+func TestRepeatedQueryReportsCacheHit(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const q = "SELECT station, COUNT(*) FROM mseed.files GROUP BY station"
+	var bodies [2][]byte
+	for i := 0; i < 2; i++ {
+		resp, body := postQuery(t, ts, q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d status %d: %s", i, resp.StatusCode, body)
+		}
+		bodies[i] = body
+	}
+	var a, b queryResponse
+	if err := json.Unmarshal(bodies[0], &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodies[1], &b); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a.Rows) != fmt.Sprint(b.Rows) {
+		t.Errorf("cached answer differs:\n%v\n%v", a.Rows, b.Rows)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	qc := out.Warehouse.QueryCache
+	if qc.ResultHits == 0 {
+		t.Fatalf("repeated query reported no result-cache hit: %+v", qc)
+	}
+	if qc.PlanMisses == 0 || qc.ResultEntries == 0 {
+		t.Fatalf("query-cache stats implausible: %+v", qc)
+	}
+}
+
+func TestPrepareExecuteEndpoints(t *testing.T) {
+	srv, w := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body, _ := json.Marshal(queryRequest{SQL: "SELECT COUNT(*) FROM mseed.dataview WHERE F.station = ? AND D.sample_value > ?"})
+	resp, err := ts.Client().Post(ts.URL+"/prepare", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prep prepareResponse
+	if err := json.NewDecoder(resp.Body).Decode(&prep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prepare status %d", resp.StatusCode)
+	}
+	if prep.ID == "" || prep.NumParams != 2 {
+		t.Fatalf("prepare response: %+v", prep)
+	}
+
+	exec := func(params ...any) (*http.Response, queryResponse, []byte) {
+		t.Helper()
+		body, _ := json.Marshal(executeRequest{ID: prep.ID, Params: params})
+		resp, err := ts.Client().Post(ts.URL+"/execute", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		var out queryResponse
+		_ = json.Unmarshal(buf.Bytes(), &out)
+		return resp, out, buf.Bytes()
+	}
+
+	resp2, out, raw := exec("ISK", 500)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("execute status %d: %s", resp2.StatusCode, raw)
+	}
+	want, err := w.QueryUncached("SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK' AND D.sample_value > 500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RowCount != want.Batch.NumRows() ||
+		fmt.Sprint(out.Rows[0][0]) != fmt.Sprint(jsonValue(want.Batch.Row(0)[0])) {
+		t.Fatalf("execute answer %s diverged from direct query %v", raw, want.Batch.Row(0))
+	}
+
+	// Wrong parameter count is a client error, not a 500.
+	resp3, _, raw3 := exec("ISK")
+	if resp3.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("short param list status %d: %s", resp3.StatusCode, raw3)
+	}
+	// Unknown id is a 404.
+	body4, _ := json.Marshal(executeRequest{ID: "p999", Params: []any{"ISK", 500}})
+	resp4, err := ts.Client().Post(ts.URL+"/execute", "application/json", bytes.NewReader(body4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id status %d, want 404", resp4.StatusCode)
+	}
+	// A statement with markers is rejected on the ad-hoc path.
+	resp5, raw5 := postQuery(t, ts, "SELECT COUNT(*) FROM mseed.files WHERE station = ?")
+	if resp5.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("raw '?' over /query status %d: %s", resp5.StatusCode, raw5)
 	}
 }
 

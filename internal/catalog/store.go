@@ -28,6 +28,12 @@ type Store struct {
 	data   map[string]*column.Batch
 	tstats map[string]*column.BatchZones
 	zones  *ZoneMaps
+	// version counts table mutations (AppendRow, Replace, ReplaceAll,
+	// Truncate). A snapshot carries the version it was taken at, so two
+	// snapshots with equal versions hold identical table contents and
+	// batch statistics — the key the warehouse plan/result caches hang
+	// their validity on.
+	version int64
 }
 
 // NewStore creates a store with an empty batch per catalog table.
@@ -73,7 +79,16 @@ func (s *Store) Snapshot() *Store {
 	// Record zone maps are shared, not copied: they are monotone statistics
 	// keyed by (uri, mtime, seqno), never query-visible data, so snapshots
 	// benefit from entries collected after the snapshot was taken.
-	return &Store{cat: s.cat, data: data, tstats: tstats, zones: s.zones}
+	return &Store{cat: s.cat, data: data, tstats: tstats, zones: s.zones, version: s.version}
+}
+
+// Version returns the store's mutation counter. Every AppendRow, Replace,
+// ReplaceAll or Truncate bumps it; a snapshot reports the version it was
+// taken at. Equal versions imply identical table contents and statistics.
+func (s *Store) Version() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
 }
 
 // Zones returns the store's record zone-map collection (shared by all
@@ -123,6 +138,7 @@ func (s *Store) AppendRow(table string, vals ...column.Value) error {
 		}
 	}
 	delete(s.tstats, t.Name) // row-at-a-time growth makes range stats stale
+	s.version++
 	return nil
 }
 
@@ -156,6 +172,7 @@ func (s *Store) Replace(table string, b *column.Batch) error {
 	defer s.mu.Unlock()
 	s.data[t.Name] = b
 	s.tstats[t.Name] = zs
+	s.version++
 	return nil
 }
 
@@ -185,6 +202,7 @@ func (s *Store) ReplaceAll(batches map[string]*column.Batch) error {
 		s.data[defs[name].Name] = b
 		s.tstats[defs[name].Name] = zs[defs[name].Name]
 	}
+	s.version++
 	return nil
 }
 
@@ -198,6 +216,7 @@ func (s *Store) Truncate(table string) error {
 	defer s.mu.Unlock()
 	s.data[t.Name] = emptyBatch(t)
 	delete(s.tstats, t.Name)
+	s.version++
 	return nil
 }
 

@@ -97,6 +97,10 @@ type repoSnapshot struct {
 	repo *repo.Repository
 	// fileID assigns dense ids in repository order; stable per snapshot.
 	fileID map[string]int64
+	// version is the engine's publication counter for this snapshot:
+	// every swap (initial load, RefreshMetadata, RefreshAll) gets a new
+	// version, so equal versions imply the identical metadata view.
+	version int64
 }
 
 func newRepoSnapshot(rp *repo.Repository) *repoSnapshot {
@@ -109,10 +113,12 @@ func newRepoSnapshot(rp *repo.Repository) *repoSnapshot {
 
 // Engine drives ETL for one repository snapshot into one store.
 type Engine struct {
-	snap  atomic.Pointer[repoSnapshot]
-	store *catalog.Store
-	cache *recycler.Cache
-	opts  Options
+	snap atomic.Pointer[repoSnapshot]
+	// snapVersion feeds repoSnapshot.version at each publication.
+	snapVersion atomic.Int64
+	store       *catalog.Store
+	cache       *recycler.Cache
+	opts        Options
 
 	// xstats counters are updated atomically; extraction may run on a
 	// worker pool.
@@ -187,9 +193,15 @@ func New(rp *repo.Repository, store *catalog.Store, opts Options) *Engine {
 		cache: recycler.New(budget),
 		opts:  opts,
 	}
-	e.snap.Store(newRepoSnapshot(rp))
+	e.publish(newRepoSnapshot(rp))
 	e.scratch.New = func() any { return new(extractScratch) }
 	return e
+}
+
+// publish swaps in a fresh repository snapshot under a new version.
+func (e *Engine) publish(sn *repoSnapshot) {
+	sn.version = e.snapVersion.Add(1)
+	e.snap.Store(sn)
 }
 
 // Cache exposes the recycler for inspection (demo point 7).
@@ -197,6 +209,13 @@ func (e *Engine) Cache() *recycler.Cache { return e.cache }
 
 // Repository returns the engine's current repository snapshot.
 func (e *Engine) Repository() *repo.Repository { return e.snap.Load().repo }
+
+// SnapshotVersion identifies the currently published repository snapshot.
+// It changes on every swap (initial load and each refresh); equal versions
+// imply the identical repository metadata view. The warehouse result cache
+// keys on it so an entry computed against a superseded snapshot can never
+// be served.
+func (e *Engine) SnapshotVersion() int64 { return e.snap.Load().version }
 
 // LoadMetadata is the lazy initial load: header-only scans fill the two
 // metadata tables; mseed.data stays empty.
@@ -298,7 +317,7 @@ func (e *Engine) RefreshMetadata() (Stats, error) {
 			e.cache.InvalidateFile(f.URI)
 		}
 	}
-	e.snap.Store(newRepoSnapshot(fresh))
+	e.publish(newRepoSnapshot(fresh))
 	return e.LoadMetadata()
 }
 
@@ -309,7 +328,7 @@ func (e *Engine) RefreshAll() (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	e.snap.Store(newRepoSnapshot(fresh))
+	e.publish(newRepoSnapshot(fresh))
 	return e.LoadAll()
 }
 

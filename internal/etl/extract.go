@@ -363,6 +363,26 @@ func (e *Engine) prepare(meta *column.Batch, prune *plan.PruneRange, obs plan.Ob
 		})
 	}
 
+	// Report the answer's file dependencies: pass 1 stat'ed every distinct
+	// file the qualifying records live in (hits, misses and pruned rows
+	// alike), so the states map is exactly the set of files whose content
+	// this extraction's output depends on. The warehouse result cache
+	// stores the stamps and re-stats them on a hit — the same mtime
+	// staleness contract the recycler cache and the zone maps use.
+	if !quiet && len(states) > 0 {
+		stamps := make([]plan.FileStamp, 0, len(states))
+		for _, fs := range states {
+			stamps = append(stamps, plan.FileStamp{
+				URI:        fs.uri,
+				Path:       fs.path,
+				MtimeNanos: fs.mtime.UnixNano(),
+				Size:       fs.size,
+			})
+		}
+		sort.Slice(stamps, func(i, j int) bool { return stamps[i].URI < stamps[j].URI })
+		plan.ReportStamps(obs, stamps)
+	}
+
 	return &extractPrep{
 		uris:    uris,
 		seqs:    seqs,

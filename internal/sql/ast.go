@@ -34,6 +34,15 @@ func (l *Literal) String() string {
 	return l.Val.String()
 }
 
+// Param is a positional parameter marker ('?') in a prepared statement.
+// Index is the zero-based occurrence order in the statement text. Params
+// never reach planning or execution: BindParams substitutes Literals first.
+type Param struct {
+	Index int
+}
+
+func (p *Param) String() string { return "?" }
+
 // BinaryOp enumerates binary operators.
 type BinaryOp int
 
@@ -221,6 +230,10 @@ type SelectStmt struct {
 	GroupBy []Expr
 	OrderBy []OrderItem
 	Limit   int64 // -1 if absent
+	// NumParams counts '?' parameter markers in the statement. Statements
+	// with markers come from ParseTemplate and must be bound with
+	// BindParams before planning.
+	NumParams int
 }
 
 // String renders the statement back to SQL (normalized).

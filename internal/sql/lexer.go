@@ -137,6 +137,9 @@ func (lx *lexer) next() (Token, error) {
 	case c == '*':
 		lx.pos++
 		return Token{Kind: TokStar, Text: "*", Pos: start}, nil
+	case c == '?':
+		lx.pos++
+		return Token{Kind: TokQuestion, Text: "?", Pos: start}, nil
 
 	case c == '=' || c == '+' || c == '-' || c == '/':
 		lx.pos++

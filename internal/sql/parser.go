@@ -9,8 +9,23 @@ import (
 )
 
 // Parse parses one SELECT statement (an optional trailing semicolon is
-// allowed).
+// allowed). Parameter markers ('?') are rejected — a statement with markers
+// is a prepared-statement template and must go through ParseTemplate.
 func Parse(src string) (*SelectStmt, error) {
+	stmt, err := ParseTemplate(src)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.NumParams > 0 {
+		return nil, fmt.Errorf("sql: statement has %d parameter marker(s); use PREPARE/EXECUTE to bind them", stmt.NumParams)
+	}
+	return stmt, nil
+}
+
+// ParseTemplate parses one SELECT statement that may contain positional
+// parameter markers ('?'). The returned statement carries NumParams and
+// must be bound with BindParams before planning.
+func ParseTemplate(src string) (*SelectStmt, error) {
 	toks, err := Lex(src)
 	if err != nil {
 		return nil, err
@@ -26,12 +41,14 @@ func Parse(src string) (*SelectStmt, error) {
 	if p.peek().Kind != TokEOF {
 		return nil, p.errf("unexpected %s %q after statement", p.peek().Kind, p.peek().Text)
 	}
+	stmt.NumParams = p.params
 	return stmt, nil
 }
 
 type parser struct {
-	toks []Token
-	pos  int
+	toks   []Token
+	pos    int
+	params int // '?' markers seen so far (assigns Param.Index)
 }
 
 func (p *parser) peek() Token    { return p.toks[p.pos] }
@@ -495,6 +512,12 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case TokString:
 		p.advance()
 		return &Literal{Val: column.NewString(t.Text)}, nil
+
+	case TokQuestion:
+		p.advance()
+		prm := &Param{Index: p.params}
+		p.params++
+		return prm, nil
 
 	case TokKeyword:
 		switch t.Text {

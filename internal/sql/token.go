@@ -23,6 +23,7 @@ const (
 	TokRParen
 	TokSemicolon
 	TokStar
+	TokQuestion // '?' — positional parameter marker (prepared statements)
 )
 
 func (k TokenKind) String() string {
@@ -51,6 +52,8 @@ func (k TokenKind) String() string {
 		return "';'"
 	case TokStar:
 		return "'*'"
+	case TokQuestion:
+		return "'?'"
 	default:
 		return fmt.Sprintf("token(%d)", int(k))
 	}

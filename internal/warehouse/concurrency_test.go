@@ -223,10 +223,12 @@ func TestInterleavedQueryRefreshStatsClearLog(t *testing.T) {
 					t.Errorf("query counter = %d, want %d", got, wantQ)
 				}
 				// With queries drained, the only live reservations are the
-				// recycler cache's admissions: operator sub-ledgers must
-				// have released everything back to the shared ledger.
-				if st := w.Stats(); st.Mem.Used != st.CacheBytes {
-					t.Errorf("ledger holds %d bytes after drain, cache accounts for %d", st.Mem.Used, st.CacheBytes)
+				// recycler cache's admissions and the result cache's
+				// entries: operator sub-ledgers must have released
+				// everything back to the shared ledger.
+				if st := w.Stats(); st.Mem.Used != st.CacheBytes+st.QueryCache.ResultBytes {
+					t.Errorf("ledger holds %d bytes after drain, caches account for %d+%d",
+						st.Mem.Used, st.CacheBytes, st.QueryCache.ResultBytes)
 				}
 			})
 		}

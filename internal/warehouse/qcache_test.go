@@ -1,0 +1,422 @@
+package warehouse
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/column"
+	"repro/internal/etl"
+	"repro/internal/repo"
+	"repro/internal/seisgen"
+)
+
+// qcacheQueries mixes metadata scans, lazy extraction, grouping and
+// ordering — the shapes the serving layer caches (the explicit join spine
+// is Eager-only and covered by TestQueryCacheJoinReorder).
+var qcacheQueries = []string{
+	q1,
+	q2,
+	`SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK'`,
+	`SELECT station, channel FROM mseed.files ORDER BY station, channel LIMIT 7`,
+	`SELECT F.channel, COUNT(*) FROM mseed.dataview WHERE F.network = 'NL' GROUP BY F.channel`,
+}
+
+// TestQueryCacheOracleMatrix is the bit-identity oracle: cached answers
+// must equal NoQueryCache execution, for cold runs, warm (cache-hit) runs,
+// and across a Refresh boundary that changes the repository, across
+// workers x budgets.
+func TestQueryCacheOracleMatrix(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, budget := range []int64{0, 2 << 20} {
+			name := fmt.Sprintf("workers=%d/budget=%d", workers, budget)
+			t.Run(name, func(t *testing.T) {
+				dir := genRepo(t, 2500)
+				open := func(noCache bool) *Warehouse {
+					w, err := Open(dir, Options{
+						Mode: Lazy, Workers: workers, MemoryBudget: budget,
+						ETL:          etl.Options{Parallelism: 2},
+						NoQueryCache: noCache,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return w
+				}
+				cached, oracle := open(false), open(true)
+				compare := func(stage string) {
+					t.Helper()
+					for _, q := range qcacheQueries {
+						want, err := oracle.Query(q)
+						if err != nil {
+							t.Fatalf("%s oracle: %v\nquery: %s", stage, err, q)
+						}
+						for run := 0; run < 2; run++ { // run 1 should hit the result cache
+							got, err := cached.Query(q)
+							if err != nil {
+								t.Fatalf("%s run %d: %v\nquery: %s", stage, run, err, q)
+							}
+							if g, w := renderExact(got.Batch), renderExact(want.Batch); g != w {
+								t.Errorf("%s run %d diverged from NoQueryCache oracle\nquery: %s\nwant:\n%s\ngot:\n%s",
+									stage, run, q, w, g)
+							}
+						}
+					}
+				}
+				compare("cold")
+				if cached.Stats().QueryCache.ResultHits == 0 {
+					t.Error("warm runs never hit the result cache")
+				}
+
+				// Change the repository and Refresh both sides: post-refresh
+				// answers must still agree (and reflect the new content).
+				if _, err := seisgen.Generate(seisgen.RepoConfig{
+					Dir:      dir,
+					Stations: []seisgen.Station{{Network: "GR", Code: "BFO"}},
+					Channels: []string{"BHZ"}, SamplesPerDay: 400, Seed: 7,
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := cached.Refresh(); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := oracle.Refresh(); err != nil {
+					t.Fatal(err)
+				}
+				compare("post-refresh")
+			})
+		}
+	}
+}
+
+// TestResultCacheHitSkipsExecution pins the tier-2 contract: a repeated
+// identical query is answered from the result cache without re-extracting,
+// re-reading the recycler cache, or running any plan operator.
+func TestResultCacheHitSkipsExecution(t *testing.T) {
+	dir := genRepo(t, 2000)
+	w := openWH(t, dir, Lazy)
+	const q = `SELECT F.station, COUNT(*) FROM mseed.dataview WHERE F.network = 'NL' GROUP BY F.station`
+	warm, err := w.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := w.Stats()
+	hit, err := w.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := w.Stats()
+	if after.QueryCache.ResultHits != before.QueryCache.ResultHits+1 {
+		t.Errorf("result hits %d -> %d, want +1", before.QueryCache.ResultHits, after.QueryCache.ResultHits)
+	}
+	if after.Extraction.Extractions != before.Extraction.Extractions ||
+		after.Extraction.CacheReads != before.Extraction.CacheReads ||
+		after.Extraction.BytesRead != before.Extraction.BytesRead {
+		t.Errorf("cache hit touched extraction: %+v -> %+v", before.Extraction, after.Extraction)
+	}
+	if renderExact(hit.Batch) != renderExact(warm.Batch) {
+		t.Error("cached answer differs from the computed one")
+	}
+	if hit.Trace.SQL == "" || hit.Trace.Optimized == "" {
+		t.Errorf("cached trace lost its plans: %+v", hit.Trace)
+	}
+	// The warehouse log labels the served answer.
+	var logged bool
+	for _, e := range w.Log() {
+		if e.Op == "answer" && strings.Contains(e.Detail, "result cache") {
+			logged = true
+		}
+	}
+	if !logged {
+		t.Error("log has no result-cache answer entry")
+	}
+}
+
+// TestPlanCacheHit pins tier 1: two queries sharing a normalized template
+// (different literals) reuse the built plan at the same store version.
+func TestPlanCacheHit(t *testing.T) {
+	dir := genRepo(t, 2000)
+	w := openWH(t, dir, Lazy)
+	if _, err := w.Query(`SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK'`); err != nil {
+		t.Fatal(err)
+	}
+	before := w.Stats().QueryCache
+	if _, err := w.Query(`SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'HGN'`); err != nil {
+		t.Fatal(err)
+	}
+	after := w.Stats().QueryCache
+	// Different literals → different plan keys (params are part of the
+	// key), but the parsed template statement is shared; re-running the
+	// HGN spelling with other whitespace and keyword case must hit the
+	// plan cache (identifiers — including function names — stay
+	// case-sensitive, so COUNT keeps its spelling).
+	if _, err := w.QueryUncached("select COUNT(*)  from mseed.dataview where F.station='HGN'"); err != nil {
+		t.Fatal(err)
+	}
+	final := w.Stats().QueryCache
+	if final.PlanHits != after.PlanHits+1 {
+		t.Errorf("plan hits %d -> %d, want +1 (stats before: %+v)", after.PlanHits, final.PlanHits, before)
+	}
+}
+
+func TestPreparedStatements(t *testing.T) {
+	dir := genRepo(t, 2000)
+	w := openWH(t, dir, Lazy)
+	ps, err := w.Prepare(`SELECT COUNT(*) FROM mseed.dataview WHERE F.station = ? AND D.sample_value > ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.NumParams() != 2 {
+		t.Fatalf("NumParams = %d, want 2", ps.NumParams())
+	}
+	want, err := w.QueryUncached(`SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK' AND D.sample_value > 500`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ps.Execute(column.NewString("ISK"), column.NewInt64(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderExact(got.Batch) != renderExact(want.Batch) {
+		t.Errorf("prepared answer diverged:\nwant:\n%s\ngot:\n%s", renderExact(want.Batch), renderExact(got.Batch))
+	}
+	// Equal parameters again: plan and result cache both hit.
+	before := w.Stats().QueryCache
+	again, err := ps.Execute(column.NewString("ISK"), column.NewInt64(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := w.Stats().QueryCache
+	if after.ResultHits != before.ResultHits+1 {
+		t.Errorf("repeat Execute missed the result cache: %+v -> %+v", before, after)
+	}
+	if renderExact(again.Batch) != renderExact(want.Batch) {
+		t.Error("repeat Execute answer diverged")
+	}
+	// Different parameters: a correct, distinct answer (never the ISK one).
+	other, err := ps.Execute(column.NewString("HGN"), column.NewInt64(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOther, err := w.QueryUncached(`SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'HGN' AND D.sample_value > 500`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderExact(other.Batch) != renderExact(wantOther.Batch) {
+		t.Error("prepared answer with different params diverged")
+	}
+	// Wrong arity is an error, not a crash.
+	if _, err := ps.Execute(column.NewString("ISK")); err == nil {
+		t.Error("expected a parameter-count error")
+	}
+	// Ad-hoc Query must refuse raw markers.
+	if _, err := w.Query(`SELECT COUNT(*) FROM mseed.files WHERE station = ?`); err == nil {
+		t.Error("Query accepted an unbound '?'")
+	}
+}
+
+// TestQueryCacheJoinReorder: the plan cache stores the stats-reordered
+// spine, so a warm run reuses the reordered plan and a result-cache hit
+// still carries the join decision in its trace — bit-identical to the
+// NoQueryCache oracle either way.
+func TestQueryCacheJoinReorder(t *testing.T) {
+	dir := genRepo(t, 3000)
+	w, err := Open(dir, Options{Mode: Eager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Open(dir, Options{Mode: Eager, NoQueryCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := oracle.Query(joinQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderExact(wantRes.Batch)
+	cold, err := w.Query(joinQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderExact(cold.Batch) != want {
+		t.Error("cold cached answer diverged from oracle")
+	}
+	if cold.Trace.Join == nil || !cold.Trace.Join.Reordered {
+		t.Fatalf("spine not reordered: %+v", cold.Trace.Join)
+	}
+	// Warm plan-cache path (bypassing the result cache): same answer,
+	// same reordered plan, one more plan hit.
+	before := w.Stats().QueryCache
+	warm, err := w.QueryUncached(joinQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().QueryCache.PlanHits != before.PlanHits+1 {
+		t.Errorf("warm run missed the plan cache: %+v", w.Stats().QueryCache)
+	}
+	if renderExact(warm.Batch) != want {
+		t.Error("plan-cache answer diverged from oracle")
+	}
+	if warm.Trace.Join == nil || !warm.Trace.Join.Reordered {
+		t.Errorf("cached plan lost its join decision: %+v", warm.Trace.Join)
+	}
+	// Result-cache hit: trace skeleton keeps the join decision.
+	hit, err := w.Query(joinQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderExact(hit.Batch) != want {
+		t.Error("result-cache answer diverged from oracle")
+	}
+	if hit.Trace.Join == nil || !hit.Trace.Join.Reordered {
+		t.Errorf("cached result lost its join decision: %+v", hit.Trace.Join)
+	}
+}
+
+// TestResultCacheStampInvalidation: touching a source file must drop the
+// cached answers that depend on it — answers depend on live mtimes through
+// the recycler cache and zone maps, not only on the snapshot versions.
+func TestResultCacheStampInvalidation(t *testing.T) {
+	dir := genRepo(t, 2000)
+	w := openWH(t, dir, Lazy)
+	const q = `SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK' AND F.channel = 'BHE'`
+	want, err := w.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := repo.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var touched bool
+	for _, f := range rp.Files {
+		if strings.Contains(f.URI, "ISK") && strings.Contains(f.URI, "BHE") {
+			if err := repo.Touch(f.AbsPath, time.Now().Add(time.Hour)); err != nil {
+				t.Fatal(err)
+			}
+			touched = true
+			break
+		}
+	}
+	if !touched {
+		t.Fatal("no ISK/BHE file found")
+	}
+	before := w.Stats().QueryCache
+	got, err := w.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := w.Stats().QueryCache
+	if after.ResultInvalidations != before.ResultInvalidations+1 {
+		t.Errorf("invalidations %d -> %d, want +1", before.ResultInvalidations, after.ResultInvalidations)
+	}
+	if after.ResultHits != before.ResultHits {
+		t.Error("stale entry was served as a hit")
+	}
+	if renderExact(got.Batch) != renderExact(want.Batch) {
+		t.Error("re-executed answer diverged (touch changed no bytes)")
+	}
+}
+
+// TestQueryCacheInvalidationUnderChurn hammers one cached query while the
+// repository gains a file and Refresh swaps the snapshot. During churn
+// every answer must be either the pre-swap or the post-swap truth; after
+// the refresher exits, answers must be strictly post-swap.
+func TestQueryCacheInvalidationUnderChurn(t *testing.T) {
+	dir := genRepo(t, 1500)
+	w := openWH(t, dir, Lazy)
+	const q = `SELECT COUNT(*) FROM mseed.files`
+	res, err := w.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldN := res.Batch.Row(0)[0].I
+
+	if _, err := seisgen.Generate(seisgen.RepoConfig{
+		Dir:      dir,
+		Stations: []seisgen.Station{{Network: "GR", Code: "BFO"}},
+		Channels: []string{"BHZ"}, SamplesPerDay: 300, Seed: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	newN := oldN + 1
+
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients+1)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				res, err := w.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n := res.Batch.Row(0)[0].I; n != oldN && n != newN {
+					errs <- fmt.Errorf("churn answer %d is neither pre-swap %d nor post-swap %d", n, oldN, newN)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if _, err := w.Refresh(); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The refresher has exited: no query may ever see the pre-swap count
+	// again, cached or not.
+	for i := 0; i < 5; i++ {
+		res, err := w.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := res.Batch.Row(0)[0].I; n != newN {
+			t.Fatalf("post-refresh answer %d, want %d (a stale cached result survived the swap)", n, newN)
+		}
+	}
+}
+
+// TestQueryCacheLedgerAccounting: the result cache charges the shared
+// ledger and releases on purge, so a Refresh returns the bytes.
+func TestQueryCacheLedgerAccounting(t *testing.T) {
+	dir := genRepo(t, 2000)
+	w := openWH(t, dir, Lazy)
+	for _, q := range qcacheQueries {
+		if _, err := w.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.QueryCache.ResultEntries == 0 || st.QueryCache.ResultBytes == 0 {
+		t.Fatalf("nothing cached: %+v", st.QueryCache)
+	}
+	if st.Mem.Used < st.QueryCache.ResultBytes {
+		t.Errorf("ledger (%d) holds less than the result cache (%d): entries not charged",
+			st.Mem.Used, st.QueryCache.ResultBytes)
+	}
+	if _, err := w.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	st = w.Stats()
+	if st.QueryCache.ResultEntries != 0 || st.QueryCache.ResultBytes != 0 {
+		t.Errorf("refresh left cached results: %+v", st.QueryCache)
+	}
+	if st.Mem.Used != st.CacheBytes {
+		t.Errorf("ledger holds %d after purge, recycler accounts for %d", st.Mem.Used, st.CacheBytes)
+	}
+}

@@ -15,7 +15,7 @@ func BenchmarkColdScanSkip(b *testing.B) {
 	 WHERE F.station = 'ISK' AND D.sample_value > 1000000000`
 	run := func(b *testing.B, noSkip bool) {
 		dir := genFullDayRepo(b)
-		w, err := Open(dir, Options{Mode: Lazy, NoSkipping: noSkip})
+		w, err := Open(dir, Options{Mode: Lazy, NoSkipping: noSkip, NoQueryCache: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -63,7 +63,7 @@ func BenchmarkColdScanSkip(b *testing.B) {
 func BenchmarkJoinOrder(b *testing.B) {
 	run := func(b *testing.B, noSkip bool) {
 		dir := genRepo(b, 20000)
-		w, err := Open(dir, Options{Mode: Eager, NoSkipping: noSkip})
+		w, err := Open(dir, Options{Mode: Eager, NoSkipping: noSkip, NoQueryCache: true})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -52,6 +52,9 @@ func TestSkippingOracleMatrix(t *testing.T) {
 				w, err := Open(dir, Options{
 					Mode: Lazy, Workers: workers, MorselRows: morsel, MemoryBudget: budget,
 					ETL: etl.Options{Parallelism: workers},
+					// The second run must re-execute (not hit the result
+					// cache) for the zone maps to prune anything.
+					NoQueryCache: true,
 				})
 				if err != nil {
 					t.Fatalf("%s: %v", name, err)
@@ -153,7 +156,12 @@ func TestZoneMapStalenessAfterUpdate(t *testing.T) {
 	}
 	want := renderExact(wantRes.Batch)
 
-	w := openWH(t, dir, Lazy)
+	// NoQueryCache: the test re-runs one identical query and asserts on
+	// extraction counters, so every run must actually execute.
+	w, err := Open(dir, Options{Mode: Lazy, NoQueryCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := w.Query(q); err != nil { // collect zones
 		t.Fatal(err)
 	}
@@ -215,7 +223,9 @@ func TestExplainSurface(t *testing.T) {
 	if _, err := w.Query(q); err != nil {
 		t.Fatal(err)
 	}
-	res, err := w.Query(q)
+	// QueryUncached: a result-cache hit would return a trace skeleton with
+	// no scan reports; the warm-run skip tallies need a real execution.
+	res, err := w.QueryUncached(q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -125,6 +125,11 @@ type Options struct {
 	// engine and the push pipelines. <= 0 keeps the default; tests shrink
 	// it to force multi-morsel schedules on small inputs.
 	MorselRows int
+	// NoQueryCache disables the two-tier query cache (the plan/statement
+	// cache and the snapshot-versioned result cache): every query pays
+	// full parse -> plan -> reorder -> execute. It is the bit-identity
+	// oracle the cached serving path is tested against. Off by default.
+	NoQueryCache bool
 }
 
 // LogEntry is one line of the operation log.
@@ -193,15 +198,17 @@ type InitStats struct {
 // Warehouse is an open scientific data warehouse over an mSEED repository.
 // See the package documentation for the concurrency contract.
 type Warehouse struct {
-	mode       Mode
-	store      *catalog.Store
-	engine     *etl.Engine
-	pool       *exec.Pool
-	ledger     *mem.Ledger
-	noPipeline bool
-	noSkipping bool
-	exec       plan.ExecStats
-	init       InitStats
+	mode         Mode
+	store        *catalog.Store
+	engine       *etl.Engine
+	pool         *exec.Pool
+	ledger       *mem.Ledger
+	noPipeline   bool
+	noSkipping   bool
+	noQueryCache bool
+	qc           *queryCache
+	exec         plan.ExecStats
+	init         InitStats
 
 	// refreshMu is the snapshot lock: queries hold the read side for their
 	// parse -> plan -> execute span, Refresh holds the write side while it
@@ -257,19 +264,21 @@ func Open(dir string, opts Options) (*Warehouse, error) {
 	}
 	store := catalog.NewStore(catalog.MSEED())
 	w := &Warehouse{
-		mode:        opts.Mode,
-		rp:          rp,
-		store:       store,
-		engine:      etl.New(rp, store, opts.ETL),
-		pool:        exec.NewPoolMorsel(opts.Workers, opts.MorselRows),
-		ledger:      mem.New(opts.MemoryBudget),
-		admit:       make(chan struct{}, slots),
-		queryBudget: queryBudget,
-		serialize:   opts.SerializeQueries,
-		keepLog:     keep,
-		noPipeline:  opts.NoPipeline,
-		noSkipping:  opts.NoSkipping,
+		mode:         opts.Mode,
+		rp:           rp,
+		store:        store,
+		engine:       etl.New(rp, store, opts.ETL),
+		pool:         exec.NewPoolMorsel(opts.Workers, opts.MorselRows),
+		ledger:       mem.New(opts.MemoryBudget),
+		admit:        make(chan struct{}, slots),
+		queryBudget:  queryBudget,
+		serialize:    opts.SerializeQueries,
+		keepLog:      keep,
+		noPipeline:   opts.NoPipeline,
+		noSkipping:   opts.NoSkipping,
+		noQueryCache: opts.NoQueryCache,
 	}
+	w.qc = newQueryCache(w.ledger)
 	// Recycler admissions draw on the same ledger as operator working
 	// sets, so a loaded cache and a heavy join compete for one budget.
 	w.engine.Cache().AttachLedger(w.ledger)
@@ -331,6 +340,10 @@ type observer struct {
 	w       *Warehouse
 	trace   *Trace
 	touched map[string]bool
+	// stamps collects the file dependencies the data accesses reported
+	// (deduplicated by URI) — the result cache's re-validation key.
+	stamps   []plan.FileStamp
+	stampSet map[string]bool
 }
 
 func (o *observer) InjectedOp(kind, detail string) {
@@ -345,6 +358,22 @@ func (o *observer) InjectedOp(kind, detail string) {
 func (o *observer) ScanReport(r plan.ScanReport) {
 	o.mu.Lock()
 	o.trace.Scans = append(o.trace.Scans, r)
+	o.mu.Unlock()
+}
+
+// FileStamps implements plan.StampReporter: extraction reports the files
+// the answer depends on, so the result cache can re-validate a hit by stat.
+func (o *observer) FileStamps(stamps []plan.FileStamp) {
+	o.mu.Lock()
+	for _, s := range stamps {
+		if o.stampSet == nil {
+			o.stampSet = make(map[string]bool)
+		}
+		if !o.stampSet[s.URI] {
+			o.stampSet[s.URI] = true
+			o.stamps = append(o.stamps, s)
+		}
+	}
 	o.mu.Unlock()
 }
 
@@ -367,15 +396,34 @@ func (o *observer) Event(op, detail string) {
 // per-query snapshots of the warehouse state (see the package doc), and
 // every failure path leaves an "error" entry in the operation log so
 // failed queries stay attributable when many clients share the log.
+//
+// Unless Options.NoQueryCache is set, repeated query shapes are served
+// through the two-tier query cache: identical normalized statements reuse
+// their built plan, and bit-identical answers may come straight from the
+// result cache (validated against the snapshot versions and the source
+// files' stamps, so a cached answer never differs from fresh execution).
 func (w *Warehouse) Query(q string) (*Result, error) {
-	res, err := w.query(q)
+	res, err := w.query(q, true)
 	if err != nil {
 		w.logf("error", "query failed: %v", err)
 	}
 	return res, err
 }
 
-func (w *Warehouse) query(q string) (*Result, error) {
+// QueryUncached executes like Query but never serves the answer from the
+// result cache, so the run-time trace (injected operators, per-scan skip
+// tallies) reflects a real execution — the \explain surface uses it. The
+// plan cache still applies, and the computed answer is still admitted for
+// later Query calls.
+func (w *Warehouse) QueryUncached(q string) (*Result, error) {
+	res, err := w.query(q, false)
+	if err != nil {
+		w.logf("error", "query failed: %v", err)
+	}
+	return res, err
+}
+
+func (w *Warehouse) query(q string, useResultCache bool) (*Result, error) {
 	start := time.Now()
 	if w.serialize {
 		w.serialMu.Lock()
@@ -393,34 +441,73 @@ func (w *Warehouse) query(q string) (*Result, error) {
 	w.queries.Add(1)
 	w.logf("query", "%s", q)
 
-	stmt, err := sql.Parse(q)
+	rs, err := w.specFor(q)
 	if err != nil {
 		return nil, err
 	}
+	rs.resultCache = useResultCache
+	return w.run(start, rs)
+}
+
+// runSpec describes one statement execution request: either an ad-hoc
+// query (src, plus template/params when it normalized) or a prepared
+// statement (stmt pre-parsed, params bound per call).
+type runSpec struct {
+	src         string          // original text (uncached fallback, error fidelity)
+	stmt        *sql.SelectStmt // pre-parsed unbound statement (prepared path)
+	template    string          // canonical template; "" disables both cache tiers
+	params      []column.Value
+	resultCache bool // consult/admit the result cache (plan cache always applies)
+}
+
+// specFor normalizes an ad-hoc query into a cacheable runSpec. Queries
+// that cannot normalize (explicit '?' markers, malformed literals) fall
+// back to the uncached path parsing the original text, so their error
+// messages point at real offsets.
+func (w *Warehouse) specFor(q string) (runSpec, error) {
+	if w.noQueryCache {
+		return runSpec{src: q}, nil
+	}
+	n, err := sql.Normalize(q)
+	if err != nil {
+		if _, perr := sql.Parse(q); perr != nil {
+			return runSpec{}, perr
+		}
+		return runSpec{src: q}, nil
+	}
+	return runSpec{src: q, template: n.Template, params: n.Params}, nil
+}
+
+// run executes one statement against a fresh store snapshot, consulting
+// the result cache first and the plan cache under it. The caller must hold
+// the admission slot and the snapshot read lock.
+func (w *Warehouse) run(start time.Time, rs runSpec) (*Result, error) {
 	store := w.store.Snapshot()
-	plans, err := plan.Build(stmt, store.Catalog(), w.mode)
-	if err != nil {
-		return nil, err
-	}
-	tr := Trace{
-		SQL:       stmt.String(),
-		Naive:     plan.Render(plans.Naive),
-		Optimized: plan.Render(plans.Root),
-	}
-	if !w.noSkipping {
-		// Statistics-driven join ordering: decided per query against the
-		// snapshot's zone statistics, before execution.
-		if root, info := plan.ReorderJoins(plans.Root, store); info != nil {
-			tr.Join = info
-			if info.Reordered {
-				plans.Root = root
-				tr.Optimized = plan.Render(root)
-				w.exec.RecordJoinReorder()
-				w.logf("reorder", "join spine reordered %v -> %v (estimated build rows %v)",
-					info.SQLOrder, info.Order, info.Estimates)
+	cached := rs.template != "" && !w.noQueryCache
+	var sqlKey string
+	var repoVer int64
+	if cached {
+		sqlKey = rs.template + "\x1f" + paramsKey(rs.params)
+		repoVer = w.engine.SnapshotVersion()
+		if rs.resultCache {
+			if ent, ok := w.qc.lookupResult(sqlKey, store.Version(), repoVer); ok {
+				res := &Result{
+					Columns: ent.columns,
+					Batch:   ent.batch,
+					Elapsed: time.Since(start),
+					Trace:   ent.trace,
+				}
+				w.logf("answer", "%d rows in %v (result cache)", ent.batch.NumRows(), res.Elapsed)
+				return res, nil
 			}
 		}
 	}
+
+	pe, err := w.prepare(rs, store, sqlKey, cached)
+	if err != nil {
+		return nil, err
+	}
+	tr := Trace{SQL: pe.sqlText, Naive: pe.naive, Optimized: pe.optimized, Join: pe.join}
 	obs := &observer{w: w, trace: &tr, touched: make(map[string]bool)}
 	// The query's memory context: operator reservations come from a
 	// per-query sub-budget of the warehouse ledger (so one spilling query
@@ -429,7 +516,7 @@ func (w *Warehouse) query(q string) (*Result, error) {
 	qm := exec.NewQueryMem(w.ledger.Child(w.queryBudget), "")
 	defer qm.Cleanup()
 	env := &plan.Env{Store: store, Source: w.engine, Obs: obs, Pool: w.pool, Mem: qm, Stats: &w.exec, NoPipeline: w.noPipeline, NoSkipping: w.noSkipping}
-	batch, err := plan.Execute(plans.Root, env)
+	batch, err := plan.Execute(pe.root, env)
 	if err != nil {
 		return nil, err
 	}
@@ -440,36 +527,196 @@ func (w *Warehouse) query(q string) (*Result, error) {
 		Trace:   tr,
 	}
 	w.logf("answer", "%d rows in %v", batch.NumRows(), res.Elapsed)
+	if cached && rs.resultCache {
+		w.qc.admitResult(sqlKey, store.Version(), repoVer, res, obs.stamps)
+	}
 	return res, nil
+}
+
+// prepare resolves a runSpec to an executable plan: the shared seam both
+// Query and Explain go through. With caching on it is the plan-cache fast
+// path — a hit skips parse, Build and ReorderJoins entirely; a miss builds
+// the plan and caches it under (template, params, store version). The
+// versioned key doubles as the re-validation the stats-driven join order
+// needs: cardinality estimates read only the store's batch zones, which
+// change exclusively through version-bumping store mutations, so a plan
+// whose join order a stats shift would alter can never be looked up again.
+func (w *Warehouse) prepare(rs runSpec, store *catalog.Store, sqlKey string, cached bool) (*planEntry, error) {
+	if cached {
+		if pe, ok := w.qc.lookupPlan(sqlKey, store.Version()); ok {
+			return pe, nil
+		}
+	}
+	stmt := rs.stmt
+	if stmt == nil {
+		if cached {
+			stmt = w.qc.lookupStmt(rs.template)
+			if stmt == nil {
+				var err error
+				stmt, err = sql.ParseTemplate(rs.template)
+				if err != nil {
+					// The canonical template failed to parse; re-parse the
+					// original text so the error reports real offsets.
+					if _, perr := sql.Parse(rs.src); perr != nil {
+						return nil, perr
+					}
+					return nil, err
+				}
+				w.qc.storeStmt(rs.template, stmt)
+			}
+		} else {
+			var err error
+			stmt, err = sql.Parse(rs.src)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	bound, err := sql.BindParams(stmt, rs.params)
+	if err != nil {
+		return nil, err
+	}
+	plans, err := plan.Build(bound, store.Catalog(), w.mode)
+	if err != nil {
+		return nil, err
+	}
+	pe := &planEntry{
+		sqlText:   bound.String(),
+		root:      plans.Root,
+		naive:     plan.Render(plans.Naive),
+		optimized: plan.Render(plans.Root),
+	}
+	if !w.noSkipping {
+		// Statistics-driven join ordering: decided per build against the
+		// snapshot's zone statistics, before execution.
+		if root, info := plan.ReorderJoins(plans.Root, store); info != nil {
+			pe.join = info
+			if info.Reordered {
+				pe.root = root
+				pe.optimized = plan.Render(root)
+				w.exec.RecordJoinReorder()
+				w.logf("reorder", "join spine reordered %v -> %v (estimated build rows %v)",
+					info.SQLOrder, info.Order, info.Estimates)
+			}
+		}
+	}
+	if cached {
+		w.qc.storePlan(sqlKey, store.Version(), pe)
+	}
+	return pe, nil
 }
 
 // Explain builds the plans for a query without executing it, including the
 // stats-driven join-ordering decision the query would run with. Per-scan
-// skip tallies require execution; use Query and read Result.Trace.Scans.
+// skip tallies require execution; use QueryUncached and read
+// Result.Trace.Scans.
 func (w *Warehouse) Explain(q string) (*Trace, error) {
-	stmt, err := sql.Parse(q)
+	rs, err := w.specFor(q)
 	if err != nil {
 		return nil, err
 	}
 	store := w.store.Snapshot()
-	plans, err := plan.Build(stmt, store.Catalog(), w.mode)
+	cached := rs.template != "" && !w.noQueryCache
+	var sqlKey string
+	if cached {
+		sqlKey = rs.template + "\x1f" + paramsKey(rs.params)
+	}
+	pe, err := w.prepare(rs, store, sqlKey, cached)
 	if err != nil {
 		return nil, err
 	}
-	tr := &Trace{
-		SQL:       stmt.String(),
-		Naive:     plan.Render(plans.Naive),
-		Optimized: plan.Render(plans.Root),
+	return &Trace{SQL: pe.sqlText, Naive: pe.naive, Optimized: pe.optimized, Join: pe.join}, nil
+}
+
+// Prepared is a statement prepared against a warehouse: parsed once, with
+// '?' markers bound to values per Execute. Execution shares the warehouse
+// query caches — repeated Execute calls with equal parameters hit the plan
+// cache (and, via Query's normalization, share entries with ad-hoc queries
+// of the same shape when the prepared text has no inline literals).
+type Prepared struct {
+	w        *Warehouse
+	template string
+	stmt     *sql.SelectStmt
+}
+
+// Prepare parses a SELECT statement that may contain '?' parameter
+// markers, for repeated execution with per-call parameter values.
+func (w *Warehouse) Prepare(q string) (*Prepared, error) {
+	stmt, err := sql.ParseTemplate(q)
+	if err != nil {
+		w.logf("error", "prepare failed: %v", err)
+		return nil, err
 	}
-	if !w.noSkipping {
-		if root, info := plan.ReorderJoins(plans.Root, store); info != nil {
-			tr.Join = info
-			if info.Reordered {
-				tr.Optimized = plan.Render(root)
-			}
-		}
+	tmpl, err := sql.CanonicalTemplate(q)
+	if err != nil {
+		w.logf("error", "prepare failed: %v", err)
+		return nil, err
 	}
-	return tr, nil
+	w.logf("prepare", "%s (%d parameter(s))", tmpl, stmt.NumParams)
+	return &Prepared{w: w, template: tmpl, stmt: stmt}, nil
+}
+
+// SQL returns the canonical statement text ('?' markers included).
+func (p *Prepared) SQL() string { return p.template }
+
+// NumParams returns how many '?' markers the statement carries.
+func (p *Prepared) NumParams() int { return p.stmt.NumParams }
+
+// Explain resolves the plan the statement would execute with for these
+// parameters, without executing it. On a warm plan cache this is the pure
+// statement-resolution path: no lexing, no parse, no Build, no reorder —
+// just the versioned cache lookup.
+func (p *Prepared) Explain(params ...column.Value) (*Trace, error) {
+	w := p.w
+	if len(params) != p.stmt.NumParams {
+		return nil, fmt.Errorf("warehouse: prepared statement wants %d parameter(s), got %d", p.stmt.NumParams, len(params))
+	}
+	store := w.store.Snapshot()
+	rs := runSpec{src: p.template, stmt: p.stmt, params: params}
+	cached := !w.noQueryCache
+	var sqlKey string
+	if cached {
+		rs.template = p.template
+		sqlKey = rs.template + "\x1f" + paramsKey(params)
+	}
+	pe, err := w.prepare(rs, store, sqlKey, cached)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{SQL: pe.sqlText, Naive: pe.naive, Optimized: pe.optimized, Join: pe.join}, nil
+}
+
+// Execute binds the parameters and runs the statement under the same
+// concurrency, admission and caching contract as Query.
+func (p *Prepared) Execute(params ...column.Value) (*Result, error) {
+	w := p.w
+	if len(params) != p.stmt.NumParams {
+		err := fmt.Errorf("warehouse: prepared statement wants %d parameter(s), got %d", p.stmt.NumParams, len(params))
+		w.logf("error", "query failed: %v", err)
+		return nil, err
+	}
+	start := time.Now()
+	if w.serialize {
+		w.serialMu.Lock()
+		defer w.serialMu.Unlock()
+	}
+	w.admit <- struct{}{}
+	defer func() { <-w.admit }()
+	w.refreshMu.RLock()
+	defer w.refreshMu.RUnlock()
+
+	w.queries.Add(1)
+	w.logf("query", "EXECUTE %s %v", p.template, params)
+
+	rs := runSpec{src: p.template, stmt: p.stmt, params: params, resultCache: true}
+	if !w.noQueryCache {
+		rs.template = p.template
+	}
+	res, err := w.run(start, rs)
+	if err != nil {
+		w.logf("error", "query failed: %v", err)
+	}
+	return res, err
 }
 
 // Refresh re-synchronizes the warehouse with the repository: lazy modes
@@ -494,6 +741,10 @@ func (w *Warehouse) Refresh() (etl.Stats, error) {
 		return st, err
 	}
 	w.rp = w.engine.Repository()
+	// The snapshot versions the cache keys carry just changed, so no stale
+	// entry could ever be served again; purging reclaims their memory (and
+	// the results' ledger bytes) immediately instead of via LRU pressure.
+	w.qc.purge()
 	w.logf("refresh", "done: %d files, %d records in %v", st.Files, st.Records, st.Duration)
 	return st, nil
 }
@@ -517,6 +768,10 @@ type Stats struct {
 	CacheEntries   int
 	CacheBytes     int64
 	CacheStats     string
+	// QueryCache summarizes the two-tier query cache: plan-cache hit
+	// ratios and the result cache's entries, bytes (ledger-charged),
+	// evictions and invalidations.
+	QueryCache QueryCacheStats
 	// Extraction counts lazy-extraction work, including the coalesced-run
 	// read path: RunsRead / RunRecords give the records-per-syscall ratio
 	// and DecodeNanos the in-memory parse+decode share of extraction.
@@ -554,6 +809,7 @@ func (w *Warehouse) Stats() Stats {
 		CacheBytes:           w.engine.Cache().Used(),
 		CacheStats: fmt.Sprintf("hits=%d misses=%d evictions=%d invalidations=%d declined=%d/%dB",
 			cs.Hits, cs.Misses, cs.Evictions, cs.Invalidations, cs.Declined, cs.DeclinedBytes),
+		QueryCache: w.qc.statsSnapshot(),
 		Extraction: w.engine.ExtractionStats(),
 		Exec:       w.exec.Snapshot(),
 		Mem:        w.ledger.Snapshot(),

@@ -45,6 +45,22 @@
 // old one-query-at-a-time path as a verification oracle. cmd/lazyetld
 // serves a warehouse to many clients over HTTP/JSON.
 //
+// Repeated statement shapes are served through a two-tier query cache.
+// Tier 1 normalizes each query (literals become positional parameters;
+// whitespace and keyword case canonicalize away) and caches the parsed
+// statement and the built, join-reordered plan skeleton keyed by
+// (template, parameters, catalog snapshot version) — a repeated shape
+// skips parse, plan and reorder entirely, and Warehouse.Prepare exposes
+// the same machinery as explicit prepared statements with '?' markers.
+// Tier 2 caches completed answers keyed by (normalized SQL + parameters,
+// store snapshot version, repository-metadata snapshot version), guarded
+// by per-file mtime/size stamps re-validated on every hit, and
+// byte-charged to the shared memory ledger so cached results compete with
+// the recycler cache under one budget. Refresh invalidates both tiers.
+// Cached answers are bit-identical to fresh execution; the uncached path
+// is retained as the verification oracle behind Options.NoQueryCache (the
+// --no-query-cache flag of cmd/lazyetl and cmd/lazyetld).
+//
 // Quickstart:
 //
 //	files, _ := lazyetl.GenerateRepository(lazyetl.RepoConfig{Dir: dir, Seed: 1})
@@ -87,6 +103,12 @@ type (
 	InitStats = warehouse.InitStats
 	// Stats is a snapshot of warehouse counters.
 	Stats = warehouse.Stats
+	// Prepared is a statement prepared with Warehouse.Prepare: parsed
+	// once, executed repeatedly with per-call parameter values.
+	Prepared = warehouse.Prepared
+	// QueryCacheStats is the observable state of the two-tier query cache
+	// (Stats.QueryCache).
+	QueryCacheStats = warehouse.QueryCacheStats
 	// LogEntry is one line of the operation log.
 	LogEntry = warehouse.LogEntry
 
