@@ -9,7 +9,7 @@
 //	(5) observing files lazily extracted   -> \touched
 //	(6) plans generated for lazy transform -> \plan (optimized plan shows LazyExtract + transforms)
 //	(7) cache contents and updates         -> \cache
-//	(8) the operation log                  -> \log [n]
+//	(8) the operation log                  -> \log [level] [n]
 //
 // Usage:
 //
@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/column"
 	"repro/internal/etl"
+	"repro/internal/obs"
 	"repro/internal/seisgen"
 	"repro/internal/sql"
 	"repro/internal/warehouse"
@@ -41,6 +42,8 @@ func main() {
 	memBudget := flag.Int64("mem-budget", 0, "execution-memory budget in bytes (0 = unlimited); joins and aggregations spill to disk under pressure, cache admissions are declined")
 	noPipeline := flag.Bool("no-pipeline", false, "disable morsel-wise push pipelines; run every query on the materializing oracle engine")
 	noQueryCache := flag.Bool("no-query-cache", false, "disable the two-tier query cache (plan/statement cache and snapshot-versioned result cache); every query pays full parse -> plan -> execute")
+	noTrace := flag.Bool("no-trace", false, "disable per-query trace spans (\\trace shows plans only; latency histograms stay on)")
+	slowQuery := flag.Duration("slow-query", 0, "log the span tree of any query at or over this duration (0 = off), e.g. 250ms")
 	flag.Parse()
 
 	if *repoDir == "" {
@@ -76,6 +79,7 @@ func main() {
 	w, err := warehouse.Open(*repoDir, warehouse.Options{
 		Mode: mode, Workers: *workers, MemoryBudget: *memBudget,
 		NoPipeline: *noPipeline, NoQueryCache: *noQueryCache,
+		NoTrace: *noTrace, SlowQueryThreshold: *slowQuery,
 		ETL: etl.Options{CacheBudget: *cache},
 	})
 	if err != nil {
@@ -189,10 +193,11 @@ func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, r
   \explain <sql>    run a query and show zone-map skipping + join order
   \prepare <name> <sql>      prepare a statement ('?' parameter markers)
   \execute <name> [params]   run a prepared statement ('ISK', 42, -3.5, TRUE, NULL)
-  \trace            show plans + injected operators of last query  (demo points 4-6)
+  \trace            plans, injected operators and span tree of last query (demo points 4-6)
   \touched          files the last query extracted from            (demo point 5)
   \cache            recycler contents and statistics               (demo point 7)
-  \log [n]          last n operation log entries (default 20)      (demo point 8)
+  \log [level] [n]  last n log entries (default 20), optionally at or above
+                    a severity: \log error, \log warn 50           (demo point 8)
   \stats            warehouse statistics                           (demo points 1, 3)
   \compare <sql>    run against a fresh eager warehouse and compare (demo point 3)
   \refresh          re-synchronize with the repository
@@ -315,6 +320,10 @@ func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, r
 		for _, op := range tr.RuntimeOps {
 			fmt.Println("   ", op)
 		}
+		if tr.Spans != nil {
+			fmt.Println("-- span tree:")
+			fmt.Print(obs.Render(tr.Spans))
+		}
 	case `\touched`:
 		if *lastTrace == nil {
 			fmt.Println("no query has run yet")
@@ -340,17 +349,40 @@ func command(w *warehouse.Warehouse, line string, lastTrace **warehouse.Trace, r
 			st.Hits, st.Misses, st.Evictions, st.Invalidations)
 	case `\log`:
 		n := 20
-		if rest != "" {
-			if v, err := strconv.Atoi(rest); err == nil && v > 0 {
+		min := warehouse.SeverityInfo
+		for _, word := range strings.Fields(rest) {
+			switch word {
+			case "info":
+				min = warehouse.SeverityInfo
+			case "warn":
+				min = warehouse.SeverityWarn
+			case "error":
+				min = warehouse.SeverityError
+			default:
+				v, err := strconv.Atoi(word)
+				if err != nil || v <= 0 {
+					fmt.Println(`usage: \log [info|warn|error] [n]`)
+					return false
+				}
 				n = v
 			}
 		}
 		log := w.Log()
+		if min > warehouse.SeverityInfo {
+			filtered := log[:0]
+			for _, e := range log {
+				if e.Level >= min {
+					filtered = append(filtered, e)
+				}
+			}
+			log = filtered
+		}
 		if len(log) > n {
 			log = log[len(log)-n:]
 		}
 		for _, e := range log {
-			fmt.Printf("  %s %-14s %s\n", e.At.Format("15:04:05.000"), e.Op, e.Detail)
+			fmt.Printf("  %6d %s %-5s %-14s %s\n",
+				e.Seq, e.At.Format("15:04:05.000"), e.Level, e.Op, e.Detail)
 		}
 	case `\stats`:
 		st := w.Stats()

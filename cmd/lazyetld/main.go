@@ -17,6 +17,14 @@
 //	POST /prepare  {"sql": "SELECT ... WHERE x = ?"}  ->  {"id": "p1", ...}
 //	POST /execute  {"id": "p1", "params": ["ISK", 500]}  ->  same shape as /query
 //	GET  /stats    warehouse + server counters (including the query cache)
+//	GET  /metrics  Prometheus text exposition (see README.md for the names)
+//	GET  /healthz  liveness: 200 once the process serves
+//	GET  /readyz   readiness: 200 when serving, 503 while a refresh drains
+//
+// POST /query and /execute accept ?trace=1, which adds the query's span
+// tree ("trace" in the response) — wall time, rows and bytes per serve
+// phase and operator. -slow-query logs over-threshold queries with their
+// span tree; -pprof-addr serves net/http/pprof on a separate listener.
 //
 // Queries execute concurrently inside the warehouse (see the concurrency
 // contract in internal/warehouse): per-query snapshots, a shared memory
@@ -36,6 +44,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -45,6 +54,7 @@ import (
 
 	"repro/internal/column"
 	"repro/internal/etl"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/seisgen"
 	"repro/internal/warehouse"
@@ -62,6 +72,9 @@ func main() {
 	perClient := flag.Int("per-client", 4, "in-flight queries allowed per client IP")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight queries")
 	noQueryCache := flag.Bool("no-query-cache", false, "disable the two-tier query cache (plan/statement cache and snapshot-versioned result cache); every query pays full parse -> plan -> execute")
+	noTrace := flag.Bool("no-trace", false, "disable per-query trace spans (?trace=1 returns no tree; latency histograms stay on)")
+	slowQuery := flag.Duration("slow-query", 0, "log queries at or over this wall time at warn severity with their span tree (0 = off)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	flag.Parse()
 
 	if *repoDir == "" {
@@ -99,6 +112,8 @@ func main() {
 		MemoryBudget:         *memBudget,
 		MaxConcurrentQueries: *maxConcurrent,
 		NoQueryCache:         *noQueryCache,
+		NoTrace:              *noTrace,
+		SlowQueryThreshold:   *slowQuery,
 		ETL:                  etl.Options{CacheBudget: *cache},
 	})
 	if err != nil {
@@ -110,11 +125,26 @@ func main() {
 
 	srv := &http.Server{Addr: *addr, Handler: newServer(w, *perClient)}
 
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				fmt.Fprintf(os.Stderr, "lazyetld: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("lazyetld: pprof on %s/debug/pprof/\n", *pprofAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("lazyetld: serving on %s (POST /query, /explain, /prepare, /execute; GET /stats)\n", *addr)
+	fmt.Printf("lazyetld: serving on %s (POST /query, /explain, /prepare, /execute; GET /stats, /metrics, /healthz, /readyz)\n", *addr)
 
 	select {
 	case err := <-errCh:
@@ -154,6 +184,11 @@ type server struct {
 	served   atomic.Int64 // queries answered successfully
 	failed   atomic.Int64 // queries that returned an error
 	rejected atomic.Int64 // requests bounced by the per-client limit
+
+	// metricsMu serializes /metrics scrapes over one reused buffer, so a
+	// steady-state scrape allocates nothing.
+	metricsMu  sync.Mutex
+	metricsBuf []byte
 }
 
 // maxPreparedStatements bounds the /prepare registry.
@@ -167,6 +202,9 @@ func newServer(w *warehouse.Warehouse, perClient int) *server {
 	s.mux.HandleFunc("/prepare", s.handlePrepare)
 	s.mux.HandleFunc("/execute", s.handleExecute)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s
 }
 
@@ -177,12 +215,16 @@ type queryRequest struct {
 	SQL string `json:"sql"`
 }
 
-// queryResponse is the POST /query answer.
+// queryResponse is the POST /query answer. Trace is present only when the
+// request asked for ?trace=1 and the warehouse traces (no -no-trace): the
+// query's span tree, nodes of {"name", "nanos", "rows", "bytes",
+// "children"} with zero fields omitted.
 type queryResponse struct {
-	Columns   []string `json:"columns"`
-	Rows      [][]any  `json:"rows"`
-	RowCount  int      `json:"row_count"`
-	ElapsedNS int64    `json:"elapsed_ns"`
+	Columns   []string      `json:"columns"`
+	Rows      [][]any       `json:"rows"`
+	RowCount  int           `json:"row_count"`
+	ElapsedNS int64         `json:"elapsed_ns"`
+	Trace     *obs.SpanNode `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
@@ -219,17 +261,26 @@ func (s *server) handleQuery(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.served.Add(1)
-	writeJSON(rw, http.StatusOK, marshalResult(res))
+	writeJSON(rw, http.StatusOK, marshalResult(res, wantTrace(r)))
+}
+
+// wantTrace reports whether the request asked for the span tree.
+func wantTrace(r *http.Request) bool {
+	v := r.URL.Query().Get("trace")
+	return v == "1" || v == "true"
 }
 
 // marshalResult converts a warehouse result to the /query (and /execute)
 // response shape.
-func marshalResult(res *warehouse.Result) queryResponse {
+func marshalResult(res *warehouse.Result, trace bool) queryResponse {
 	out := queryResponse{
 		Columns:   res.Columns,
 		Rows:      make([][]any, res.Batch.NumRows()),
 		RowCount:  res.Batch.NumRows(),
 		ElapsedNS: res.Elapsed.Nanoseconds(),
+	}
+	if trace {
+		out.Trace = res.Trace.Spans
 	}
 	for i := range out.Rows {
 		vals := res.Batch.Row(i)
@@ -392,7 +443,7 @@ func (s *server) handleExecute(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.served.Add(1)
-	writeJSON(rw, http.StatusOK, marshalResult(res))
+	writeJSON(rw, http.StatusOK, marshalResult(res, wantTrace(r)))
 }
 
 // paramValue converts one decoded JSON scalar to a column value.
@@ -439,6 +490,50 @@ func (s *server) handleStats(rw http.ResponseWriter, r *http.Request) {
 	out.Server.Rejected = s.rejected.Load()
 	out.Warehouse = s.w.Stats()
 	writeJSON(rw, http.StatusOK, out)
+}
+
+// handleMetrics serves the Prometheus text exposition. The buffer is
+// retained between scrapes so a steady-state scrape performs no
+// allocations beyond the ResponseWriter's own.
+func (s *server) handleMetrics(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(rw, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	s.metricsMu.Lock()
+	defer s.metricsMu.Unlock()
+	b := s.metricsBuf[:0]
+	b = s.w.AppendMetrics(b)
+	b = obs.AppendHeader(b, "lazyetld_requests_served_total", "counter", "HTTP query/explain/execute requests answered successfully.")
+	b = obs.AppendInt(b, "lazyetld_requests_served_total", "", s.served.Load())
+	b = obs.AppendHeader(b, "lazyetld_requests_failed_total", "counter", "HTTP query/explain/execute requests that returned an error.")
+	b = obs.AppendInt(b, "lazyetld_requests_failed_total", "", s.failed.Load())
+	b = obs.AppendHeader(b, "lazyetld_requests_rejected_total", "counter", "Requests bounced by the per-client in-flight limit.")
+	b = obs.AppendInt(b, "lazyetld_requests_rejected_total", "", s.rejected.Load())
+	s.metricsBuf = b
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rw.WriteHeader(http.StatusOK)
+	_, _ = rw.Write(b)
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+func (s *server) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	rw.WriteHeader(http.StatusOK)
+	_, _ = rw.Write([]byte("ok\n"))
+}
+
+// handleReadyz is readiness: 200 when the warehouse serves normally, 503
+// while a Refresh (including its drain of in-flight queries) is running.
+func (s *server) handleReadyz(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.w.Ready() {
+		rw.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = rw.Write([]byte("refreshing\n"))
+		return
+	}
+	rw.WriteHeader(http.StatusOK)
+	_, _ = rw.Write([]byte("ready\n"))
 }
 
 func writeJSON(rw http.ResponseWriter, code int, v any) {

@@ -1,0 +1,321 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/seisgen"
+	"repro/internal/warehouse"
+)
+
+const testQ = `SELECT F.station, COUNT(*), MIN(D.sample_value), MAX(D.sample_value)
+ FROM mseed.dataview WHERE F.network = 'NL' GROUP BY F.station`
+
+func getBody(t *testing.T, ts *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+var (
+	promComment = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+	promSample  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? \S+$`)
+)
+
+// validateProm checks every line of a scrape is well-formed Prometheus
+// text exposition and that every sample belongs to a # TYPE'd family.
+// Returns the sample values keyed by "name{labels}".
+func validateProm(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	typed := map[string]bool{}
+	samples := map[string]float64{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !promComment.MatchString(line) {
+				t.Errorf("malformed comment line: %q", line)
+			}
+			if f := strings.Fields(line); f[1] == "TYPE" {
+				typed[f[2]] = true
+			}
+			continue
+		}
+		m := promSample.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("malformed sample line: %q", line)
+			continue
+		}
+		base := m[1]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if fam := strings.TrimSuffix(base, suffix); fam != base && typed[fam] {
+				base = fam
+				break
+			}
+		}
+		if !typed[base] {
+			t.Errorf("sample %q has no # TYPE line", m[1])
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Errorf("unparseable value in %q: %v", line, err)
+			continue
+		}
+		samples[m[1]+m[2]] = v
+	}
+	return samples
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if resp, _ := postQuery(t, ts, testQ); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	resp, body := getBody(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	samples := validateProm(t, body)
+	for _, want := range []string{
+		`lazyetl_query_duration_seconds_count{class="cold"}`,
+		`lazyetl_query_duration_seconds_bucket{class="cold",le="+Inf"}`,
+		"lazyetl_queries_total",
+		"lazyetl_query_errors_total",
+		"lazyetl_result_cache_hits_total",
+		"lazyetl_extract_records_total",
+		"lazyetl_store_bytes",
+		"lazyetl_ready",
+		"lazyetld_requests_served_total",
+	} {
+		if _, ok := samples[want]; !ok {
+			t.Errorf("scrape is missing %s", want)
+		}
+	}
+	if samples["lazyetl_queries_total"] < 1 {
+		t.Errorf("lazyetl_queries_total = %v after a query", samples["lazyetl_queries_total"])
+	}
+	if samples["lazyetl_ready"] != 1 {
+		t.Errorf("lazyetl_ready = %v, want 1", samples["lazyetl_ready"])
+	}
+	if samples["lazyetld_requests_served_total"] < 1 {
+		t.Errorf("lazyetld_requests_served_total = %v", samples["lazyetld_requests_served_total"])
+	}
+
+	post, err := ts.Client().Post(ts.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics status %d, want 405", post.StatusCode)
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	// A larger repository than testServer's, so the cold aggregation
+	// below runs long enough for the refresh drain to be observable.
+	dir := t.TempDir()
+	if _, err := seisgen.Generate(seisgen.RepoConfig{
+		Dir:           dir,
+		SamplesPerDay: 100000,
+		EventsPerDay:  1,
+		Seed:          42,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := warehouse.Open(dir, warehouse.Options{Mode: warehouse.Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(w, 4)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if resp, body := getBody(t, ts, "/healthz"); resp.StatusCode != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", resp.StatusCode, body)
+	}
+	if resp, body := getBody(t, ts, "/readyz"); resp.StatusCode != http.StatusOK || body != "ready\n" {
+		t.Errorf("/readyz = %d %q", resp.StatusCode, body)
+	}
+
+	// Refresh drains in-flight queries before swapping state; while one
+	// is running the server must report not-ready. A cold aggregation
+	// over every sample keeps the warehouse busy long enough to observe
+	// the window.
+	queryDone := make(chan struct{})
+	go func() {
+		defer close(queryDone)
+		_, _ = w.Query(`SELECT COUNT(*), AVG(D.sample_value) FROM mseed.dataview`)
+	}()
+	time.Sleep(25 * time.Millisecond)
+	refreshDone := make(chan error, 1)
+	go func() {
+		_, err := w.Refresh()
+		refreshDone <- err
+	}()
+	saw503 := false
+	deadline := time.Now().Add(10 * time.Second)
+	for !saw503 && time.Now().Before(deadline) {
+		resp, body := getBody(t, ts, "/readyz")
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if body != "refreshing\n" {
+				t.Errorf("/readyz 503 body %q", body)
+			}
+			saw503 = true
+		}
+	}
+	<-queryDone
+	if err := <-refreshDone; err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	if !saw503 {
+		t.Error("never observed a 503 from /readyz during refresh")
+	}
+	if resp, _ := getBody(t, ts, "/readyz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz after refresh = %d", resp.StatusCode)
+	}
+}
+
+func TestQueryTraceJSON(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body, _ := json.Marshal(queryRequest{SQL: testQ})
+	resp, err := ts.Client().Post(ts.URL+"/query?trace=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		RowCount int `json:"row_count"`
+		Trace    *struct {
+			Name     string            `json:"name"`
+			Nanos    int64             `json:"nanos"`
+			Children []json.RawMessage `json:"children"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil {
+		t.Fatal("no trace in ?trace=1 response")
+	}
+	if out.Trace.Name != "query" || out.Trace.Nanos <= 0 || len(out.Trace.Children) == 0 {
+		t.Errorf("trace root = %+v", out.Trace)
+	}
+
+	// Without ?trace=1 the key is absent entirely.
+	_, plain := postQuery(t, ts, testQ)
+	if bytes.Contains(plain, []byte(`"trace"`)) {
+		t.Error("untraced response carries a trace key")
+	}
+}
+
+// TestConcurrentScrapes interleaves queries, /metrics and /stats scrapes
+// and warehouse refreshes (run with -race), then checks the histograms
+// account for exactly the successfully served queries.
+func TestConcurrentScrapes(t *testing.T) {
+	srv, w := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var served, refreshes atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			queries := []string{
+				testQ,
+				`SELECT station, COUNT(*) FROM mseed.files GROUP BY station`,
+				`SELECT COUNT(*) FROM mseed.records`,
+			}
+			for i := 0; i < 6; i++ {
+				resp, _ := postQuery(t, ts, queries[(g+i)%len(queries)])
+				if resp.StatusCode == http.StatusOK {
+					served.Add(1)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, body := getBody(t, ts, "/metrics")
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("/metrics status %d", resp.StatusCode)
+				}
+				validateProm(t, body)
+				if resp, _ := getBody(t, ts, "/stats"); resp.StatusCode != http.StatusOK {
+					t.Errorf("/stats status %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if _, err := w.Refresh(); err != nil {
+				t.Errorf("refresh: %v", err)
+				return
+			}
+			refreshes.Add(1)
+		}
+	}()
+	wg.Wait()
+
+	_, body := getBody(t, ts, "/metrics")
+	samples := validateProm(t, body)
+	var queryTotal, refreshTotal float64
+	for _, class := range []string{"cold", "cached", "prepared"} {
+		queryTotal += samples[`lazyetl_query_duration_seconds_count{class="`+class+`"}`]
+	}
+	refreshTotal = samples[`lazyetl_query_duration_seconds_count{class="refresh"}`]
+	if int64(queryTotal) != served.Load() {
+		t.Errorf("histograms account for %v queries, served %d", queryTotal, served.Load())
+	}
+	if int64(refreshTotal) != refreshes.Load() {
+		t.Errorf("refresh histogram count %v, want %d", refreshTotal, refreshes.Load())
+	}
+	for _, class := range []string{"cold", "cached", "prepared", "refresh"} {
+		inf := samples[`lazyetl_query_duration_seconds_bucket{class="`+class+`",le="+Inf"}`]
+		count := samples[`lazyetl_query_duration_seconds_count{class="`+class+`"}`]
+		if inf != count {
+			t.Errorf("class %s: +Inf bucket %v != count %v", class, inf, count)
+		}
+	}
+}

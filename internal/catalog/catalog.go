@@ -99,19 +99,21 @@ func (c *Catalog) AddView(v *ViewDef) error {
 	return nil
 }
 
-// resolveName tries the name as written, then with the "mseed." schema
-// prefix, so REPL users can say "dataview" for "mseed.dataview".
-func resolveName(name string) []string {
-	if strings.Contains(name, ".") {
-		return []string{name}
-	}
-	return []string{name, "mseed." + name}
+// qualified reports whether the fallback "mseed." schema prefix applies:
+// unqualified names let REPL users say "dataview" for "mseed.dataview".
+// Lookups try the name as written first, without allocating, so the
+// hot dotted-name path (every metrics scrape) stays allocation-free.
+func qualified(name string) bool {
+	return strings.Contains(name, ".")
 }
 
 // Table looks up a table by (possibly unqualified) name.
 func (c *Catalog) Table(name string) (*TableDef, bool) {
-	for _, n := range resolveName(name) {
-		if t, ok := c.tables[n]; ok {
+	if t, ok := c.tables[name]; ok {
+		return t, true
+	}
+	if !qualified(name) {
+		if t, ok := c.tables["mseed."+name]; ok {
 			return t, true
 		}
 	}
@@ -120,8 +122,11 @@ func (c *Catalog) Table(name string) (*TableDef, bool) {
 
 // View looks up a view by (possibly unqualified) name.
 func (c *Catalog) View(name string) (*ViewDef, bool) {
-	for _, n := range resolveName(name) {
-		if v, ok := c.views[n]; ok {
+	if v, ok := c.views[name]; ok {
+		return v, true
+	}
+	if !qualified(name) {
+		if v, ok := c.views["mseed."+name]; ok {
 			return v, true
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/column"
 	"repro/internal/mseed"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/recycler"
 )
@@ -106,6 +107,12 @@ type extractSink struct {
 	// quiet is set when the observer is the no-op observer, letting the
 	// hot path skip formatting per-record messages nobody will read.
 	quiet bool
+
+	// readSpan and decodeSpan accumulate file-read and decode time from all
+	// extraction workers when the query traces; nil (the common case) costs
+	// nothing.
+	readSpan   *obs.Span
+	decodeSpan *obs.Span
 }
 
 // prunedEntry marks rows dropped by zone-map pruning: a shared empty entry,
@@ -168,11 +175,14 @@ func (s *extractSink) deliver(fs *fileState, i int, h *mseed.Header, samples []i
 // with zero samples, which the enclosing data filter would have deleted
 // anyway). Records without a fresh zone entry always extract.
 func (e *Engine) Extract(meta *column.Batch, prune *plan.PruneRange, obs plan.Observer) (*column.Batch, error) {
+	ext := plan.TraceSpan(obs).StartChild("extract")
 	pr, err := e.prepare(meta, prune, obs, true)
 	if err != nil {
 		return nil, err
 	}
 	sink := pr.sink
+	sink.readSpan = ext.Child("read")
+	sink.decodeSpan = ext.Child("decode")
 
 	// Pre-size the output layout when every row's length is known, so
 	// workers can transform misses straight into their segments.
@@ -207,6 +217,8 @@ func (e *Engine) Extract(meta *column.Batch, prune *plan.PruneRange, obs plan.Ob
 		return nil, err
 	}
 	e.xstats.samplesServed.Add(int64(total))
+	ext.AddRows(int64(total))
+	ext.End()
 	return out, nil
 }
 
@@ -594,8 +606,16 @@ func (e *Engine) extractRun(run *runPlan, sc *extractScratch, sink *extractSink,
 	fs := run.fs
 	buf := sc.bytes(int(run.end - run.start))
 	if len(buf) > 0 {
+		var readStart time.Time
+		if sink.readSpan != nil {
+			readStart = time.Now()
+		}
 		if _, err := fs.f.ReadAt(buf, run.start); err != nil {
 			return fmt.Errorf("etl: %s offset %d: %w (metadata may be stale; refresh the warehouse)", fs.uri, run.start, err)
+		}
+		if sink.readSpan != nil {
+			sink.readSpan.Add(time.Since(readStart))
+			sink.readSpan.AddBytes(int64(len(buf)))
 		}
 	}
 	e.xstats.bytesRead.Add(int64(len(buf)))
@@ -668,7 +688,9 @@ func (e *Engine) extractRun(run *runPlan, sc *extractScratch, sink *extractSink,
 
 	decodeStart := time.Now()
 	defer func() {
-		e.xstats.decodeNanos.Add(time.Since(decodeStart).Nanoseconds())
+		d := time.Since(decodeStart)
+		e.xstats.decodeNanos.Add(d.Nanoseconds())
+		sink.decodeSpan.Add(d)
 	}()
 
 	if run.prefetch {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/column"
 	"repro/internal/exec"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/recycler"
 )
@@ -36,10 +37,16 @@ var errStreamClosed = errors.New("etl: extraction stream closed")
 // execute in plan order, and the earliest failing run in plan order is the
 // one reported — the same error at every parallelism and budget.
 func (e *Engine) ExtractStream(meta *column.Batch, prune *plan.PruneRange, obs plan.Observer, morselRows int, led *mem.Ledger) (exec.BatchSource, error) {
+	// A pure container span: its children (read/decode/assemble/stall) are
+	// Add-accumulated across workers; the container itself has no single
+	// wall interval, so SpanNode.Duration sums the children.
+	ext := plan.TraceSpan(obs).Child("extract-stream")
 	pr, err := e.prepare(meta, prune, obs, false)
 	if err != nil {
 		return nil, err
 	}
+	pr.sink.readSpan = ext.Child("read")
+	pr.sink.decodeSpan = ext.Child("decode")
 	if morselRows <= 0 {
 		morselRows = exec.DefaultMorselRows
 	}
@@ -51,6 +58,9 @@ func (e *Engine) ExtractStream(meta *column.Batch, prune *plan.PruneRange, obs p
 		morselRows: morselRows,
 		n:          meta.NumRows(),
 		grant:      led.NewGrant(),
+		extSpan:    ext,
+		stallSpan:  ext.Child("prefetch-stall"),
+		gatherSpan: ext.Child("assemble"),
 	}
 	s.cond = sync.NewCond(&s.mu)
 
@@ -151,6 +161,11 @@ type extractStream struct {
 	pos    int   // next meta row to emit
 	failed error // sticky settled error
 	served int64
+
+	// Trace spans (nil when the query doesn't trace; all no-ops then).
+	extSpan    *obs.Span
+	stallSpan  *obs.Span
+	gatherSpan *obs.Span
 }
 
 // prefetchWorker claims runs in plan order and extracts them ahead of the
@@ -260,6 +275,10 @@ func (s *extractStream) Next() (exec.Morsel, bool, error) {
 
 	// Same layout as assemble: one output row per sample, meta columns
 	// gathered through the replicated selection vector.
+	var gatherStart time.Time
+	if s.gatherSpan != nil {
+		gatherStart = time.Now()
+	}
 	sel := make([]int32, samples)
 	dTimes := make([]int64, samples)
 	dValues := make([]float64, samples)
@@ -280,6 +299,10 @@ func (s *extractStream) Next() (exec.Morsel, bool, error) {
 	if err := b.AddColumn(column.NewFloat64s("D.sample_value", dValues)); err != nil {
 		return exec.Morsel{}, false, err
 	}
+	if s.gatherSpan != nil {
+		s.gatherSpan.Add(time.Since(gatherStart))
+	}
+	s.extSpan.AddRows(int64(samples))
 	s.mu.Lock()
 	s.served += int64(samples)
 	s.mu.Unlock()
@@ -333,7 +356,9 @@ func (s *extractStream) waitRow(i int) error {
 		}
 		t0 := time.Now()
 		s.cond.Wait()
-		s.e.xstats.prefetchStallNanos.Add(time.Since(t0).Nanoseconds())
+		d := time.Since(t0)
+		s.e.xstats.prefetchStallNanos.Add(d.Nanoseconds())
+		s.stallSpan.Add(d)
 	}
 }
 

@@ -1,0 +1,187 @@
+// Package obs is the lock-cheap observability core of the warehouse:
+// per-query trace spans, atomic log-bucketed latency histograms, and the
+// Prometheus text renderer the lazyetld /metrics endpoint serves.
+//
+// Everything here is designed for the query hot path. A disabled trace is
+// a nil *Span, and every Span method is nil-safe and a no-op on nil, so
+// instrumented code never branches on an "enabled" flag — it just calls.
+// Histograms and counters are plain atomics: one Observe per served query,
+// no locks, no allocation.
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed region of a query: a node in the query's trace tree
+// with accumulated wall time, row and byte tallies, and child spans.
+//
+// Two timing styles coexist. StartChild/End measure a single wall
+// interval (the serve-path stages: normalize, parse, plan, execute, ...).
+// Child/Add accumulate durations from possibly many goroutines (pipeline
+// stages running on pool workers, extraction read/decode across the ETL
+// pool) — those spans carry cumulative cross-worker time, which can
+// legitimately exceed the parent's wall interval.
+//
+// All methods are safe on a nil receiver and safe for concurrent use.
+type Span struct {
+	name  string
+	start time.Time
+	nanos atomic.Int64
+	rows  atomic.Int64
+	bytes atomic.Int64
+
+	mu       sync.Mutex
+	children []*Span
+}
+
+// NewRoot starts a new root span (the whole query).
+func NewRoot(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild attaches a new child span and starts its wall clock; close it
+// with End. Returns nil (a no-op span) when s is nil.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Child attaches a new unstarted child span for Add-style accumulation
+// (concurrent stages with no single wall interval). Returns nil when s is
+// nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End records the wall time since StartChild (or NewRoot).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.nanos.Store(time.Since(s.start).Nanoseconds())
+}
+
+// Add accumulates d into the span's time. Safe from many goroutines.
+func (s *Span) Add(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.nanos.Add(d.Nanoseconds())
+}
+
+// AddRows accumulates rows handled by this span.
+func (s *Span) AddRows(n int64) {
+	if s == nil {
+		return
+	}
+	s.rows.Add(n)
+}
+
+// AddBytes accumulates bytes handled by this span.
+func (s *Span) AddBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.bytes.Add(n)
+}
+
+// SpanNode is the immutable snapshot of a span tree — the trace JSON
+// schema: every node has a name and nanoseconds of accumulated time, and
+// optionally row/byte tallies and children.
+type SpanNode struct {
+	Name     string      `json:"name"`
+	Nanos    int64       `json:"nanos"`
+	Rows     int64       `json:"rows,omitempty"`
+	Bytes    int64       `json:"bytes,omitempty"`
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Snapshot copies the span tree. Returns nil when s is nil, so a disabled
+// trace stays nil all the way to the JSON surface.
+func (s *Span) Snapshot() *SpanNode {
+	if s == nil {
+		return nil
+	}
+	n := &SpanNode{
+		Name:  s.name,
+		Nanos: s.nanos.Load(),
+		Rows:  s.rows.Load(),
+		Bytes: s.bytes.Load(),
+	}
+	s.mu.Lock()
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	for _, c := range kids {
+		n.Children = append(n.Children, c.Snapshot())
+	}
+	return n
+}
+
+// Duration returns the node's time; a node that was never End'ed (pure
+// container of Add-style children, like a streaming extraction) reports
+// the sum of its children instead.
+func (n *SpanNode) Duration() time.Duration {
+	if n == nil {
+		return 0
+	}
+	if n.Nanos > 0 || len(n.Children) == 0 {
+		return time.Duration(n.Nanos)
+	}
+	var sum int64
+	for _, c := range n.Children {
+		sum += c.Duration().Nanoseconds()
+	}
+	return time.Duration(sum)
+}
+
+// Render formats the span tree as an indented listing, one line per span,
+// with each span's share of the root's total. Shares of concurrent
+// (Add-accumulated) spans are cumulative across workers and may sum past
+// 100% of their parent.
+func Render(root *SpanNode) string {
+	if root == nil {
+		return ""
+	}
+	total := root.Duration()
+	if total <= 0 {
+		total = 1
+	}
+	var b strings.Builder
+	var walk func(n *SpanNode, depth int)
+	walk = func(n *SpanNode, depth int) {
+		d := n.Duration()
+		fmt.Fprintf(&b, "%-*s %12v %5.1f%%", 34, strings.Repeat("  ", depth)+n.Name,
+			d.Round(time.Microsecond), 100*float64(d)/float64(total))
+		if n.Rows > 0 {
+			fmt.Fprintf(&b, "  rows=%d", n.Rows)
+		}
+		if n.Bytes > 0 {
+			fmt.Fprintf(&b, "  bytes=%d", n.Bytes)
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/column"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/sql"
 )
 
@@ -72,6 +73,10 @@ type Env struct {
 	// tested against. (Join reordering is decided before Execute; the
 	// warehouse skips it under the same option.)
 	NoSkipping bool
+	// Trace, when non-nil, collects per-operator timing spans under it.
+	// nil (tracing disabled) costs nothing: every span method no-ops on
+	// nil. Tracing never changes results — only observes them.
+	Trace *obs.Span
 }
 
 func (e *Env) obs() Observer {
@@ -144,6 +149,7 @@ func executeNode(n Node, env *Env) (*column.Batch, error) {
 	obs := env.obs()
 	switch x := n.(type) {
 	case *Scan:
+		sp := env.Trace.StartChild("scan " + x.Table)
 		b, err := scanBase(x, env)
 		if err != nil {
 			return nil, err
@@ -153,6 +159,8 @@ func executeNode(n Node, env *Env) (*column.Batch, error) {
 		if err != nil {
 			return nil, fmt.Errorf("plan: scan %s: %w", x.Table, err)
 		}
+		sp.AddRows(int64(b.NumRows()))
+		sp.End()
 		if len(x.Preds) > 0 {
 			obs.Event("scan", fmt.Sprintf("%s: %d of %d rows pass %s", x.Table, b.NumRows(), rows, exprList(x.Preds)))
 		} else {
@@ -169,10 +177,13 @@ func executeNode(n Node, env *Env) (*column.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp := env.Trace.StartChild("join " + x.Describe())
 		out, js, err := env.Pool.HashJoinMem(env.Mem, l, r, x.LKeys, x.RKeys)
 		if err != nil {
 			return nil, err
 		}
+		sp.AddRows(int64(out.NumRows()))
+		sp.End()
 		env.Stats.recordJoin(js)
 		build := "serial"
 		if js.ParallelBuild {
@@ -196,19 +207,29 @@ func executeNode(n Node, env *Env) (*column.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp := env.Trace.StartChild("filter " + exprList(x.Preds))
 		out, err := env.Pool.Filter(in, x.Preds)
 		if err != nil {
 			return nil, err
 		}
+		sp.AddRows(int64(out.NumRows()))
+		sp.End()
 		obs.Event("filter", fmt.Sprintf("%s: %d -> %d rows", exprList(x.Preds), in.NumRows(), out.NumRows()))
 		return out, nil
 
 	case *LazyExtract:
-		// Step 1 (§3.1): execute the metadata part of the plan.
-		meta, err := Execute(x.Meta, env)
+		// Step 1 (§3.1): execute the metadata part of the plan. Its operator
+		// spans group under a "metadata" child so the trace separates the
+		// metadata phase from the extraction it triggers.
+		msp := env.Trace.StartChild("metadata")
+		menv := *env
+		menv.Trace = msp
+		meta, err := Execute(x.Meta, &menv)
 		if err != nil {
 			return nil, err
 		}
+		msp.AddRows(int64(meta.NumRows()))
+		msp.End()
 		obs.Event("rewrite", fmt.Sprintf("metadata plan yields %d qualifying records; invoking run-time plan rewriting operator", meta.NumRows()))
 		if env.Source == nil {
 			return nil, fmt.Errorf("plan: LazyExtract requires an ExtractSource in the environment")
@@ -232,10 +253,13 @@ func executeNode(n Node, env *Env) (*column.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp := env.Trace.StartChild("aggregate")
 		out, as, err := env.Pool.AggregateMem(env.Mem, in, x.GroupBy, x.Aggs)
 		if err != nil {
 			return nil, err
 		}
+		sp.AddRows(int64(out.NumRows()))
+		sp.End()
 		env.Stats.recordAgg(as)
 		spill := ""
 		if as.SpilledShards > 0 {
@@ -249,17 +273,23 @@ func executeNode(n Node, env *Env) (*column.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		return exec.Project(in, x.Exprs, x.Names)
+		sp := env.Trace.StartChild("project")
+		out, err := exec.Project(in, x.Exprs, x.Names)
+		sp.End()
+		return out, err
 
 	case *Sort:
 		in, err := Execute(x.Child, env)
 		if err != nil {
 			return nil, err
 		}
+		sp := env.Trace.StartChild("sort")
 		out, ss, err := env.Pool.SortWithStats(in, x.Keys)
 		if err != nil {
 			return nil, err
 		}
+		sp.AddRows(int64(out.NumRows()))
+		sp.End()
 		env.Stats.recordSort(ss)
 		if ss.Strategy != exec.SortStrategyNone {
 			obs.Event("sort", fmt.Sprintf("%s sort of %d rows (%d runs)", ss.Strategy, ss.Rows, ss.Runs))
@@ -278,10 +308,13 @@ func executeNode(n Node, env *Env) (*column.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp := env.Trace.StartChild("restore-order")
 		out, err := restoreOrder(in, x.RowIDs, x.Cols)
 		if err != nil {
 			return nil, err
 		}
+		sp.AddRows(int64(out.NumRows()))
+		sp.End()
 		obs.Event("restore-order", fmt.Sprintf("%d rows re-sequenced to the SQL join order", out.NumRows()))
 		return out, nil
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/column"
 	"repro/internal/exec"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // Pipeline decomposition: a plan spine of the shape
@@ -149,7 +150,7 @@ func extractProto(meta *column.Batch) (*column.Batch, error) {
 
 // executePipelined runs a decomposed spine as one push pipeline.
 func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
-	obs := env.obs()
+	o := env.obs()
 	var (
 		src     exec.BatchSource
 		proto   *column.Batch
@@ -184,12 +185,17 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 	var scanFS *exec.FilterStage
 	scanRows := 0
 
+	var scanSp *obs.Span
+
 	switch leaf := pp.leaf.(type) {
 	case *Scan:
+		sp := env.Trace.StartChild("scan " + leaf.Table)
 		b, err := scanBase(leaf, env)
 		if err != nil {
 			return nil, err
 		}
+		sp.End()
+		scanSp = sp
 		scanX, scanRows = leaf, b.NumRows()
 		proto = b.Range(0, 0)
 		if len(leaf.Preds) > 0 {
@@ -210,12 +216,12 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 					if skRanges > 0 {
 						src = newSegmentMorsels(b, segs, env.Pool.MorselRows())
 						env.Stats.recordScanSkip(skRanges, skRows)
-						ReportScan(obs, ScanReport{
+						ReportScan(o, ScanReport{
 							Target:      leaf.Table,
 							Rows:        int64(scanRows) - skRows,
 							RowsSkipped: skRows,
 						})
-						obs.Event("scan-skip", fmt.Sprintf("%s: zone maps skip %d ranges (%d of %d rows) against %s",
+						o.Event("scan-skip", fmt.Sprintf("%s: zone maps skip %d ranges (%d of %d rows) against %s",
 							leaf.Table, skRanges, skRows, scanRows, exprList(leaf.Preds)))
 					}
 				}
@@ -223,11 +229,16 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 		}
 
 	case *LazyExtract:
-		meta, err := Execute(leaf.Meta, env)
+		msp := env.Trace.StartChild("metadata")
+		menv := *env
+		menv.Trace = msp
+		meta, err := Execute(leaf.Meta, &menv)
 		if err != nil {
 			return nil, err
 		}
-		obs.Event("rewrite", fmt.Sprintf("metadata plan yields %d qualifying records; invoking run-time plan rewriting operator", meta.NumRows()))
+		msp.AddRows(int64(meta.NumRows()))
+		msp.End()
+		o.Event("rewrite", fmt.Sprintf("metadata plan yields %d qualifying records; invoking run-time plan rewriting operator", meta.NumRows()))
 		if env.Source == nil {
 			return nil, fmt.Errorf("plan: LazyExtract requires an ExtractSource in the environment")
 		}
@@ -236,7 +247,7 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 			prune = nil
 		}
 		if ss, ok := env.Source.(StreamSource); ok {
-			s, err := ss.ExtractStream(meta, prune, obs, env.Pool.MorselRows(), env.Mem.Ledger())
+			s, err := ss.ExtractStream(meta, prune, o, env.Pool.MorselRows(), env.Mem.Ledger())
 			if err != nil {
 				return nil, err
 			}
@@ -249,11 +260,11 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 		} else {
 			// Source cannot stream: extract in one batch, pipeline the
 			// compute above it.
-			out, err := env.Source.Extract(meta, prune, obs)
+			out, err := env.Source.Extract(meta, prune, o)
 			if err != nil {
 				return nil, err
 			}
-			obs.Event("extract", fmt.Sprintf("lazy extraction produced %d universal-table rows", out.NumRows()))
+			o.Event("extract", fmt.Sprintf("lazy extraction produced %d universal-table rows", out.NumRows()))
 			src = exec.NewBatchMorsels(out, env.Pool.MorselRows())
 			proto = out.Range(0, 0)
 		}
@@ -266,7 +277,10 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 			stages = append(stages, fs)
 			filters = append(filters, filterInfo{x: x, st: fs})
 		case *Join:
-			r, err := Execute(x.R, env)
+			bsp := env.Trace.StartChild("join-build " + x.Describe())
+			benv := *env
+			benv.Trace = bsp
+			r, err := Execute(x.R, &benv)
 			if err != nil {
 				return nil, err
 			}
@@ -274,6 +288,8 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 			if err != nil {
 				return nil, err
 			}
+			bsp.AddRows(int64(r.NumRows()))
+			bsp.End()
 			closers = append(closers, jp.Close)
 			if jp.Spilled() {
 				// Defensive: allowed() keeps joins off pipelines under a
@@ -302,6 +318,24 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 		sink = exec.NewCollectSink(proto)
 	}
 
+	// With tracing on, wrap every stage and the sink so per-morsel compute
+	// time accumulates into Add-style spans (cumulative across pool
+	// workers). The typed refs held above (scanFS, filters, joins, aggSink)
+	// keep pointing at the inner stages, so post-run reporting is untouched.
+	var timed []*timedStage
+	if env.Trace != nil {
+		for i, st := range stages {
+			ts := &timedStage{inner: st, sp: env.Trace.Child("stage " + st.Label())}
+			stages[i] = ts
+			timed = append(timed, ts)
+		}
+		name := "stage collect"
+		if aggSink != nil {
+			name = "stage aggregate"
+		}
+		sink = &timedSink{inner: sink, sp: env.Trace.Child(name)}
+	}
+
 	ran = true
 	ps, err := env.Pool.RunPipeline(src, stages, sink)
 	if err != nil {
@@ -311,24 +345,29 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
+	for _, ts := range timed {
+		_, kept := ts.inner.Rows()
+		ts.sp.AddRows(kept)
+	}
+	scanSp.AddRows(int64(scanRows))
 
 	env.Stats.recordPipeline(ps.Morsels)
 	if scanX != nil {
 		if scanFS != nil {
 			in, kept := scanFS.Rows()
 			env.Stats.recordFilterStage(in, kept)
-			obs.Event("scan", fmt.Sprintf("%s: %d of %d rows pass %s", scanX.Table, kept, scanRows, exprList(scanX.Preds)))
+			o.Event("scan", fmt.Sprintf("%s: %d of %d rows pass %s", scanX.Table, kept, scanRows, exprList(scanX.Preds)))
 		} else {
-			obs.Event("scan", fmt.Sprintf("%s: %d rows", scanX.Table, scanRows))
+			o.Event("scan", fmt.Sprintf("%s: %d rows", scanX.Table, scanRows))
 		}
 	}
 	if rc, ok := src.(RowsServedCounter); ok {
-		obs.Event("extract", fmt.Sprintf("lazy extraction produced %d universal-table rows", rc.RowsServed()))
+		o.Event("extract", fmt.Sprintf("lazy extraction produced %d universal-table rows", rc.RowsServed()))
 	}
 	for _, fi := range filters {
 		in, kept := fi.st.Rows()
 		env.Stats.recordFilterStage(in, kept)
-		obs.Event("filter", fmt.Sprintf("%s: %d -> %d rows", exprList(fi.x.Preds), in, kept))
+		o.Event("filter", fmt.Sprintf("%s: %d -> %d rows", exprList(fi.x.Preds), in, kept))
 	}
 	for _, ji := range joins {
 		js := ji.jp.Stats()
@@ -344,29 +383,35 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 		if js.IntKeys {
 			keyPath = "packed-int"
 		}
-		obs.Event("join", fmt.Sprintf("%s: %d x %d -> %d rows (build: %d rows, %d partitions, %s, %s keys; probed %d rows)",
+		o.Event("join", fmt.Sprintf("%s: %d x %d -> %d rows (build: %d rows, %d partitions, %s, %s keys; probed %d rows)",
 			ji.x.Describe(), probed, ji.rRows, matches,
 			js.BuildRows, js.Partitions, build, keyPath, probed))
 	}
 	if aggSink != nil {
 		env.Stats.recordAgg(exec.AggStats{Rows: int(aggSink.RowsIn()), Groups: out.NumRows()})
-		obs.Event("aggregate", fmt.Sprintf("%d rows -> %d groups", aggSink.RowsIn(), out.NumRows()))
+		o.Event("aggregate", fmt.Sprintf("%d rows -> %d groups", aggSink.RowsIn(), out.NumRows()))
 	}
-	obs.Event("pipeline", fmt.Sprintf("%d stage(s) fused over %d morsels", len(stages), ps.Morsels))
+	o.Event("pipeline", fmt.Sprintf("%d stage(s) fused over %d morsels", len(stages), ps.Morsels))
 
 	if pp.restore != nil {
+		rsp := env.Trace.StartChild("restore-order")
 		if out, err = restoreOrder(out, pp.restore.RowIDs, pp.restore.Cols); err != nil {
 			return nil, err
 		}
-		obs.Event("restore-order", fmt.Sprintf("%d rows re-sequenced to the SQL join order", out.NumRows()))
+		rsp.AddRows(int64(out.NumRows()))
+		rsp.End()
+		o.Event("restore-order", fmt.Sprintf("%d rows re-sequenced to the SQL join order", out.NumRows()))
 		if pp.agg != nil {
 			in := out.NumRows()
+			asp := env.Trace.StartChild("aggregate")
 			var as exec.AggStats
 			if out, as, err = env.Pool.AggregateMem(env.Mem, out, pp.agg.GroupBy, pp.agg.Aggs); err != nil {
 				return nil, err
 			}
+			asp.AddRows(int64(out.NumRows()))
+			asp.End()
 			env.Stats.recordAgg(as)
-			obs.Event("aggregate", fmt.Sprintf("%d rows -> %d groups", in, out.NumRows()))
+			o.Event("aggregate", fmt.Sprintf("%d rows -> %d groups", in, out.NumRows()))
 		}
 	}
 
@@ -374,17 +419,22 @@ func executePipelined(pp *pipePlan, env *Env) (*column.Batch, error) {
 	for i := len(pp.post) - 1; i >= 0; i-- {
 		switch x := pp.post[i].(type) {
 		case *Project:
+			psp := env.Trace.StartChild("project")
 			if out, err = exec.Project(out, x.Exprs, x.Names); err != nil {
 				return nil, err
 			}
+			psp.End()
 		case *Sort:
+			ssp := env.Trace.StartChild("sort")
 			var ss exec.SortStats
 			if out, ss, err = env.Pool.SortWithStats(out, x.Keys); err != nil {
 				return nil, err
 			}
+			ssp.AddRows(int64(out.NumRows()))
+			ssp.End()
 			env.Stats.recordSort(ss)
 			if ss.Strategy != exec.SortStrategyNone {
-				obs.Event("sort", fmt.Sprintf("%s sort of %d rows (%d runs)", ss.Strategy, ss.Rows, ss.Runs))
+				o.Event("sort", fmt.Sprintf("%s sort of %d rows (%d runs)", ss.Strategy, ss.Rows, ss.Runs))
 			}
 		case *Limit:
 			out = exec.Limit(out, x.N)

@@ -1,0 +1,61 @@
+package plan
+
+import (
+	"time"
+
+	"repro/internal/column"
+	"repro/internal/exec"
+	"repro/internal/obs"
+)
+
+// SpanObserver is the optional Observer extension for query tracing: an
+// observer that carries the query's trace span tree. Mirrors ScanReporter
+// and StampReporter — instrumented code probes for it and degrades to
+// no-ops (nil spans) when the observer doesn't trace.
+type SpanObserver interface {
+	Observer
+	TraceSpan() *obs.Span
+}
+
+// TraceSpan returns o's trace span, or nil when o doesn't trace (all Span
+// methods are no-ops on nil, so callers never branch).
+func TraceSpan(o Observer) *obs.Span {
+	if so, ok := o.(SpanObserver); ok {
+		return so.TraceSpan()
+	}
+	return nil
+}
+
+// timedStage wraps a pipeline stage so each Process call's duration is
+// accumulated into a trace span. Stage work runs on pool workers, so the
+// span's time is cumulative across workers (Add-style), not wall time.
+type timedStage struct {
+	inner exec.PipeStage
+	sp    *obs.Span
+}
+
+func (t *timedStage) Label() string { return t.inner.Label() }
+
+func (t *timedStage) Process(m exec.Morsel) (exec.Morsel, error) {
+	t0 := time.Now()
+	out, err := t.inner.Process(m)
+	t.sp.Add(time.Since(t0))
+	return out, err
+}
+
+func (t *timedStage) Rows() (int64, int64) { return t.inner.Rows() }
+
+// timedSink wraps a pipeline sink the same way.
+type timedSink struct {
+	inner exec.PipeSink
+	sp    *obs.Span
+}
+
+func (t *timedSink) Consume(m exec.Morsel) error {
+	t0 := time.Now()
+	err := t.inner.Consume(m)
+	t.sp.Add(time.Since(t0))
+	return err
+}
+
+func (t *timedSink) Finish() (*column.Batch, error) { return t.inner.Finish() }

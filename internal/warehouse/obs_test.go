@@ -1,0 +1,296 @@
+package warehouse
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// obsQueries exercises every serve-path phase tracing instruments: lazy
+// extraction with pruning, a join spine, grouped aggregation and a sort.
+var obsQueries = []string{
+	q2,
+	`SELECT F.station, COUNT(*), MIN(D.sample_value), MAX(D.sample_value)
+	 FROM mseed.dataview WHERE F.network = 'NL' AND D.sample_value > 500
+	 GROUP BY F.station`,
+	`SELECT F.station, F.channel, AVG(D.sample_value)
+	 FROM mseed.dataview
+	 WHERE F.station = 'ISK'
+	 GROUP BY F.station, F.channel
+	 ORDER BY F.channel`,
+}
+
+// TestTraceBitIdentity proves tracing never changes answers: a traced
+// warehouse and a NoTrace warehouse over the same repository return
+// byte-identical batches across worker counts and memory budgets.
+func TestTraceBitIdentity(t *testing.T) {
+	dir := genRepo(t, 1500)
+	for _, workers := range []int{1, 2, 8} {
+		for _, budget := range []int64{0, 2 << 20} {
+			traced, err := Open(dir, Options{Mode: Lazy, Workers: workers, MemoryBudget: budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle, err := Open(dir, Options{Mode: Lazy, Workers: workers, MemoryBudget: budget, NoTrace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range obsQueries {
+				rt, err := traced.Query(q)
+				if err != nil {
+					t.Fatalf("workers=%d budget=%d traced: %v", workers, budget, err)
+				}
+				ro, err := oracle.Query(q)
+				if err != nil {
+					t.Fatalf("workers=%d budget=%d oracle: %v", workers, budget, err)
+				}
+				if rt.Batch.String() != ro.Batch.String() {
+					t.Errorf("workers=%d budget=%d: traced and NoTrace answers differ for %q",
+						workers, budget, q)
+				}
+				if rt.Trace.Spans == nil {
+					t.Errorf("workers=%d budget=%d: traced warehouse returned nil span tree", workers, budget)
+				}
+				if ro.Trace.Spans != nil {
+					t.Errorf("workers=%d budget=%d: NoTrace warehouse returned a span tree", workers, budget)
+				}
+			}
+		}
+	}
+}
+
+// TestSpanCoverage checks the span tree accounts for the query's wall
+// time: the root covers the serve path end to end and its direct children
+// (admit, normalize, snapshot, cache-probe, parse, plan, execute, emit)
+// sum to at least 90% of it on a cold meaty query.
+func TestSpanCoverage(t *testing.T) {
+	dir := genRepo(t, 4000)
+	w := openWH(t, dir, Lazy)
+	res, err := w.Query(obsQueries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.Trace.Spans
+	if root == nil || root.Name != "query" {
+		t.Fatalf("want root span %q, got %+v", "query", root)
+	}
+	if root.Nanos <= 0 {
+		t.Fatalf("root span has no duration: %+v", root)
+	}
+	var sum time.Duration
+	for _, c := range root.Children {
+		sum += c.Duration()
+	}
+	frac := float64(sum) / float64(root.Nanos)
+	t.Logf("top-level spans cover %.1f%% of root wall time", 100*frac)
+	if frac < 0.90 {
+		t.Errorf("top-level spans cover %.1f%% of root wall time, want >= 90%%\n%s",
+			100*frac, obs.Render(root))
+	}
+	names := make(map[string]bool, len(root.Children))
+	for _, c := range root.Children {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"admit", "normalize", "snapshot", "cache-probe", "parse", "plan", "execute", "emit"} {
+		if !names[want] {
+			t.Errorf("root span is missing child %q\n%s", want, obs.Render(root))
+		}
+	}
+
+	// A repeated query is served from the result cache: its tree is the
+	// short probe path and the query is classed cached, not cold.
+	cold := w.Metrics().Query[obs.ClassCold].Snapshot().Count
+	res2, err := w.Query(obsQueries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Trace.Spans == nil {
+		t.Fatal("cache-hit query returned nil span tree")
+	}
+	if got := w.Metrics().Query[obs.ClassCold].Snapshot().Count; got != cold {
+		t.Errorf("cache hit observed as cold: %d -> %d", cold, got)
+	}
+	if got := w.Metrics().Query[obs.ClassCached].Snapshot().Count; got == 0 {
+		t.Error("cache hit not observed in the cached-class histogram")
+	}
+}
+
+// TestSlowQueryLog checks SlowQueryThreshold: with a 1ns threshold every
+// query is slow, so the operation log gains a warn-severity "slow" entry
+// carrying the rendered span tree, and the slow-query counter moves.
+func TestSlowQueryLog(t *testing.T) {
+	dir := genRepo(t, 1500)
+	w, err := Open(dir, Options{Mode: Lazy, SlowQueryThreshold: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Query(q2); err != nil {
+		t.Fatal(err)
+	}
+	var slow *LogEntry
+	for _, e := range w.Log() {
+		if e.Op == "slow" {
+			slow = &e
+			break
+		}
+	}
+	if slow == nil {
+		t.Fatal("no slow-query entry in the operation log")
+	}
+	if slow.Level != SeverityWarn {
+		t.Errorf("slow entry severity = %v, want warn", slow.Level)
+	}
+	if !strings.Contains(slow.Detail, "query") || !strings.Contains(slow.Detail, "execute") {
+		t.Errorf("slow entry should carry the rendered span tree, got:\n%s", slow.Detail)
+	}
+	if got := w.Metrics().Slow.Load(); got == 0 {
+		t.Error("slow-query counter did not move")
+	}
+
+	// Under NoTrace the entry still appears, without a tree to render.
+	wnt, err := Open(dir, Options{Mode: Lazy, SlowQueryThreshold: time.Nanosecond, NoTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wnt.Query(q2); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range wnt.Log() {
+		if e.Op == "slow" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("NoTrace warehouse logged no slow-query entry")
+	}
+}
+
+// TestLogSeqAndSeverity checks the structured log: Seq is strictly
+// increasing across entries, severities classify correctly, and an
+// error-severity filter (the \log error semantics) isolates failures.
+func TestLogSeqAndSeverity(t *testing.T) {
+	dir := genRepo(t, 1500)
+	w := openWH(t, dir, Lazy)
+	if _, err := w.Query(q2); err != nil {
+		t.Fatal(err)
+	}
+	errs := w.Metrics().Errors.Load()
+	if _, err := w.Query(`SELECT nonsense FROM mseed.files`); err == nil {
+		t.Fatal("want error for unknown column")
+	}
+	if got := w.Metrics().Errors.Load(); got != errs+1 {
+		t.Errorf("error counter = %d, want %d", got, errs+1)
+	}
+
+	log := w.Log()
+	if len(log) == 0 {
+		t.Fatal("empty operation log")
+	}
+	last := int64(-1)
+	for _, e := range log {
+		if e.Seq <= last {
+			t.Fatalf("log Seq not strictly increasing: %d after %d", e.Seq, last)
+		}
+		last = e.Seq
+	}
+	var errEntries []LogEntry
+	for _, e := range log {
+		if e.Level >= SeverityError {
+			errEntries = append(errEntries, e)
+		}
+	}
+	if len(errEntries) == 0 {
+		t.Fatal("no error-severity entries after a failed query")
+	}
+	for _, e := range errEntries {
+		if e.Op != "error" {
+			t.Errorf("error-severity entry with op %q", e.Op)
+		}
+	}
+	for _, e := range log {
+		if e.Op == "query" && e.Level != SeverityInfo {
+			t.Errorf("query entry severity = %v, want info", e.Level)
+		}
+	}
+}
+
+// TestReadyDuringRefresh checks the readiness signal: a warehouse is
+// not-ready for the whole refresh window, including the drain phase where
+// Refresh is blocked behind in-flight queries.
+func TestReadyDuringRefresh(t *testing.T) {
+	dir := genRepo(t, 1500)
+	w := openWH(t, dir, Lazy)
+	if !w.Ready() {
+		t.Fatal("fresh warehouse not ready")
+	}
+
+	// Hold the snapshot read-lock like an in-flight query would, so
+	// Refresh blocks in its drain; readiness must drop immediately.
+	w.refreshMu.RLock()
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Refresh()
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Ready() {
+		if time.Now().After(deadline) {
+			w.refreshMu.RUnlock()
+			t.Fatal("warehouse still ready while a refresh is draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w.refreshMu.RUnlock()
+	if err := <-done; err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	if !w.Ready() {
+		t.Error("warehouse not ready after refresh completed")
+	}
+	if got := w.Metrics().Query[obs.ClassRefresh].Snapshot().Count; got != 1 {
+		t.Errorf("refresh-class histogram count = %d, want 1", got)
+	}
+}
+
+// TestMetricsHistogramAccounting checks the per-class histograms sum to
+// the number of successfully served queries, and that bucket counts are
+// internally consistent with each class's Count.
+func TestMetricsHistogramAccounting(t *testing.T) {
+	dir := genRepo(t, 1500)
+	w := openWH(t, dir, Lazy)
+	served := 0
+	for i := 0; i < 3; i++ {
+		for _, q := range obsQueries {
+			if _, err := w.Query(q); err != nil {
+				t.Fatal(err)
+			}
+			served++
+		}
+	}
+	if _, err := w.Query(`SELECT broken FROM mseed.files`); err == nil {
+		t.Fatal("want error")
+	}
+
+	m := w.Metrics()
+	var total int64
+	for c := obs.QueryClass(0); c < obs.NumClasses; c++ {
+		s := m.Query[c].Snapshot()
+		var buckets int64
+		for _, n := range s.Counts {
+			buckets += n
+		}
+		if buckets != s.Count {
+			t.Errorf("class %v: bucket sum %d != count %d", c, buckets, s.Count)
+		}
+		total += s.Count
+	}
+	if total != int64(served) {
+		t.Errorf("histograms observed %d queries, served %d successfully", total, served)
+	}
+	if m.Errors.Load() == 0 {
+		t.Error("error counter did not move")
+	}
+}

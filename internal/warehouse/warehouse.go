@@ -67,6 +67,7 @@ import (
 	"repro/internal/etl"
 	"repro/internal/exec"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/repo"
 	"repro/internal/sql"
@@ -130,11 +131,49 @@ type Options struct {
 	// full parse -> plan -> reorder -> execute. It is the bit-identity
 	// oracle the cached serving path is tested against. Off by default.
 	NoQueryCache bool
+	// NoTrace disables per-query trace-span collection (Result.Trace.Spans
+	// stays nil). It is the uninstrumented oracle the tracing path is
+	// benchmarked and tested against: answers are bit-identical either way,
+	// and BenchmarkTraceOverhead bounds the tracing cost. Latency
+	// histograms and counters stay on regardless — they are a handful of
+	// atomic adds per query.
+	NoTrace bool
+	// SlowQueryThreshold, when > 0, logs every query whose wall time
+	// reaches it at warn severity, with its rendered span tree (when
+	// tracing is on) so the expensive phase is attributable after the
+	// fact. 0 disables the slow-query log.
+	SlowQueryThreshold time.Duration
 }
 
-// LogEntry is one line of the operation log.
+// Severity classifies operation-log entries so \log can filter.
+type Severity int8
+
+// Log severities, in ascending order.
+const (
+	SeverityInfo Severity = iota
+	SeverityWarn
+	SeverityError
+)
+
+// String returns the severity's lowercase name.
+func (s Severity) String() string {
+	switch s {
+	case SeverityWarn:
+		return "warn"
+	case SeverityError:
+		return "error"
+	default:
+		return "info"
+	}
+}
+
+// LogEntry is one line of the operation log. Seq is a monotonic sequence
+// number assigned under the log lock, so entries from concurrent queries
+// have a total order even when their timestamps collide.
 type LogEntry struct {
+	Seq    int64
 	At     time.Time
+	Level  Severity
 	Op     string
 	Detail string
 }
@@ -161,6 +200,10 @@ type Trace struct {
 	// Join is the stats-driven join-ordering decision for this query's
 	// spine, when it had one eligible (estimates, SQL order, chosen order).
 	Join *plan.ReorderInfo
+	// Spans is the query's trace-span tree (wall time, rows and bytes per
+	// serve-path phase and operator). nil under Options.NoTrace, and for a
+	// result-cache hit it covers only the probe that served the hit.
+	Spans *obs.SpanNode
 }
 
 // Result is the answer to one query plus its observability record.
@@ -206,9 +249,16 @@ type Warehouse struct {
 	noPipeline   bool
 	noSkipping   bool
 	noQueryCache bool
+	noTrace      bool
+	slowQuery    time.Duration
 	qc           *queryCache
 	exec         plan.ExecStats
+	metrics      obs.Metrics
 	init         InitStats
+
+	// refreshing is set for the whole Refresh call, including the drain
+	// wait for in-flight queries — the /readyz not-ready window.
+	refreshing atomic.Bool
 
 	// refreshMu is the snapshot lock: queries hold the read side for their
 	// parse -> plan -> execute span, Refresh holds the write side while it
@@ -230,6 +280,7 @@ type Warehouse struct {
 
 	logMu   sync.Mutex
 	log     []LogEntry
+	logSeq  int64
 	keepLog int
 }
 
@@ -277,6 +328,8 @@ func Open(dir string, opts Options) (*Warehouse, error) {
 		noPipeline:   opts.NoPipeline,
 		noSkipping:   opts.NoSkipping,
 		noQueryCache: opts.NoQueryCache,
+		noTrace:      opts.NoTrace,
+		slowQuery:    opts.SlowQueryThreshold,
 	}
 	w.qc = newQueryCache(w.ledger)
 	// Recycler admissions draw on the same ledger as operator working
@@ -344,7 +397,13 @@ type observer struct {
 	// (deduplicated by URI) — the result cache's re-validation key.
 	stamps   []plan.FileStamp
 	stampSet map[string]bool
+	// span is the query's execute-phase trace span; nil under NoTrace.
+	span *obs.Span
 }
+
+// TraceSpan implements plan.SpanObserver: instrumented execution code
+// attaches its spans (extraction read/decode, pipeline stages) here.
+func (o *observer) TraceSpan() *obs.Span { return o.span }
 
 func (o *observer) InjectedOp(kind, detail string) {
 	o.mu.Lock()
@@ -405,6 +464,7 @@ func (o *observer) Event(op, detail string) {
 func (w *Warehouse) Query(q string) (*Result, error) {
 	res, err := w.query(q, true)
 	if err != nil {
+		w.metrics.Errors.Add(1)
 		w.logf("error", "query failed: %v", err)
 	}
 	return res, err
@@ -418,13 +478,25 @@ func (w *Warehouse) Query(q string) (*Result, error) {
 func (w *Warehouse) QueryUncached(q string) (*Result, error) {
 	res, err := w.query(q, false)
 	if err != nil {
+		w.metrics.Errors.Add(1)
 		w.logf("error", "query failed: %v", err)
 	}
 	return res, err
 }
 
+// newRootSpan starts the query's root trace span, or returns nil (every
+// span operation no-ops) under Options.NoTrace.
+func (w *Warehouse) newRootSpan() *obs.Span {
+	if w.noTrace {
+		return nil
+	}
+	return obs.NewRoot("query")
+}
+
 func (w *Warehouse) query(q string, useResultCache bool) (*Result, error) {
 	start := time.Now()
+	root := w.newRootSpan()
+	adm := root.StartChild("admit")
 	if w.serialize {
 		w.serialMu.Lock()
 		defer w.serialMu.Unlock()
@@ -437,16 +509,20 @@ func (w *Warehouse) query(q string, useResultCache bool) (*Result, error) {
 	// repository snapshot out from under this query.
 	w.refreshMu.RLock()
 	defer w.refreshMu.RUnlock()
+	adm.End()
 
 	w.queries.Add(1)
 	w.logf("query", "%s", q)
 
+	nsp := root.StartChild("normalize")
 	rs, err := w.specFor(q)
+	nsp.End()
 	if err != nil {
 		return nil, err
 	}
 	rs.resultCache = useResultCache
-	return w.run(start, rs)
+	rs.class = obs.ClassCold
+	return w.run(start, rs, root)
 }
 
 // runSpec describes one statement execution request: either an ad-hoc
@@ -457,7 +533,8 @@ type runSpec struct {
 	stmt        *sql.SelectStmt // pre-parsed unbound statement (prepared path)
 	template    string          // canonical template; "" disables both cache tiers
 	params      []column.Value
-	resultCache bool // consult/admit the result cache (plan cache always applies)
+	resultCache bool           // consult/admit the result cache (plan cache always applies)
+	class       obs.QueryClass // histogram class on success (hits re-class to cached)
 }
 
 // specFor normalizes an ad-hoc query into a cacheable runSpec. Queries
@@ -481,56 +558,88 @@ func (w *Warehouse) specFor(q string) (runSpec, error) {
 // run executes one statement against a fresh store snapshot, consulting
 // the result cache first and the plan cache under it. The caller must hold
 // the admission slot and the snapshot read lock.
-func (w *Warehouse) run(start time.Time, rs runSpec) (*Result, error) {
+func (w *Warehouse) run(start time.Time, rs runSpec, root *obs.Span) (*Result, error) {
+	ssp := root.StartChild("snapshot")
 	store := w.store.Snapshot()
+	ssp.End()
 	cached := rs.template != "" && !w.noQueryCache
 	var sqlKey string
 	var repoVer int64
 	if cached {
+		psp := root.StartChild("cache-probe")
 		sqlKey = rs.template + "\x1f" + paramsKey(rs.params)
 		repoVer = w.engine.SnapshotVersion()
 		if rs.resultCache {
 			if ent, ok := w.qc.lookupResult(sqlKey, store.Version(), repoVer); ok {
+				psp.AddRows(int64(ent.batch.NumRows()))
+				psp.End()
 				res := &Result{
 					Columns: ent.columns,
 					Batch:   ent.batch,
 					Elapsed: time.Since(start),
 					Trace:   ent.trace,
 				}
+				res.Trace.Spans = w.finish(root, rs.src, obs.ClassCached, res.Elapsed)
 				w.logf("answer", "%d rows in %v (result cache)", ent.batch.NumRows(), res.Elapsed)
 				return res, nil
 			}
 		}
+		psp.End()
 	}
 
-	pe, err := w.prepare(rs, store, sqlKey, cached)
+	pe, err := w.prepare(rs, store, sqlKey, cached, root)
 	if err != nil {
 		return nil, err
 	}
 	tr := Trace{SQL: pe.sqlText, Naive: pe.naive, Optimized: pe.optimized, Join: pe.join}
-	obs := &observer{w: w, trace: &tr, touched: make(map[string]bool)}
+	esp := root.StartChild("execute")
+	o := &observer{w: w, trace: &tr, touched: make(map[string]bool), span: esp}
 	// The query's memory context: operator reservations come from a
 	// per-query sub-budget of the warehouse ledger (so one spilling query
 	// cannot starve the fleet); spill files live in a per-query temp dir
 	// that the deferred Cleanup removes on every exit path, error included.
 	qm := exec.NewQueryMem(w.ledger.Child(w.queryBudget), "")
 	defer qm.Cleanup()
-	env := &plan.Env{Store: store, Source: w.engine, Obs: obs, Pool: w.pool, Mem: qm, Stats: &w.exec, NoPipeline: w.noPipeline, NoSkipping: w.noSkipping}
+	env := &plan.Env{Store: store, Source: w.engine, Obs: o, Pool: w.pool, Mem: qm, Stats: &w.exec, NoPipeline: w.noPipeline, NoSkipping: w.noSkipping, Trace: esp}
 	batch, err := plan.Execute(pe.root, env)
 	if err != nil {
 		return nil, err
 	}
+	esp.AddRows(int64(batch.NumRows()))
+	esp.End()
+	msp := root.StartChild("emit")
 	res := &Result{
 		Columns: batch.Names(),
 		Batch:   batch,
 		Elapsed: time.Since(start),
 		Trace:   tr,
 	}
-	w.logf("answer", "%d rows in %v", batch.NumRows(), res.Elapsed)
 	if cached && rs.resultCache {
-		w.qc.admitResult(sqlKey, store.Version(), repoVer, res, obs.stamps)
+		w.qc.admitResult(sqlKey, store.Version(), repoVer, res, o.stamps)
 	}
+	msp.End()
+	res.Elapsed = time.Since(start)
+	res.Trace.Spans = w.finish(root, rs.src, rs.class, res.Elapsed)
+	w.logf("answer", "%d rows in %v", batch.NumRows(), res.Elapsed)
 	return res, nil
+}
+
+// finish closes out one served query: the latency histogram observation,
+// the root span's end+snapshot, and the slow-query log. Returns the span
+// tree (nil under NoTrace).
+func (w *Warehouse) finish(root *obs.Span, q string, class obs.QueryClass, elapsed time.Duration) *obs.SpanNode {
+	w.metrics.ObserveQuery(class, elapsed)
+	root.End()
+	spans := root.Snapshot()
+	if w.slowQuery > 0 && elapsed >= w.slowQuery {
+		w.metrics.Slow.Add(1)
+		if spans != nil {
+			w.logAt(SeverityWarn, "slow", "%v >= %v (%s): %s\n%s", elapsed, w.slowQuery, class, q, obs.Render(spans))
+		} else {
+			w.logAt(SeverityWarn, "slow", "%v >= %v (%s): %s", elapsed, w.slowQuery, class, q)
+		}
+	}
+	return spans
 }
 
 // prepare resolves a runSpec to an executable plan: the shared seam both
@@ -541,12 +650,16 @@ func (w *Warehouse) run(start time.Time, rs runSpec) (*Result, error) {
 // needs: cardinality estimates read only the store's batch zones, which
 // change exclusively through version-bumping store mutations, so a plan
 // whose join order a stats shift would alter can never be looked up again.
-func (w *Warehouse) prepare(rs runSpec, store *catalog.Store, sqlKey string, cached bool) (*planEntry, error) {
+func (w *Warehouse) prepare(rs runSpec, store *catalog.Store, sqlKey string, cached bool, root *obs.Span) (*planEntry, error) {
 	if cached {
-		if pe, ok := w.qc.lookupPlan(sqlKey, store.Version()); ok {
+		csp := root.StartChild("plan-cache")
+		pe, ok := w.qc.lookupPlan(sqlKey, store.Version())
+		csp.End()
+		if ok {
 			return pe, nil
 		}
 	}
+	psp := root.StartChild("parse")
 	stmt := rs.stmt
 	if stmt == nil {
 		if cached {
@@ -573,9 +686,11 @@ func (w *Warehouse) prepare(rs runSpec, store *catalog.Store, sqlKey string, cac
 		}
 	}
 	bound, err := sql.BindParams(stmt, rs.params)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
+	bsp := root.StartChild("plan")
 	plans, err := plan.Build(bound, store.Catalog(), w.mode)
 	if err != nil {
 		return nil, err
@@ -603,6 +718,7 @@ func (w *Warehouse) prepare(rs runSpec, store *catalog.Store, sqlKey string, cac
 	if cached {
 		w.qc.storePlan(sqlKey, store.Version(), pe)
 	}
+	bsp.End()
 	return pe, nil
 }
 
@@ -621,7 +737,7 @@ func (w *Warehouse) Explain(q string) (*Trace, error) {
 	if cached {
 		sqlKey = rs.template + "\x1f" + paramsKey(rs.params)
 	}
-	pe, err := w.prepare(rs, store, sqlKey, cached)
+	pe, err := w.prepare(rs, store, sqlKey, cached, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -679,7 +795,7 @@ func (p *Prepared) Explain(params ...column.Value) (*Trace, error) {
 		rs.template = p.template
 		sqlKey = rs.template + "\x1f" + paramsKey(params)
 	}
-	pe, err := w.prepare(rs, store, sqlKey, cached)
+	pe, err := w.prepare(rs, store, sqlKey, cached, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -696,6 +812,8 @@ func (p *Prepared) Execute(params ...column.Value) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
+	root := w.newRootSpan()
+	adm := root.StartChild("admit")
 	if w.serialize {
 		w.serialMu.Lock()
 		defer w.serialMu.Unlock()
@@ -704,16 +822,18 @@ func (p *Prepared) Execute(params ...column.Value) (*Result, error) {
 	defer func() { <-w.admit }()
 	w.refreshMu.RLock()
 	defer w.refreshMu.RUnlock()
+	adm.End()
 
 	w.queries.Add(1)
 	w.logf("query", "EXECUTE %s %v", p.template, params)
 
-	rs := runSpec{src: p.template, stmt: p.stmt, params: params, resultCache: true}
+	rs := runSpec{src: p.template, stmt: p.stmt, params: params, resultCache: true, class: obs.ClassPrepared}
 	if !w.noQueryCache {
 		rs.template = p.template
 	}
-	res, err := w.run(start, rs)
+	res, err := w.run(start, rs, root)
 	if err != nil {
+		w.metrics.Errors.Add(1)
 		w.logf("error", "query failed: %v", err)
 	}
 	return res, err
@@ -726,6 +846,12 @@ func (p *Prepared) Execute(params ...column.Value) (*Result, error) {
 // reload as one atomic commit, and only then admits new queries; queries
 // arriving during a refresh wait for it to finish.
 func (w *Warehouse) Refresh() (etl.Stats, error) {
+	start := time.Now()
+	// Not-ready covers the whole refresh including the drain wait, so a
+	// load balancer polling Ready stops routing before the write lock
+	// starts stalling new queries.
+	w.refreshing.Store(true)
+	defer w.refreshing.Store(false)
 	w.refreshMu.Lock()
 	defer w.refreshMu.Unlock()
 	var st etl.Stats
@@ -745,9 +871,18 @@ func (w *Warehouse) Refresh() (etl.Stats, error) {
 	// entry could ever be served again; purging reclaims their memory (and
 	// the results' ledger bytes) immediately instead of via LRU pressure.
 	w.qc.purge()
+	w.metrics.ObserveQuery(obs.ClassRefresh, time.Since(start))
 	w.logf("refresh", "done: %d files, %d records in %v", st.Files, st.Records, st.Duration)
 	return st, nil
 }
+
+// Ready reports whether the warehouse is serving normally: true after Open
+// returns, false only while a Refresh (including its drain wait) is in
+// progress. The lazyetld /readyz endpoint surfaces it.
+func (w *Warehouse) Ready() bool { return !w.refreshing.Load() }
+
+// Metrics exposes the always-on latency histograms and counters.
+func (w *Warehouse) Metrics() *obs.Metrics { return &w.metrics }
 
 // Stats summarizes the warehouse state.
 type Stats struct {
@@ -832,7 +967,18 @@ func (w *Warehouse) ClearLog() {
 	w.log = w.log[:0]
 }
 
+// logf appends an entry with severity derived from the op: "error" ops are
+// errors, everything else informational. Explicit severities go through
+// logAt.
 func (w *Warehouse) logf(op, format string, args ...any) {
+	level := SeverityInfo
+	if op == "error" {
+		level = SeverityError
+	}
+	w.logAt(level, op, format, args...)
+}
+
+func (w *Warehouse) logAt(level Severity, op, format string, args ...any) {
 	w.logMu.Lock()
 	defer w.logMu.Unlock()
 	if len(w.log) >= w.keepLog {
@@ -846,5 +992,6 @@ func (w *Warehouse) logf(op, format string, args ...any) {
 		n := copy(w.log, w.log[drop:])
 		w.log = w.log[:n]
 	}
-	w.log = append(w.log, LogEntry{At: time.Now(), Op: op, Detail: fmt.Sprintf(format, args...)})
+	w.logSeq++
+	w.log = append(w.log, LogEntry{Seq: w.logSeq, At: time.Now(), Level: level, Op: op, Detail: fmt.Sprintf(format, args...)})
 }

@@ -61,6 +61,17 @@
 // is retained as the verification oracle behind Options.NoQueryCache (the
 // --no-query-cache flag of cmd/lazyetl and cmd/lazyetld).
 //
+// The query path is observable end to end. Every query carries a trace of
+// spans (normalize, cache probe, parse, plan, extraction read/decode/
+// prefetch-stall, pipeline stages, emit) returned in Trace.Spans and
+// rendered by the \trace REPL command or POST /query?trace=1 on
+// cmd/lazyetld; Options.NoTrace disables span collection (the oracle for
+// proving tracing never changes answers and costs under 2% —
+// BenchmarkTraceOverhead). Per-class latency histograms and counters are
+// always on and exported in Prometheus text format at GET /metrics, and
+// Options.SlowQueryThreshold logs the span tree of any query at or over
+// the threshold into the operation log at warn severity.
+//
 // Quickstart:
 //
 //	files, _ := lazyetl.GenerateRepository(lazyetl.RepoConfig{Dir: dir, Seed: 1})
@@ -111,6 +122,8 @@ type (
 	QueryCacheStats = warehouse.QueryCacheStats
 	// LogEntry is one line of the operation log.
 	LogEntry = warehouse.LogEntry
+	// Severity classifies operation-log entries (info, warn, error).
+	Severity = warehouse.Severity
 
 	// RepoConfig configures GenerateRepository.
 	RepoConfig = seisgen.RepoConfig
@@ -133,6 +146,13 @@ const (
 	Lazy = warehouse.Lazy
 	// External extracts per query without metadata pruning (baseline).
 	External = warehouse.External
+)
+
+// Operation-log severities (LogEntry.Level).
+const (
+	SeverityInfo  = warehouse.SeverityInfo
+	SeverityWarn  = warehouse.SeverityWarn
+	SeverityError = warehouse.SeverityError
 )
 
 // Open scans the mSEED repository under dir and initializes a warehouse in
